@@ -1,0 +1,31 @@
+"""Figure 3: breakdown of datagrams — standard vs proprietary.
+
+Paper's shape: Zoom ~100% of datagrams carry a proprietary prefix (~80%
+header + ~20% fully proprietary); WhatsApp/Messenger/Discord/Meet are almost
+entirely standard; FaceTime sits in between (high proprietary-header share
+in relay mode, 0xDEADBEEFCAFE beacons on cellular).
+"""
+
+from repro.dpi.messages import DatagramClass
+from repro.experiments.figures import figure3
+
+
+def test_figure3(matrix, benchmark):
+    shares = benchmark(figure3, matrix)
+    for app, breakdown in shares.items():
+        print(f"\nFigure 3 {app:<10} " + "  ".join(
+            f"{cls}={value * 100:5.1f}%" for cls, value in breakdown.items()
+        ))
+
+    zoom = shares["zoom"]
+    assert zoom["standard"] < 0.01
+    assert zoom["proprietary_header"] > 0.6          # paper: ~80%
+    assert zoom["fully_proprietary"] > 0.08          # paper: ~20%
+
+    for app in ("whatsapp", "messenger", "discord", "meet"):
+        assert shares[app]["standard"] > 0.95, app
+
+    facetime = shares["facetime"]
+    assert facetime["proprietary_header"] > 0.15     # relay-mode headers
+    assert facetime["fully_proprietary"] > 0.02      # cellular beacons
+    assert facetime["standard"] < shares["whatsapp"]["standard"]

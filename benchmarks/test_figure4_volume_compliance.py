@@ -1,0 +1,28 @@
+"""Figure 4: compliance ratio by traffic volume.
+
+Paper's shape: Zoom and WhatsApp near-perfect; Messenger/Meet/Discord high;
+FaceTime lowest by far (~1.4%, all RTP non-compliant).  By protocol: QUIC
+100%, then RTP > RTCP (STUN's volume ratio depends on the Meet-heavy mix).
+"""
+
+from repro.experiments.figures import figure4, render_ratio_series
+
+
+def test_figure4(matrix, benchmark):
+    fig = benchmark(figure4, matrix)
+    print("\n" + render_ratio_series(fig["by_app"], "Figure 4 — by application"))
+    print(render_ratio_series(fig["by_protocol"], "Figure 4 — by protocol"))
+
+    by_app = fig["by_app"]
+    assert by_app["zoom"] > 0.99
+    assert by_app["whatsapp"] > 0.95
+    assert by_app["messenger"] > 0.95
+    assert by_app["meet"] > 0.90
+    assert by_app["facetime"] < 0.05
+    assert min(by_app, key=by_app.get) == "facetime"
+
+    by_protocol = fig["by_protocol"]
+    assert by_protocol["quic"] == 1.0
+    assert by_protocol["rtp"] > by_protocol["rtcp"]
+    # RTCP's volume compliance is dragged down by Discord and relay-Meet.
+    assert by_protocol["rtcp"] < 0.9

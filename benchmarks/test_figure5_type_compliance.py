@@ -1,0 +1,27 @@
+"""Figure 5: compliance ratio by message type.
+
+Paper's shape: by protocol, QUIC 4/4, RTP ~71/80, RTCP ~10/22, STUN ~27/50;
+by app, Zoom best (52/54) and Discord worst (0/9).
+"""
+
+from repro.experiments.figures import figure5, render_ratio_series
+
+
+def test_figure5(matrix, benchmark):
+    fig = benchmark(figure5, matrix)
+    print("\n" + render_ratio_series(fig["by_app"], "Figure 5 — by application"))
+    print(render_ratio_series(fig["by_protocol"], "Figure 5 — by protocol"))
+
+    by_protocol = fig["by_protocol"]
+    assert by_protocol["quic"] == 1.0
+    assert by_protocol["rtp"] > 0.8                  # paper: 71/80
+    assert by_protocol["rtcp"] < 0.6                 # paper: 10/22
+    assert by_protocol["stun_turn"] < 0.6            # paper: 27/50
+    assert by_protocol["rtp"] > by_protocol["stun_turn"]
+    assert by_protocol["rtp"] > by_protocol["rtcp"]
+
+    by_app = fig["by_app"]
+    assert by_app["discord"] == 0.0                  # paper: 0/9
+    assert max(by_app, key=by_app.get) == "zoom"     # paper: 52/54
+    assert min(by_app, key=by_app.get) == "discord"
+    assert by_app["facetime"] < 0.5                  # paper: 4/13

@@ -1,0 +1,66 @@
+"""Ablation of the stage-2 filtering heuristics (DESIGN.md design choice).
+
+Measures, with ground truth the paper lacked, how much background traffic
+each heuristic removes and what the full pipeline's precision/recall is.
+"""
+
+import pytest
+
+from repro.apps import CallConfig, NetworkCondition, get_simulator
+from repro.filtering import TwoStageFilter
+
+
+@pytest.fixture(scope="module")
+def noisy_trace():
+    return get_simulator("meet").simulate(
+        CallConfig(network=NetworkCondition.WIFI_P2P, seed=2,
+                   call_duration=40.0, media_scale=0.5)
+    )
+
+
+def test_filter_ablation(noisy_trace, benchmark):
+    stages = [
+        ("stage1-only", ()),
+        ("+3tuple", ("3tuple",)),
+        ("+sni", ("3tuple", "sni")),
+        ("+local_ip", ("3tuple", "sni", "local_ip")),
+        ("full", TwoStageFilter.ALL_HEURISTICS),
+    ]
+    leaked = {}
+    print()
+    for label, heuristics in stages:
+        result = TwoStageFilter(
+            noisy_trace.window, enabled_heuristics=heuristics
+        ).apply(noisy_trace.records)
+        evaluation = result.evaluation
+        leaked[label] = evaluation.kept_non_rtc
+        print(f"  {label:<12} leaked={evaluation.kept_non_rtc:5d} "
+              f"precision={evaluation.precision:.4f} recall={evaluation.recall:.4f}")
+
+    # Each added heuristic can only help (monotone leak reduction) and the
+    # full pipeline must eliminate essentially all background traffic.
+    order = [label for label, _ in stages]
+    assert all(leaked[a] >= leaked[b] for a, b in zip(order, order[1:]))
+    assert leaked["full"] <= leaked["stage1-only"] * 0.1
+
+    full = TwoStageFilter(noisy_trace.window)
+    result = benchmark(full.apply, noisy_trace.records)
+    assert result.evaluation.recall > 0.97
+
+
+def test_sequential_vs_exhaustive_checking(zoom_dpi, benchmark):
+    """Ablation: the paper's sequential criterion evaluation vs collecting
+    every violation (design choice in §4.2)."""
+    from repro.core import ComplianceChecker
+
+    messages = zoom_dpi.messages()
+    sequential = ComplianceChecker(sequential=True).check(messages)
+    exhaustive = ComplianceChecker(sequential=False).check(messages)
+    # The verdict (compliant or not) must be identical in both modes.
+    assert [v.compliant for v in sequential] == [v.compliant for v in exhaustive]
+    # The exhaustive mode can only find >= as many violations.
+    assert sum(len(v.violations) for v in exhaustive) >= sum(
+        len(v.violations) for v in sequential
+    )
+    checker = ComplianceChecker(sequential=True)
+    benchmark(checker.check, messages)

@@ -1,0 +1,49 @@
+"""Raw pipeline throughput: synthesis, pcap I/O, DPI, compliance.
+
+Not a paper table — an engineering benchmark for the library itself, so
+regressions in the hot paths (candidate scan, TLV parsing) are visible.
+"""
+
+import io
+
+from repro.apps import CallConfig, NetworkCondition, get_simulator
+from repro.core import ComplianceChecker
+from repro.dpi import DpiEngine
+from repro.packets.pcap import PcapReader, PcapWriter
+
+
+def test_synthesis_throughput(benchmark):
+    simulator = get_simulator("whatsapp")
+    config = CallConfig(network=NetworkCondition.WIFI_RELAY, seed=1,
+                        call_duration=20.0, media_scale=0.5)
+    trace = benchmark(simulator.simulate, config)
+    assert len(trace.records) > 1000
+
+
+def test_pcap_write_read_throughput(zoom_kept_records, benchmark):
+    records = zoom_kept_records[:2000]
+
+    def round_trip():
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        for record in records:
+            writer.write_record(record)
+        buffer.seek(0)
+        return sum(1 for _ in PcapReader(buffer).records())
+
+    count = benchmark(round_trip)
+    assert count == len(records)
+
+
+def test_dpi_throughput(zoom_kept_records, benchmark):
+    engine = DpiEngine()
+    records = zoom_kept_records[:3000]
+    result = benchmark(engine.analyze_records, records)
+    assert result.analyses
+
+
+def test_checker_throughput(zoom_dpi, benchmark):
+    checker = ComplianceChecker()
+    messages = zoom_dpi.messages()
+    verdicts = benchmark(checker.check, messages)
+    assert len(verdicts) == len(messages)

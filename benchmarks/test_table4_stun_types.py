@@ -1,0 +1,40 @@
+"""Table 4: observed STUN/TURN message types per application."""
+
+from repro.experiments.tables import render_observed_types, table4
+
+
+def test_table4(matrix, benchmark):
+    types = benchmark(table4, matrix)
+    print("\n" + render_observed_types(types, "Table 4: STUN/TURN message types"))
+
+    whatsapp = types["whatsapp"]
+    assert whatsapp["compliant"] == ["0x0001"]
+    assert set(whatsapp["non_compliant"]) == {
+        "0x0003", "0x0101", "0x0103",
+        "0x0800", "0x0801", "0x0802", "0x0803", "0x0804", "0x0805",
+    }
+
+    messenger = types["messenger"]
+    assert set(messenger["compliant"]) == {
+        "0x0004", "0x0008", "0x0009", "0x0016", "0x0017", "0x0104",
+        "0x0108", "0x0109", "0x0113", "0x0118", "ChannelData",
+    }
+    assert set(messenger["non_compliant"]) == {
+        "0x0001", "0x0003", "0x0101", "0x0103", "0x0800", "0x0801", "0x0802",
+    }
+
+    meet = types["meet"]
+    assert meet["non_compliant"] == ["0x0003"]
+    assert {"0x0001", "0x0200", "0x0300", "ChannelData"} <= set(meet["compliant"])
+
+    zoom = types["zoom"]
+    assert zoom["compliant"] == []
+    assert set(zoom["non_compliant"]) == {"0x0001", "0x0002"}
+
+    facetime = types["facetime"]
+    assert facetime["compliant"] == []
+    assert set(facetime["non_compliant"]) == {
+        "0x0001", "0x0017", "0x0101", "ChannelData",
+    }
+
+    assert "discord" not in types  # Discord does not use STUN at all

@@ -1,0 +1,29 @@
+"""Table 5: observed RTP payload types per application."""
+
+from repro.experiments.tables import render_observed_types, table5
+
+
+def test_table5(matrix, benchmark):
+    types = benchmark(table5, matrix)
+    print("\n" + render_observed_types(types, "Table 5: RTP payload types"))
+
+    assert set(types["whatsapp"]["compliant"]) == {"97", "103", "105", "106", "120"}
+    assert types["whatsapp"]["non_compliant"] == []
+
+    assert set(types["messenger"]["compliant"]) == {"97", "98", "101", "126", "127"}
+
+    assert set(types["meet"]["compliant"]) == {
+        "35", "36", "63", "96", "97", "100", "103", "104", "109", "111", "114",
+    }
+
+    assert types["facetime"]["compliant"] == []
+    assert set(types["facetime"]["non_compliant"]) == {"13", "20", "100", "104", "108"}
+
+    assert types["discord"]["compliant"] == []
+    assert set(types["discord"]["non_compliant"]) == {"96", "101", "102", "120"}
+
+    zoom = types["zoom"]
+    assert zoom["non_compliant"] == []
+    # Zoom rotates through its huge payload-type list (paper: ~50 types).
+    assert len(zoom["compliant"]) >= 38
+    assert {"0", "98", "110", "127"} <= set(zoom["compliant"])

@@ -1,0 +1,25 @@
+"""Table 6: observed RTCP packet types per application."""
+
+from repro.experiments.tables import render_observed_types, table6
+
+
+def test_table6(matrix, benchmark):
+    types = benchmark(table6, matrix)
+    print("\n" + render_observed_types(types, "Table 6: RTCP packet types"))
+
+    assert set(types["whatsapp"]["compliant"]) == {"200", "202", "205", "206"}
+    assert types["whatsapp"]["non_compliant"] == []
+
+    assert set(types["zoom"]["compliant"]) == {"200", "202"}
+
+    assert set(types["messenger"]["compliant"]) == {"200", "201", "205", "206"}
+
+    assert types["discord"]["compliant"] == []
+    assert set(types["discord"]["non_compliant"]) == {"200", "201", "204",
+                                                      "205", "206"}
+
+    assert types["meet"]["compliant"] == []
+    assert set(types["meet"]["non_compliant"]) == {"200", "201", "202", "204",
+                                                   "205", "206", "207"}
+
+    assert "facetime" not in types  # FaceTime does not use RTCP

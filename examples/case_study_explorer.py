@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's per-application case studies (§5.2, §5.3).
+
+Runs the targeted detectors over single-app traces and prints the observed
+behaviour next to the paper's claim.
+"""
+
+from repro.apps import CallConfig, NetworkCondition, get_simulator
+from repro.dpi import DpiEngine
+from repro.experiments.case_studies import (
+    detect_direction_byte,
+    detect_dual_rtp,
+    detect_extension_abuse,
+    detect_facetime_beacons,
+    detect_facetime_headers,
+    detect_meta_burst,
+    detect_srtcp_tags,
+    detect_ssrc_zero,
+    detect_zoom_filler,
+    observed_rtp_ssrcs,
+)
+from repro.filtering import TwoStageFilter
+
+
+def analyze(app: str, network: NetworkCondition, seed: int = 3):
+    trace = get_simulator(app).simulate(
+        CallConfig(network=network, seed=seed, call_duration=25.0, media_scale=0.4)
+    )
+    kept = TwoStageFilter(trace.window).apply(trace.records).kept_records
+    dpi = DpiEngine().analyze_records(kept)
+    return trace, dpi
+
+
+def main() -> None:
+    print("== Zoom: filler messages (bandwidth probes) ==")
+    _trace, dpi = analyze("zoom", NetworkCondition.WIFI_RELAY)
+    filler = detect_zoom_filler(dpi.analyses)
+    print(f"  filler datagrams: {filler.filler_count} "
+          f"({filler.filler_share * 100:.0f}% of fully proprietary; paper: 53%)")
+    print(f"  peak burst rate: {filler.peak_rate_pps:.0f} pkt/s "
+          f"(paper: up to 500 pkt/s in relay mode)")
+    print(f"  shares a 5-tuple with media: {filler.shares_media_stream}")
+
+    dual = detect_dual_rtp(dpi.analyses)
+    print(f"\n== Zoom: dual-RTP datagrams ==")
+    print(f"  {dual.dual_datagrams}/{dual.rtp_datagrams} RTP datagrams "
+          f"({dual.rate * 100:.2f}%; paper: 0.21%), "
+          f"first message short: {dual.all_first_short}, "
+          f"same SSRC+timestamp: {dual.all_same_ssrc_timestamp}")
+
+    print("\n== Zoom: SSRCs fixed across calls ==")
+    ssrcs = []
+    for call in range(2):
+        trace = get_simulator("zoom").simulate(
+            CallConfig(network=NetworkCondition.CELLULAR, seed=3, call_index=call,
+                       call_duration=15.0, media_scale=0.3)
+        )
+        kept = TwoStageFilter(trace.window).apply(trace.records).kept_records
+        ssrcs.append(observed_rtp_ssrcs(DpiEngine().analyze_records(kept).messages()))
+    print(f"  call 1: {sorted(hex(s) for s in ssrcs[0])}")
+    print(f"  call 2: {sorted(hex(s) for s in ssrcs[1])}")
+    print(f"  identical across calls: {ssrcs[0] == ssrcs[1]} (paper: always)")
+
+    print("\n== Discord: RTCP deviations ==")
+    _trace, dpi = analyze("discord", NetworkCondition.CELLULAR)
+    messages = dpi.messages()
+    ssrc0 = detect_ssrc_zero(messages)
+    print(f"  SSRC=0 in {ssrc0.rate * 100:.0f}% of type-205 messages (paper: ~25%)")
+    direction = detect_direction_byte(messages)
+    print(f"  direction byte perfectly correlated: {direction.perfectly_correlated} "
+          f"(outbound {sorted(map(hex, direction.outbound_values))}, "
+          f"inbound {sorted(map(hex, direction.inbound_values))})")
+    abuse = detect_extension_abuse(messages)
+    print(f"  ID=0 extension elements: {abuse.id_zero_rate * 100:.2f}% of RTP "
+          f"(paper: 4.91%); undefined profiles: "
+          f"{abuse.undefined_profile_rate * 100:.2f}% (paper: 2.58%) on payload "
+          f"types {sorted(abuse.undefined_profile_payload_types)}")
+
+    print("\n== FaceTime: cellular beacons and relay headers ==")
+    _trace, dpi = analyze("facetime", NetworkCondition.CELLULAR)
+    beacons = detect_facetime_beacons(dpi.analyses)
+    print(f"  0xDEADBEEFCAFE beacons: {beacons.share * 100:.1f}% of datagrams "
+          f"(paper: ~10% cellular), 36 bytes: {beacons.all_36_bytes}, "
+          f"counters monotonic: {beacons.counters_monotonic}, "
+          f"median interval {beacons.median_interval * 1000:.0f} ms (paper: 50 ms)")
+    _trace, dpi = analyze("facetime", NetworkCondition.WIFI_RELAY)
+    headers = detect_facetime_headers(dpi.analyses)
+    print(f"  relay-mode proprietary headers: {headers.share * 100:.1f}% "
+          f"(paper: 89.2%), all start 0x6000: {headers.all_start_0x6000}, "
+          f"lengths {headers.length_range} (paper: 8-19 bytes)")
+
+    print("\n== WhatsApp: 0x0801/0x0802 burst ==")
+    _trace, dpi = analyze("whatsapp", NetworkCondition.WIFI_RELAY)
+    burst = detect_meta_burst(dpi.messages())
+    print(f"  {burst.pairs} pairs in {burst.burst_span * 1000:.1f} ms "
+          f"(paper: 16 pairs in ~2.2 ms), request sizes {set(burst.request_sizes)} "
+          f"(paper: 500 B), response sizes {set(burst.response_sizes)} (paper: 40 B)")
+
+    print("\n== Google Meet: SRTCP authentication tags ==")
+    for network in (NetworkCondition.WIFI_RELAY, NetworkCondition.WIFI_P2P):
+        _trace, dpi = analyze("meet", network)
+        tags = detect_srtcp_tags(dpi.messages())
+        print(f"  {network.value:<11} tagless: {tags.tagless_share * 100:5.1f}% "
+              f"({tags.tagless}/{tags.tagged + tags.tagless}) "
+              f"(paper: most tagless in relay Wi-Fi only)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""NAT traversal demo: how the experiment's network settings decide
+P2P vs relay (paper §2.1, Figure 1).
+
+Runs the ICE substrate over the NAT behaviours corresponding to the paper's
+three network configurations and shows which candidate pair wins — the
+mechanism behind each simulator's transmission-mode choice.
+"""
+
+from repro.ice import NatBehaviour, SimulatedNetwork, run_ice
+
+SCENARIOS = [
+    ("Wi-Fi, UDP hole punching allowed (wifi_p2p)",
+     SimulatedNetwork(NatBehaviour.ENDPOINT_INDEPENDENT,
+                      NatBehaviour.ENDPOINT_INDEPENDENT)),
+    ("Wi-Fi, hole punching blocked at the router (wifi_relay)",
+     SimulatedNetwork(NatBehaviour.BLOCKED,
+                      NatBehaviour.ENDPOINT_INDEPENDENT)),
+    ("Carrier CGNAT permitting direct paths (cellular, FaceTime-style)",
+     SimulatedNetwork(NatBehaviour.ENDPOINT_INDEPENDENT,
+                      NatBehaviour.ADDRESS_DEPENDENT)),
+    ("Both endpoints firewalled (worst case)",
+     SimulatedNetwork(NatBehaviour.BLOCKED, NatBehaviour.BLOCKED)),
+]
+
+
+def main() -> None:
+    for label, network in SCENARIOS:
+        outcome = run_ice(network, seed=1)
+        pair = outcome.nominated
+        path = "-"
+        if pair is not None:
+            path = (f"{pair.local.candidate_type.value} "
+                    f"{pair.local.ip}:{pair.local.port} -> "
+                    f"{pair.remote.candidate_type.value} "
+                    f"{pair.remote.ip}:{pair.remote.port}")
+        print(f"{label}")
+        print(f"  checks sent: {outcome.checks_sent}  "
+              f"succeeded: {outcome.succeeded}  failed: {outcome.failed}")
+        print(f"  outcome: {outcome.mode.upper()}  via {path}\n")
+
+    print("This is exactly Figure 1 of the paper: when direct checks fail,")
+    print("the session falls back to the TURN relay — and that decision is")
+    print("what flips each application into the behaviours the compliance")
+    print("study measures in relay mode.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: measure protocol compliance for one simulated RTC call.
+
+Runs the full pipeline for a single experiment cell — simulate a Zoom call
+over relay-mode Wi-Fi, filter the unrelated traffic, extract every protocol
+message with the DPI engine, and judge each message against the
+five-criterion compliance model.
+"""
+
+from repro import ExperimentConfig, NetworkCondition, run_experiment
+
+
+def main() -> None:
+    aggregate = run_experiment(
+        "zoom",
+        NetworkCondition.WIFI_RELAY,
+        ExperimentConfig(call_duration=30.0, media_scale=0.5, seed=42),
+    )
+
+    summary = aggregate.summary
+    print(f"== {summary.app} over wifi_relay ==")
+    print(f"raw UDP datagrams:      {aggregate.raw.udp_packets}")
+    print(f"kept after filtering:   {aggregate.kept.udp_packets} "
+          f"(precision {aggregate.filter_precision:.3f}, "
+          f"recall {aggregate.filter_recall:.3f})")
+
+    print("\nDatagram classes (Figure 3 view):")
+    total = sum(aggregate.class_counts.values())
+    for cls, count in aggregate.class_counts.items():
+        print(f"  {cls.value:<20} {count:6d}  ({count / total * 100:5.1f}%)")
+
+    print(f"\nVolume compliance: {summary.volume.ratio * 100:.2f}%")
+    for protocol, volume in summary.volume_by_protocol.items():
+        print(f"  {protocol:<10} {volume.ratio * 100:6.2f}%  "
+              f"({volume.compliant}/{volume.total} messages)")
+
+    compliant, total_types = summary.type_ratio()
+    print(f"\nMessage-type compliance: {compliant}/{total_types}")
+    for entry in sorted(summary.types.values(),
+                        key=lambda e: (e.protocol, e.type_label)):
+        marker = "ok " if entry.compliant else "BAD"
+        print(f"  [{marker}] {entry.protocol:<10} type {entry.type_label:<12} "
+              f"({entry.total} messages)")
+        for example in entry.example_violations[:1]:
+            print(f"        {example}")
+
+
+if __name__ == "__main__":
+    main()

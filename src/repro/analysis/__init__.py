@@ -1,0 +1,11 @@
+"""Stream-quality analytics over extracted RTP/RTCP messages.
+
+The measurement studies the paper cites (and contrasts itself against)
+compute loss, jitter and bitrate; having them here makes the library a
+complete passive RTC analysis toolkit rather than a compliance checker
+only.
+"""
+
+from repro.analysis.quality import RtpStreamQuality, analyze_rtp_quality
+
+__all__ = ["RtpStreamQuality", "analyze_rtp_quality"]

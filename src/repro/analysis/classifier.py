@@ -1,0 +1,167 @@
+"""Application fingerprinting from protocol-compliance signatures.
+
+The paper's operator-facing motivation: proprietary deviations "blind
+measurement and security tools".  Turned around, those same deviations are
+*fingerprints* — each studied application modifies the protocols in a
+unique way.  This classifier scores an unlabeled trace against the quirk
+inventory of §5.2/§5.3 and names the application.
+
+Signals used (all derived from DPI output, no ports or IPs):
+
+- Zoom: SFU headers with 0x00/0x04 direction bytes, 1000-byte fillers,
+  fixed SSRC prefix 0x10004xx, classic STUN with attribute 0x0101;
+- FaceTime: 0x6000 relay headers, 0xDEADBEEFCAFE beacons, undefined RTP
+  extension profiles 0x8001/0x8500/0x8D00, QUIC alongside RTP;
+- WhatsApp: STUN types 0x0803-0x0805 and the 0x0801 burst;
+- Messenger: the Meta 0x0801 burst plus a full TURN control plane;
+- Discord: RTCP 3-byte direction trailers, no STUN at all;
+- Google Meet: GOOG-PING (0x0200/0x0300), SRTCP with/without tags,
+  ChannelData-wrapped media.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dpi.messages import DatagramAnalysis, DatagramClass, Protocol
+from repro.protocols.stun.message import ChannelData, StunMessage
+
+FACETIME_BEACON = bytes.fromhex("DEADBEEFCAFE")
+UNDEFINED_FT_PROFILES = {0x8001, 0x8500, 0x8D00}
+
+
+@dataclass
+class FingerprintScores:
+    """Per-app evidence scores for one trace."""
+
+    scores: Dict[str, float] = field(default_factory=dict)
+    evidence: Dict[str, List[str]] = field(default_factory=dict)
+
+    def add(self, app: str, weight: float, reason: str) -> None:
+        self.scores[app] = self.scores.get(app, 0.0) + weight
+        self.evidence.setdefault(app, []).append(reason)
+
+    @property
+    def best(self) -> Optional[str]:
+        if not self.scores:
+            return None
+        return max(self.scores, key=self.scores.get)
+
+    @property
+    def confident(self) -> bool:
+        """True when the winner leads the runner-up by 2x."""
+        ranked = sorted(self.scores.values(), reverse=True)
+        if not ranked:
+            return False
+        if len(ranked) == 1:
+            return ranked[0] > 0
+        return ranked[0] >= 2 * ranked[1] and ranked[0] > 0
+
+
+def classify_application(analyses: Sequence[DatagramAnalysis]) -> FingerprintScores:
+    """Score the §5.2/§5.3 quirk signatures over one trace's DPI output."""
+    scores = FingerprintScores()
+    stun_types: Counter = Counter()
+    rtcp_trailer3 = 0
+    rtcp_srtcp = 0
+    rtcp_total = 0
+    rtp_ft_profiles = 0
+    rtp_total = 0
+    channel_wrapped = 0
+    quic_seen = False
+    zoom_headers = 0
+    facetime_headers = 0
+    fillers = 0
+    beacons = 0
+    zoom_ssrc_prefix = 0
+    classic_0101_attr = 0
+    goog_ping = 0
+
+    for analysis in analyses:
+        payload = analysis.record.payload
+        header = analysis.proprietary_header
+        if header:
+            if len(header) >= 24 and header[0] in (0, 1, 4, 5) and header[1] == 0x64:
+                zoom_headers += 1
+            elif header.startswith(b"\x60\x00"):
+                facetime_headers += 1
+        if analysis.classification is DatagramClass.FULLY_PROPRIETARY:
+            if len(payload) == 1000 and len(set(payload)) == 1:
+                fillers += 1
+            elif payload.startswith(FACETIME_BEACON):
+                beacons += 1
+        for extracted in analysis.messages:
+            message = extracted.message
+            if extracted.protocol is Protocol.STUN_TURN:
+                if isinstance(message, ChannelData):
+                    channel_wrapped += 1
+                    continue
+                stun_types[message.msg_type] += 1
+                if message.msg_type in (0x0200, 0x0300):
+                    goog_ping += 1
+                if message.classic and message.attribute(0x0101) is not None:
+                    classic_0101_attr += 1
+            elif extracted.protocol is Protocol.RTP:
+                rtp_total += 1
+                if (message.ssrc >> 12) == 0x1000 or (message.ssrc >> 12) == 0x1001:
+                    zoom_ssrc_prefix += 1
+                extension = message.extension
+                if extension is not None and extension.profile in UNDEFINED_FT_PROFILES:
+                    rtp_ft_profiles += 1
+            elif extracted.protocol is Protocol.RTCP:
+                rtcp_total += 1
+                if len(extracted.trailer) == 3:
+                    rtcp_trailer3 += 1
+                elif len(extracted.trailer) in (4, 14):
+                    rtcp_srtcp += 1
+            elif extracted.protocol is Protocol.QUIC:
+                quic_seen = True
+
+    # --- Zoom ---------------------------------------------------------------
+    if zoom_headers > 10:
+        scores.add("zoom", 3.0, f"{zoom_headers} SFU-style proprietary headers")
+    if fillers > 5:
+        scores.add("zoom", 2.0, f"{fillers} 1000-byte filler datagrams")
+    if rtp_total and zoom_ssrc_prefix / rtp_total > 0.5:
+        scores.add("zoom", 1.0, "deterministic 0x100xxxx SSRC block")
+    if classic_0101_attr:
+        scores.add("zoom", 1.0, "classic STUN with proprietary attribute 0x0101")
+
+    # --- FaceTime -----------------------------------------------------------
+    if facetime_headers > 10:
+        scores.add("facetime", 2.0, f"{facetime_headers} 0x6000 relay headers")
+    if beacons > 5:
+        scores.add("facetime", 2.0, f"{beacons} 0xDEADBEEFCAFE beacons")
+    if rtp_total and rtp_ft_profiles / rtp_total > 0.5:
+        scores.add("facetime", 2.0,
+                   "undefined RTP extension profiles on all media")
+    if quic_seen and rtp_total:
+        scores.add("facetime", 1.0, "QUIC next to RTP media")
+
+    # --- Meta apps ----------------------------------------------------------
+    burst = stun_types.get(0x0801, 0) and stun_types.get(0x0802, 0)
+    if burst:
+        if any(stun_types.get(t) for t in (0x0803, 0x0804, 0x0805)):
+            scores.add("whatsapp", 3.0, "0x0801 burst plus 0x0803-0x0805 probes")
+        turn_plane = sum(
+            stun_types.get(t, 0) for t in (0x0009, 0x0109, 0x0016, 0x0118)
+        )
+        if turn_plane:
+            scores.add("messenger", 3.0, "0x0801 burst plus full TURN control plane")
+
+    # --- Discord ------------------------------------------------------------
+    if rtcp_total and rtcp_trailer3 / rtcp_total > 0.5 and not stun_types:
+        scores.add("discord", 3.0,
+                   "3-byte RTCP direction trailers and no STUN at all")
+
+    # --- Google Meet ----------------------------------------------------------
+    if goog_ping:
+        scores.add("meet", 2.0, f"{goog_ping} GOOG-PING messages")
+    if rtcp_total and rtcp_srtcp / rtcp_total > 0.5 and goog_ping:
+        scores.add("meet", 1.0, "SRTCP-framed control traffic")
+    if channel_wrapped > 50 and goog_ping:
+        scores.add("meet", 1.0, "media in ChannelData frames")
+
+    return scores

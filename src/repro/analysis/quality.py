@@ -1,0 +1,129 @@
+"""Per-stream RTP quality metrics: loss, reordering, jitter, bitrate.
+
+Loss and reordering follow RFC 3550 appendix A.1's extended-sequence-number
+bookkeeping; interarrival jitter is the appendix A.8 estimator evaluated
+over capture timestamps.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dpi.messages import ExtractedMessage, Protocol
+
+
+@dataclass
+class RtpStreamQuality:
+    """Quality summary for one (flow, SSRC) RTP stream."""
+
+    ssrc: int
+    payload_types: Tuple[int, ...]
+    packets: int
+    expected: int
+    lost: int
+    reordered: int
+    duplicate: int
+    jitter_seconds: float
+    duration: float
+    bytes_received: int
+
+    @property
+    def loss_rate(self) -> float:
+        return self.lost / self.expected if self.expected else 0.0
+
+    @property
+    def bitrate_bps(self) -> float:
+        return 8 * self.bytes_received / self.duration if self.duration else 0.0
+
+    @property
+    def packet_rate(self) -> float:
+        return self.packets / self.duration if self.duration else 0.0
+
+
+def analyze_rtp_quality(
+    messages: Sequence[ExtractedMessage],
+    clock_rate: int = 90000,
+) -> Dict[Tuple[tuple, int], RtpStreamQuality]:
+    """Compute quality metrics for every RTP stream among *messages*.
+
+    Returns ``{(flow_key, ssrc): RtpStreamQuality}``.  ``clock_rate`` is
+    needed to convert RTP timestamps for the jitter estimator; passive
+    observers guess it from the payload type in practice.
+    """
+    groups: Dict[Tuple[tuple, int], List[ExtractedMessage]] = defaultdict(list)
+    for extracted in messages:
+        if extracted.protocol is Protocol.RTP:
+            groups[(extracted.stream_key, extracted.message.ssrc)].append(extracted)
+
+    out: Dict[Tuple[tuple, int], RtpStreamQuality] = {}
+    for key, group in groups.items():
+        group.sort(key=lambda m: m.timestamp)
+        out[key] = _analyze_group(key[1], group, clock_rate)
+    return out
+
+
+def _analyze_group(
+    ssrc: int, group: Sequence[ExtractedMessage], clock_rate: int
+) -> RtpStreamQuality:
+    # Extended sequence numbers (RFC 3550 A.1): unwrap 16-bit wraparound.
+    cycles = 0
+    previous_seq = None
+    extended: List[int] = []
+    payload_types = set()
+    bytes_received = 0
+    for extracted in group:
+        packet = extracted.message
+        payload_types.add(packet.payload_type)
+        bytes_received += len(packet.payload)
+        seq = packet.sequence_number
+        if previous_seq is not None and seq < previous_seq and previous_seq - seq > 0x8000:
+            cycles += 1 << 16
+        extended.append(cycles + seq)
+        previous_seq = seq
+
+    seen = set()
+    duplicate = 0
+    reordered = 0
+    highest = extended[0]
+    for ext_seq in extended:
+        if ext_seq in seen:
+            duplicate += 1
+            continue
+        seen.add(ext_seq)
+        if ext_seq < highest:
+            reordered += 1
+        highest = max(highest, ext_seq)
+
+    base = min(seen)
+    expected = highest - base + 1
+    received_unique = len(seen)
+    lost = max(0, expected - received_unique)
+
+    # Interarrival jitter (RFC 3550 A.8), in seconds.
+    jitter = 0.0
+    previous: Tuple[float, float] = None
+    for extracted in group:
+        arrival = extracted.timestamp
+        rtp_time = extracted.message.timestamp / clock_rate
+        if previous is not None:
+            transit = arrival - rtp_time
+            prev_transit = previous[0] - previous[1]
+            d = abs(transit - prev_transit)
+            jitter += (d - jitter) / 16.0
+        previous = (arrival, rtp_time)
+
+    duration = group[-1].timestamp - group[0].timestamp
+    return RtpStreamQuality(
+        ssrc=ssrc,
+        payload_types=tuple(sorted(payload_types)),
+        packets=len(group),
+        expected=expected,
+        lost=lost,
+        reordered=reordered,
+        duplicate=duplicate,
+        jitter_seconds=jitter,
+        duration=duration,
+        bytes_received=bytes_received,
+    )

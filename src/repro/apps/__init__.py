@@ -1,0 +1,62 @@
+"""Application traffic emulators.
+
+These replace the paper's iPhone captures of six closed-source apps.  Each
+simulator synthesizes a full 1-on-1 call trace at the UDP/TCP payload level,
+byte-for-byte reproducing the protocol quirks the paper documents in
+Sections 5.2 and 5.3, plus realistic background noise for the filtering
+pipeline to remove.
+"""
+
+from repro.apps.base import (
+    AppSimulator,
+    CallConfig,
+    NetworkCondition,
+    Trace,
+    TransmissionMode,
+)
+from repro.apps.background import BackgroundNoiseGenerator, DEFAULT_SNI_BLOCKLIST
+from repro.apps.discord import DiscordSimulator
+from repro.apps.facetime import FaceTimeSimulator
+from repro.apps.meet import GoogleMeetSimulator
+from repro.apps.messenger import MessengerSimulator
+from repro.apps.whatsapp import WhatsAppSimulator
+from repro.apps.zoom import ZoomSimulator
+
+SIMULATORS = {
+    "zoom": ZoomSimulator,
+    "facetime": FaceTimeSimulator,
+    "whatsapp": WhatsAppSimulator,
+    "messenger": MessengerSimulator,
+    "discord": DiscordSimulator,
+    "meet": GoogleMeetSimulator,
+}
+
+APP_NAMES = tuple(SIMULATORS)
+
+
+def get_simulator(app: str) -> AppSimulator:
+    """Instantiate the simulator for *app* (one of :data:`APP_NAMES`)."""
+    try:
+        return SIMULATORS[app]()
+    except KeyError:
+        raise ValueError(f"unknown app {app!r}; expected one of {APP_NAMES}") from None
+
+
+__all__ = [
+    "AppSimulator",
+    "CallConfig",
+    "NetworkCondition",
+    "Trace",
+    "TransmissionMode",
+    "BackgroundNoiseGenerator",
+    "DEFAULT_SNI_BLOCKLIST",
+    "DiscordSimulator",
+    "FaceTimeSimulator",
+    "GoogleMeetSimulator",
+    "MessengerSimulator",
+    "WhatsAppSimulator",
+    "ZoomSimulator",
+    "SIMULATORS",
+    "APP_NAMES",
+    "get_simulator",
+]

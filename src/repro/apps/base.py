@@ -1,0 +1,341 @@
+"""Shared infrastructure for application call simulators.
+
+A simulator produces a :class:`Trace`: every packet the capture device would
+record during one experiment — pre-call app startup, the 5-minute (scaled)
+call, post-call tail, plus background noise.  All packets carry ground-truth
+labels so filter precision/recall can be measured, which the paper could not
+do for closed-source applications.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.packets.packet import Direction, PacketRecord, TrafficCategory, Truth
+from repro.protocols.rtp.extensions import HeaderExtension
+from repro.protocols.rtp.header import RtpPacket
+from repro.protocols.rtcp.packets import (
+    ReceiverReport,
+    ReportBlock,
+    RtcpPacket,
+    SdesChunk,
+    SdesItem,
+    SdesPacket,
+    SenderReport,
+)
+from repro.streams.timeline import CallWindow
+from repro.utils.rand import DeterministicRandom, derive
+
+
+class NetworkCondition(enum.Enum):
+    """The three network configurations of the experiment matrix (§3.1.1)."""
+
+    WIFI_P2P = "wifi_p2p"
+    WIFI_RELAY = "wifi_relay"
+    CELLULAR = "cellular"
+
+    @property
+    def is_wifi(self) -> bool:
+        return self in (NetworkCondition.WIFI_P2P, NetworkCondition.WIFI_RELAY)
+
+
+class TransmissionMode(enum.Enum):
+    P2P = "p2p"
+    RELAY = "relay"
+
+
+@dataclass(frozen=True)
+class CallConfig:
+    """Parameters of one simulated call experiment.
+
+    ``participants`` extends the paper's 1-on-1 scope (its declared future
+    work): SFU-based applications (Zoom, Google Meet, Discord) fan in one
+    additional inbound audio+video stream pair per extra participant.  The
+    P2P-oriented simulators reject group configurations explicitly.
+    """
+
+    network: NetworkCondition
+    seed: int = 0
+    call_index: int = 0
+    call_duration: float = 30.0   # paper: 300 s; scaled down for laptop runs
+    media_scale: float = 1.0      # multiplier on media packet rates
+    include_background: bool = True
+    participants: int = 2
+
+    def __post_init__(self) -> None:
+        if self.participants < 2:
+            raise ValueError("a call needs at least 2 participants")
+
+    @property
+    def extra_participants(self) -> int:
+        return self.participants - 2
+
+    def window(self) -> CallWindow:
+        pre = min(60.0, max(10.0, self.call_duration / 3))
+        post = pre
+        return CallWindow(
+            capture_start=0.0,
+            call_start=pre,
+            call_end=pre + self.call_duration,
+            capture_end=pre + self.call_duration + post,
+        )
+
+
+@dataclass
+class Trace:
+    """The output of one simulated experiment."""
+
+    app: str
+    config: CallConfig
+    window: CallWindow
+    records: List[PacketRecord] = field(default_factory=list)
+    mode_timeline: List[Tuple[float, TransmissionMode]] = field(default_factory=list)
+
+    def sort(self) -> None:
+        self.records.sort(key=lambda r: r.timestamp)
+
+    @property
+    def udp_records(self) -> List[PacketRecord]:
+        return [r for r in self.records if r.transport == "UDP"]
+
+    @property
+    def tcp_records(self) -> List[PacketRecord]:
+        return [r for r in self.records if r.transport == "TCP"]
+
+    def rtc_truth(self) -> List[PacketRecord]:
+        """Ground-truth RTC packets (what a perfect filter would keep)."""
+        return [r for r in self.records if r.truth is not None and r.truth.is_rtc]
+
+
+@dataclass
+class Endpoint:
+    ip: str
+    port: int
+
+    def as_tuple(self) -> Tuple[str, int]:
+        return (self.ip, self.port)
+
+
+#: Device/infrastructure addressing shared by all simulators.
+DEVICE_WIFI_IP = "192.168.1.23"
+PEER_WIFI_IP = "192.168.1.57"
+DEVICE_CELL_IP = "10.120.14.5"      # carrier CGNAT address
+PEER_CELL_PUBLIC_IP = "172.58.96.41"
+ROUTER_IP = "192.168.1.1"
+DEVICE_LINK_LOCAL = "fe80::1c2d:3e4f:5a6b:7c8d"
+
+
+class RtpStreamState:
+    """Sequence/timestamp bookkeeping for one outgoing RTP stream."""
+
+    def __init__(
+        self,
+        ssrc: int,
+        payload_type: int,
+        clock_rate: int,
+        rng: DeterministicRandom,
+        start_seq: Optional[int] = None,
+        start_ts: Optional[int] = None,
+    ):
+        self.ssrc = ssrc
+        self.payload_type = payload_type
+        self.clock_rate = clock_rate
+        self.seq = start_seq if start_seq is not None else rng.u16()
+        self.rtp_ts = start_ts if start_ts is not None else rng.u32()
+        self.packet_count = 0
+        self.octet_count = 0
+
+    def next_packet(
+        self,
+        payload: bytes,
+        ts_increment: int,
+        marker: bool = False,
+        extension: Optional[HeaderExtension] = None,
+        payload_type: Optional[int] = None,
+    ) -> RtpPacket:
+        packet = RtpPacket(
+            payload_type=self.payload_type if payload_type is None else payload_type,
+            sequence_number=self.seq,
+            timestamp=self.rtp_ts,
+            ssrc=self.ssrc,
+            payload=payload,
+            marker=marker,
+            extension=extension,
+        )
+        self.seq = (self.seq + 1) & 0xFFFF
+        self.rtp_ts = (self.rtp_ts + ts_increment) & 0xFFFFFFFF
+        self.packet_count += 1
+        self.octet_count += len(payload)
+        return packet
+
+
+WrapFn = Callable[[bytes, Direction, int], bytes]
+ExtensionFn = Callable[[int, DeterministicRandom], Optional[HeaderExtension]]
+
+
+class AppSimulator(abc.ABC):
+    """Base class for per-application call simulators."""
+
+    #: Application name, e.g. ``"zoom"``; set by subclasses.
+    name: str = ""
+
+    @abc.abstractmethod
+    def simulate(self, config: CallConfig) -> Trace:
+        """Produce the full experiment trace for *config*."""
+
+    # -- common helpers ------------------------------------------------------
+
+    def rng_for(self, config: CallConfig, label: str) -> DeterministicRandom:
+        return derive(config.seed, f"{self.name}/{config.network.value}/{config.call_index}/{label}")
+
+    def device_ip(self, config: CallConfig) -> str:
+        if config.network is NetworkCondition.CELLULAR:
+            return DEVICE_CELL_IP
+        return DEVICE_WIFI_IP
+
+    def peer_device_ip(self, config: CallConfig) -> str:
+        if config.network is NetworkCondition.CELLULAR:
+            return PEER_CELL_PUBLIC_IP
+        return PEER_WIFI_IP
+
+    def truth(self, category: TrafficCategory, detail: str = "") -> Truth:
+        return Truth(category=category, app=self.name, detail=detail)
+
+    def media_truth(self, detail: str = "") -> Truth:
+        return self.truth(TrafficCategory.RTC_MEDIA, detail)
+
+    def control_truth(self, detail: str = "") -> Truth:
+        return self.truth(TrafficCategory.RTC_CONTROL, detail)
+
+    def packet(
+        self,
+        timestamp: float,
+        device: Endpoint,
+        remote: Endpoint,
+        payload: bytes,
+        direction: Direction,
+        truth: Truth,
+        transport: str = "UDP",
+    ) -> PacketRecord:
+        """Build a record from the capture device's vantage point."""
+        if direction is Direction.OUTBOUND:
+            src, dst = device, remote
+        else:
+            src, dst = remote, device
+        return PacketRecord(
+            timestamp=timestamp,
+            src_ip=src.ip,
+            src_port=src.port,
+            dst_ip=dst.ip,
+            dst_port=dst.port,
+            transport=transport,
+            payload=payload,
+            direction=direction,
+            truth=truth,
+        )
+
+    def emit_rtp_stream(
+        self,
+        records: List[PacketRecord],
+        *,
+        t0: float,
+        t1: float,
+        pps: float,
+        state: RtpStreamState,
+        device: Endpoint,
+        remote: Endpoint,
+        direction: Direction,
+        rng: DeterministicRandom,
+        payload_size: Tuple[int, int],
+        truth: Truth,
+        wrap: Optional[WrapFn] = None,
+        extension_fn: Optional[ExtensionFn] = None,
+        marker_every: int = 0,
+    ) -> int:
+        """Emit an RTP stream at *pps* packets/second between t0 and t1.
+
+        Returns the number of packets emitted.  ``wrap`` post-processes the
+        built RTP bytes into the final datagram payload (proprietary headers,
+        TURN encapsulation...); ``extension_fn`` supplies per-packet RFC 8285
+        header extensions.
+        """
+        if pps <= 0 or t1 <= t0:
+            return 0
+        interval = 1.0 / pps
+        ts_increment = max(1, int(state.clock_rate / pps))
+        count = 0
+        t = t0 + rng.uniform(0, interval)
+        index = 0
+        while t < t1:
+            size = rng.randint(*payload_size)
+            extension = extension_fn(index, rng) if extension_fn else None
+            marker = bool(marker_every and index % marker_every == 0)
+            packet = state.next_packet(
+                payload=rng.rand_bytes(size),
+                ts_increment=ts_increment,
+                marker=marker,
+                extension=extension,
+            )
+            raw = packet.build()
+            if wrap is not None:
+                raw = wrap(raw, direction, index)
+            records.append(self.packet(t, device, remote, raw, direction, truth))
+            t += rng.jitter(interval, 0.05)
+            index += 1
+            count += 1
+        return count
+
+    def make_sender_report(
+        self,
+        state: RtpStreamState,
+        remote_ssrc: int,
+        rng: DeterministicRandom,
+        wall_time: float,
+    ) -> RtcpPacket:
+        """A plausible SR reflecting the stream's counters."""
+        ntp = int((wall_time + 2208988800.0) * (1 << 32)) & 0xFFFFFFFFFFFFFFFF
+        block = ReportBlock(
+            ssrc=remote_ssrc,
+            fraction_lost=rng.randint(0, 5),
+            cumulative_lost=rng.randint(0, 50),
+            highest_seq=state.seq,
+            jitter=rng.randint(0, 400),
+            lsr=rng.u32() & 0xFFFF0000,
+            dlsr=rng.randint(0, 65536),
+        )
+        return SenderReport(
+            ssrc=state.ssrc,
+            ntp_timestamp=ntp,
+            rtp_timestamp=state.rtp_ts,
+            packet_count=state.packet_count,
+            octet_count=state.octet_count,
+            report_blocks=[block],
+        ).to_packet()
+
+    def make_receiver_report(
+        self, ssrc: int, remote_ssrc: int, rng: DeterministicRandom
+    ) -> RtcpPacket:
+        block = ReportBlock(
+            ssrc=remote_ssrc,
+            fraction_lost=rng.randint(0, 5),
+            cumulative_lost=rng.randint(0, 50),
+            highest_seq=rng.u16(),
+            jitter=rng.randint(0, 400),
+            lsr=rng.u32() & 0xFFFF0000,
+            dlsr=rng.randint(0, 65536),
+        )
+        return ReceiverReport(ssrc=ssrc, report_blocks=[block]).to_packet()
+
+    def make_sdes(self, ssrc: int, cname: str) -> RtcpPacket:
+        return SdesPacket(
+            chunks=[SdesChunk(ssrc=ssrc, items=[SdesItem(1, cname.encode("ascii"))])]
+        ).to_packet()
+
+
+def merge_traces(trace: Trace, extra_records: Iterable[PacketRecord]) -> None:
+    """Append *extra_records* (e.g. background noise) into *trace* and re-sort."""
+    trace.records.extend(extra_records)
+    trace.sort()

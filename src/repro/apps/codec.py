@@ -1,0 +1,184 @@
+"""Codec traffic models: what media streams look like on the wire.
+
+Standalone generators for realistic RTP payload schedules:
+
+- :class:`OpusTalkspurtModel` — voice with a two-state (talk/silence)
+  Markov process and DTX comfort-noise frames during silence, matching how
+  Opus-with-DTX traffic appears in captures;
+- :class:`VideoGopModel` — video with a group-of-pictures structure:
+  periodic large keyframes fragmented across several packets, smaller
+  delta frames in between, and a slowly varying target bitrate.
+
+The six application simulators deliberately use simple uniform payload
+models (their job is protocol structure, and the paper's findings do not
+depend on media statistics); these models exist for workloads that need
+realistic rate dynamics — bandwidth-estimation experiments, quality
+analytics tests, or richer synthetic datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.utils.rand import DeterministicRandom
+
+
+@dataclass(frozen=True)
+class MediaPacket:
+    """One scheduled RTP payload: relative time, size, marker flag."""
+
+    offset: float
+    size: int
+    marker: bool
+
+
+class OpusTalkspurtModel:
+    """Voice traffic with talkspurts, pauses, and DTX comfort noise.
+
+    During a talkspurt a 20 ms frame is emitted per tick; during silence,
+    DTX sends a small comfort-noise frame every 400 ms.  Spurt and pause
+    durations are exponential, matching classic voice-activity models
+    (Brady's on/off telephone conversation model).
+    """
+
+    def __init__(
+        self,
+        rng: DeterministicRandom,
+        frame_interval: float = 0.02,
+        talk_mean: float = 1.2,
+        silence_mean: float = 0.8,
+        frame_size: Tuple[int, int] = (60, 140),
+        dtx_interval: float = 0.4,
+        dtx_size: int = 8,
+    ):
+        self._rng = rng
+        self._frame_interval = frame_interval
+        self._talk_mean = talk_mean
+        self._silence_mean = silence_mean
+        self._frame_size = frame_size
+        self._dtx_interval = dtx_interval
+        self._dtx_size = dtx_size
+
+    def schedule(self, duration: float) -> List[MediaPacket]:
+        packets: List[MediaPacket] = []
+        t = 0.0
+        talking = self._rng.random() < 0.6
+        while t < duration:
+            state_len = self._rng.expovariate(
+                1.0 / (self._talk_mean if talking else self._silence_mean)
+            )
+            state_end = min(duration, t + state_len)
+            if talking:
+                first = True
+                while t < state_end:
+                    packets.append(
+                        MediaPacket(
+                            offset=t,
+                            size=self._rng.randint(*self._frame_size),
+                            marker=first,  # marker starts a talkspurt (RFC 3551)
+                        )
+                    )
+                    first = False
+                    t += self._frame_interval
+            else:
+                while t < state_end:
+                    packets.append(
+                        MediaPacket(offset=t, size=self._dtx_size, marker=False)
+                    )
+                    t += self._dtx_interval
+                t = state_end
+            talking = not talking
+        return packets
+
+
+class VideoGopModel:
+    """Video traffic with keyframes, delta frames and fragmentation.
+
+    Every ``gop_frames``-th frame is a keyframe roughly ``keyframe_ratio``
+    times the size of a delta frame.  Frames larger than ``mtu_payload``
+    fragment into multiple packets; the last packet of each frame carries
+    the RTP marker (end-of-frame, RFC 6184-style).  The target bitrate
+    performs a bounded random walk to mimic encoder rate adaptation.
+    """
+
+    def __init__(
+        self,
+        rng: DeterministicRandom,
+        fps: float = 30.0,
+        target_bps: int = 1_200_000,
+        gop_frames: int = 60,
+        keyframe_ratio: float = 6.0,
+        mtu_payload: int = 1150,
+        adaptation: float = 0.1,
+    ):
+        self._rng = rng
+        self._fps = fps
+        self._target_bps = target_bps
+        self._gop = gop_frames
+        self._keyframe_ratio = keyframe_ratio
+        self._mtu = mtu_payload
+        self._adaptation = adaptation
+
+    def schedule(self, duration: float) -> List[MediaPacket]:
+        packets: List[MediaPacket] = []
+        frame_interval = 1.0 / self._fps
+        bitrate = float(self._target_bps)
+        # Size budget: keyframes take keyframe_ratio shares, deltas one.
+        shares = self._keyframe_ratio + (self._gop - 1)
+        frame_index = 0
+        t = 0.0
+        while t < duration:
+            gop_bytes = bitrate / 8.0 * (self._gop / self._fps)
+            is_key = frame_index % self._gop == 0
+            share = self._keyframe_ratio if is_key else 1.0
+            frame_bytes = max(64, int(gop_bytes * share / shares
+                                      * self._rng.uniform(0.85, 1.15)))
+            remaining = frame_bytes
+            while remaining > 0:
+                size = min(self._mtu, remaining)
+                remaining -= size
+                packets.append(
+                    MediaPacket(offset=t, size=size, marker=remaining == 0)
+                )
+            # Encoder rate adaptation: bounded multiplicative random walk.
+            bitrate *= 1.0 + self._rng.uniform(-self._adaptation,
+                                               self._adaptation) / self._fps
+            bitrate = min(max(bitrate, self._target_bps * 0.5),
+                          self._target_bps * 1.5)
+            frame_index += 1
+            t += frame_interval
+        return packets
+
+
+def schedule_to_rtp(
+    schedule: List[MediaPacket],
+    ssrc: int,
+    payload_type: int,
+    clock_rate: int,
+    rng: DeterministicRandom,
+    start_time: float = 0.0,
+) -> List[Tuple[float, bytes]]:
+    """Turn a media schedule into (wall time, RTP packet bytes) pairs.
+
+    Packets of one frame share an RTP timestamp; the timestamp advances
+    with the frame clock, as real encoders do.
+    """
+    from repro.protocols.rtp.header import RtpPacket
+
+    out: List[Tuple[float, bytes]] = []
+    seq = rng.u16()
+    base_ts = rng.u32()
+    for packet in schedule:
+        rtp_ts = (base_ts + int(packet.offset * clock_rate)) & 0xFFFFFFFF
+        raw = RtpPacket(
+            payload_type=payload_type,
+            sequence_number=seq,
+            timestamp=rtp_ts,
+            ssrc=ssrc,
+            payload=rng.rand_bytes(packet.size),
+            marker=packet.marker,
+        ).build()
+        out.append((start_time + packet.offset, raw))
+        seq = (seq + 1) & 0xFFFF
+    return out

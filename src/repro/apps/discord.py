@@ -1,0 +1,226 @@
+"""Discord call simulator.
+
+Reproduces the Discord behaviours documented in the paper:
+
+- RTP and RTCP only — no STUN/TURN at all; media always flows through
+  Discord's relay infrastructure in every network configuration;
+- one-byte (0xBEDE) RTP header extensions whose element ID is 0 but whose
+  length field is non-zero, violating RFC 8285 padding semantics (~4.91%
+  of RTP messages, payload types 96/101/102);
+- undefined header-extension profiles in the 0x0084-0xFBD2 range,
+  exclusively on payload type 120 (~2.58% of RTP messages);
+- RTCP bodies encrypted with a proprietary (non-SRTCP) scheme; every RTCP
+  message ends with a 3-byte trailer — a 2-byte monotonic counter plus a
+  direction byte (0x80 client→server, 0x00 server→client) undefined in
+  any RTCP specification;
+- sender SSRC = 0 in ~25% of Transport Layer Feedback (205) messages;
+- small fully proprietary keepalive datagrams (~0.7% of traffic).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.apps.base import (
+    AppSimulator,
+    CallConfig,
+    Direction,
+    Endpoint,
+    RtpStreamState,
+    Trace,
+    TransmissionMode,
+)
+from repro.apps.background import BackgroundNoiseGenerator
+from repro.apps.signaling import signaling_flows
+from repro.protocols.rtcp.packets import RtcpHeader, RtcpPacket
+from repro.protocols.rtp.extensions import HeaderExtension, build_one_byte_extension
+from repro.utils.rand import DeterministicRandom
+
+RELAY_SERVER = Endpoint("66.22.241.15", 50012)
+SIGNALING_DOMAIN = "gateway.discord.gg"
+SIGNALING_IP = "162.159.135.232"
+
+AUDIO_PT = 120
+VIDEO_PTS = (101, 102)
+PROBE_PT = 96
+
+ID_ZERO_FRACTION = 0.0491
+UNDEFINED_PROFILE_FRACTION = 0.0258
+SSRC_ZERO_FRACTION = 0.25
+RTCP_TYPES = (200, 201, 204, 205, 206)
+
+
+class DiscordSimulator(AppSimulator):
+    """Synthesizes Discord 1-on-1 call traffic."""
+
+    name = "discord"
+
+    def simulate(self, config: CallConfig) -> Trace:
+        window = config.window()
+        trace = Trace(app=self.name, config=config, window=window)
+        trace.mode_timeline.append((window.call_start, TransmissionMode.RELAY))
+
+        rng = self.rng_for(config, "main")
+        device_ip = self.device_ip(config)
+        device = Endpoint(device_ip, rng.randint(50000, 60000))
+
+        self._emit_media(trace, config, device)
+        self._emit_rtcp(trace, config, device)
+        self._emit_keepalives(trace, config, device)
+        trace.records.extend(
+            signaling_flows(
+                app=self.name,
+                domain=SIGNALING_DOMAIN,
+                server_ip=SIGNALING_IP,
+                device_ip=device_ip,
+                window=window,
+                rng=self.rng_for(config, "signaling"),
+                in_call_volume=12,
+            )
+        )
+        if config.include_background:
+            noise = BackgroundNoiseGenerator(
+                config=config, device_ip=device_ip, rng=self.rng_for(config, "noise")
+            )
+            trace.records.extend(noise.generate(window))
+        trace.sort()
+        return trace
+
+    # -- RTP -------------------------------------------------------------------
+
+    def _id_zero_extension(self, rng: DeterministicRandom) -> HeaderExtension:
+        """A 0xBEDE extension whose first element has ID 0 but length > 0."""
+        length_nibble = rng.randint(1, 3)  # declared length field > 0
+        first = bytes([length_nibble]) + rng.rand_bytes(length_nibble + 1)
+        # Follow with a well-formed element so the block looks intentional.
+        rest = bytes([(2 << 4) | 1]) + rng.rand_bytes(2)
+        data = first + rest
+        data += bytes(-len(data) % 4)
+        return HeaderExtension(profile=0xBEDE, data=data)
+
+    def _undefined_profile_extension(self, rng: DeterministicRandom) -> HeaderExtension:
+        profile = rng.randint(0x0084, 0xFBD2)
+        # Stay clear of the defined 0xBEDE / 0x100x values.
+        while profile == 0xBEDE or (profile & 0xFFF0) == 0x1000:
+            profile = rng.randint(0x0084, 0xFBD2)
+        return HeaderExtension(profile=profile, data=rng.rand_bytes(4 * rng.randint(1, 3)))
+
+    def _normal_extension(self, rng: DeterministicRandom) -> HeaderExtension:
+        return build_one_byte_extension([(1, bytes([rng.randint(0, 127)]))])
+
+    def _emit_media(self, trace, config, device) -> None:
+        rng = self.rng_for(config, "media")
+        window = trace.window
+        plans = [
+            (AUDIO_PT, Direction.OUTBOUND, 50, (70, 160), 480),
+            (AUDIO_PT, Direction.INBOUND, 50, (70, 160), 480),
+            (VIDEO_PTS[0], Direction.OUTBOUND, 80, (650, 1150), 3000),
+            (VIDEO_PTS[1], Direction.INBOUND, 80, (650, 1150), 3000),
+            (PROBE_PT, Direction.OUTBOUND, 8, (120, 300), 960),
+            (PROBE_PT, Direction.INBOUND, 8, (120, 300), 960),
+        ]
+        # Group calls: the voice server mixes in each extra participant as
+        # another inbound audio/video stream pair.
+        for _extra in range(config.extra_participants):
+            plans.append((AUDIO_PT, Direction.INBOUND, 50, (70, 160), 480))
+            plans.append((VIDEO_PTS[1], Direction.INBOUND, 80, (650, 1150), 3000))
+        for pt, direction, pps, size, ts_inc in plans:
+            pps *= config.media_scale
+            state = RtpStreamState(ssrc=rng.u32(), payload_type=pt, clock_rate=90000, rng=rng)
+            interval = 1.0 / pps
+            t = window.call_start + rng.uniform(0, interval)
+            index = 0
+            truth = self.media_truth(f"rtp-{pt}")
+            while t < window.call_end:
+                roll = rng.random()
+                if pt == AUDIO_PT and roll < UNDEFINED_PROFILE_FRACTION / 0.35:
+                    # PT 120 carries all of the undefined-profile extensions.
+                    extension = self._undefined_profile_extension(rng)
+                elif pt != AUDIO_PT and roll < ID_ZERO_FRACTION / 0.65:
+                    extension = self._id_zero_extension(rng)
+                elif rng.random() < 0.5:
+                    extension = self._normal_extension(rng)
+                else:
+                    extension = None
+                packet = state.next_packet(
+                    payload=rng.rand_bytes(rng.randint(*size)),
+                    ts_increment=ts_inc,
+                    marker=index % 20 == 0,
+                    extension=extension,
+                )
+                trace.records.append(
+                    self.packet(t, device, RELAY_SERVER, packet.build(), direction, truth)
+                )
+                t += rng.jitter(interval, 0.05)
+                index += 1
+
+    # -- RTCP -------------------------------------------------------------------
+
+    def _encrypted_rtcp(
+        self,
+        packet_type: int,
+        count: int,
+        body_words: int,
+        ssrc: int,
+        counter: int,
+        direction: Direction,
+        rng: DeterministicRandom,
+    ) -> bytes:
+        """An RTCP packet with proprietary-encrypted body and 3-byte trailer."""
+        body = ssrc.to_bytes(4, "big")
+        if packet_type == 204:
+            # The APP name field stays in the clear in Discord's scheme.
+            body += b"dsc " + rng.rand_bytes(body_words * 4 - 4)
+        else:
+            body += rng.rand_bytes(body_words * 4)
+        header = RtcpHeader(
+            version=2, padding=False, count=count,
+            packet_type=packet_type, length_words=len(body) // 4,
+        )
+        direction_byte = 0x80 if direction is Direction.OUTBOUND else 0x00
+        trailer = struct.pack("!HB", counter & 0xFFFF, direction_byte)
+        return header.build() + body + trailer
+
+    def _emit_rtcp(self, trace, config, device) -> None:
+        rng = self.rng_for(config, "rtcp")
+        window = trace.window
+        truth = self.control_truth("rtcp")
+        ssrc = rng.u32()
+        counters = {Direction.OUTBOUND: rng.randint(0, 500),
+                    Direction.INBOUND: rng.randint(0, 500)}
+        rate = 22.0 * config.media_scale
+        t = window.call_start + 0.9
+        i = 0
+        while t < window.call_end:
+            packet_type = RTCP_TYPES[i % len(RTCP_TYPES)]
+            direction = Direction.OUTBOUND if i % 2 == 0 else Direction.INBOUND
+            sender_ssrc = ssrc
+            if packet_type == 205 and rng.random() < SSRC_ZERO_FRACTION:
+                sender_ssrc = 0
+            count = {200: 1, 201: 1, 204: 3, 205: 15, 206: 1}[packet_type]
+            body_words = {200: 11, 201: 6, 204: 4, 205: 3, 206: 2}[packet_type]
+            payload = self._encrypted_rtcp(
+                packet_type, count, body_words, sender_ssrc,
+                counters[direction], direction, rng,
+            )
+            counters[direction] += 1
+            trace.records.append(
+                self.packet(t, device, RELAY_SERVER, payload, direction, truth)
+            )
+            t += rng.jitter(1.0 / max(rate, 0.5), 0.2)
+            i += 1
+
+    def _emit_keepalives(self, trace, config, device) -> None:
+        """8-byte fully proprietary keepalives (~0.7% of datagrams)."""
+        rng = self.rng_for(config, "keepalive")
+        window = trace.window
+        truth = self.control_truth("keepalive")
+        counter = rng.randint(0, 10000)
+        t = window.call_start + 0.3
+        while t < window.call_end:
+            payload = struct.pack("!II", 0x13370000, counter)
+            trace.records.append(
+                self.packet(t, device, RELAY_SERVER, payload, Direction.OUTBOUND, truth)
+            )
+            counter += 1
+            t += rng.jitter(0.8 / max(config.media_scale, 0.05), 0.2)

@@ -1,0 +1,350 @@
+"""FaceTime call simulator.
+
+Reproduces the FaceTime behaviours documented in the paper:
+
+- every RTP message carries header extensions with undefined profile
+  identifiers (0x8001, 0x8500, 0x8D00) across payload types 100, 104, 108,
+  13 and 20 — rendering all RTP non-compliant;
+- relay mode prepends an 8-19 byte proprietary header starting with the
+  fixed 2-byte value 0x6000 followed by a 2-byte total-length field to
+  89.2% of datagrams; P2P calls show fewer than 50 such headers;
+- STUN Binding Requests with the undefined attribute 0x8007 (values
+  0x00000009 everywhere, 0x00000000 on Wi-Fi P2P, 0x00000005 on cellular
+  P2P), retransmitted once per second with an unchanged transaction ID and
+  never answered;
+- ~29.4% of Binding Success Responses carry an ALTERNATE-SERVER attribute
+  with illegal address family 0x00 plus the undefined attribute 0x8008;
+- TURN Data Indications carrying an out-of-place CHANNEL-NUMBER attribute
+  with constant value 0x00000000;
+- QUIC (the only fully compliant protocol): Initial/0-RTT/Handshake long
+  headers plus short-header packets;
+- cellular calls (always P2P) interleave fully proprietary 36-byte
+  datagrams starting 0xDEADBEEFCAFE with two trailing 4-byte counters at a
+  fixed 20 packets/second.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.apps.base import (
+    AppSimulator,
+    CallConfig,
+    Direction,
+    Endpoint,
+    NetworkCondition,
+    RtpStreamState,
+    Trace,
+    TransmissionMode,
+)
+from repro.apps.background import BackgroundNoiseGenerator
+from repro.apps.signaling import signaling_flows
+from repro.protocols.quic.varint import encode_varint
+from repro.protocols.rtp.extensions import HeaderExtension
+from repro.protocols.stun.attributes import (
+    StunAttribute,
+    encode_address,
+    encode_xor_address,
+)
+from repro.protocols.stun.constants import AttributeType
+from repro.protocols.stun.message import ChannelData, StunMessage
+from repro.utils.rand import DeterministicRandom
+
+RELAY_SERVER = Endpoint("17.188.143.33", 3478)
+QUIC_SERVER = Endpoint("17.57.144.84", 443)
+SIGNALING_DOMAIN = "ids.apple.com"
+SIGNALING_IP = "17.57.12.20"
+
+UNDEFINED_EXT_PROFILES = (0x8001, 0x8500, 0x8D00)
+PAYLOAD_TYPES = {"video": 100, "audio": 104, "screen": 108, "cn": 13, "aux": 20}
+
+PROPRIETARY_MAGIC = 0x6000
+CELLULAR_BEACON_PREFIX = bytes.fromhex("DEADBEEFCAFE")
+RELAY_HEADER_FRACTION = 0.892
+
+
+class FaceTimeSimulator(AppSimulator):
+    """Synthesizes FaceTime 1-on-1 call traffic."""
+
+    name = "facetime"
+
+    def simulate(self, config: CallConfig) -> Trace:
+        if config.participants != 2:
+            raise ValueError(
+                "facetime group calls use a different media topology and are "
+                "not modelled; only 1-on-1 calls are supported"
+            )
+        window = config.window()
+        trace = Trace(app=self.name, config=config, window=window)
+        # FaceTime used P2P on cellular in the paper's measurements (§3.1.1).
+        mode = (
+            TransmissionMode.RELAY
+            if config.network is NetworkCondition.WIFI_RELAY
+            else TransmissionMode.P2P
+        )
+        trace.mode_timeline.append((window.call_start, mode))
+
+        rng = self.rng_for(config, "main")
+        device_ip = self.device_ip(config)
+        device = Endpoint(device_ip, rng.randint(50000, 60000))
+        if mode is TransmissionMode.RELAY:
+            remote = RELAY_SERVER
+        else:
+            remote = Endpoint(self.peer_device_ip(config), rng.randint(50000, 60000))
+
+        self._emit_stun_turn(trace, config, device, remote, mode)
+        self._emit_media(trace, config, device, remote, mode)
+        self._emit_quic(trace, config, device_ip)
+        if config.network is NetworkCondition.CELLULAR:
+            self._emit_cellular_beacons(trace, config, device, remote)
+        trace.records.extend(
+            signaling_flows(
+                app=self.name,
+                domain=SIGNALING_DOMAIN,
+                server_ip=SIGNALING_IP,
+                device_ip=device_ip,
+                window=window,
+                rng=self.rng_for(config, "signaling"),
+                in_call_volume=10,
+            )
+        )
+        if config.include_background:
+            noise = BackgroundNoiseGenerator(
+                config=config, device_ip=device_ip, rng=self.rng_for(config, "noise")
+            )
+            trace.records.extend(noise.generate(window))
+        trace.sort()
+        return trace
+
+    # -- framing ---------------------------------------------------------------
+
+    def _proprietary_header(self, inner_len: int, rng: DeterministicRandom) -> bytes:
+        """0x6000 ‖ u16(total remaining) ‖ 4-15 opaque bytes."""
+        extra = rng.randint(4, 15)
+        header = struct.pack("!HH", PROPRIETARY_MAGIC, extra + inner_len)
+        return header + rng.rand_bytes(extra)
+
+    def _undefined_extension(self, rng: DeterministicRandom) -> HeaderExtension:
+        profile = rng.choice(UNDEFINED_EXT_PROFILES)
+        words = rng.randint(1, 3)
+        return HeaderExtension(profile=profile, data=rng.rand_bytes(words * 4))
+
+    def _emit_media(self, trace, config, device, remote, mode) -> None:
+        rng = self.rng_for(config, "media")
+        window = trace.window
+        t0, t1 = window.call_start, window.call_end
+        relay = mode is TransmissionMode.RELAY
+        # A hard cap keeps P2P proprietary headers below 50 per call (§5.3).
+        p2p_header_budget = [rng.randint(20, 49)]
+
+        def wrap(raw: bytes, direction: Direction, index: int) -> bytes:
+            if relay:
+                if rng.random() < RELAY_HEADER_FRACTION:
+                    return self._proprietary_header(len(raw), rng) + raw
+                return raw
+            if p2p_header_budget[0] > 0 and rng.random() < 0.002:
+                p2p_header_budget[0] -= 1
+                return self._proprietary_header(len(raw), rng) + raw
+            return raw
+
+        plans = [
+            ("audio", Direction.OUTBOUND, 50, (80, 170), 480),
+            ("audio", Direction.INBOUND, 50, (80, 170), 480),
+            ("video", Direction.OUTBOUND, 95, (650, 1150), 3000),
+            ("video", Direction.INBOUND, 95, (650, 1150), 3000),
+        ]
+        for kind, direction, pps, size, ts_inc in plans:
+            pps *= config.media_scale
+            state = RtpStreamState(
+                ssrc=rng.u32(), payload_type=PAYLOAD_TYPES[kind], clock_rate=90000, rng=rng
+            )
+            aux_pts = (
+                [PAYLOAD_TYPES["cn"], PAYLOAD_TYPES["aux"]]
+                if kind == "audio"
+                else [PAYLOAD_TYPES["screen"]]
+            )
+            interval = 1.0 / pps
+            t = t0 + rng.uniform(0, interval)
+            index = 0
+            truth = self.media_truth(f"rtp-{kind}")
+            while t < t1:
+                override = None
+                if index % 53 == 7:
+                    override = aux_pts[(index // 53) % len(aux_pts)]
+                packet = state.next_packet(
+                    payload=rng.rand_bytes(rng.randint(*size)),
+                    ts_increment=ts_inc,
+                    marker=index % 12 == 0,
+                    extension=self._undefined_extension(rng),
+                    payload_type=override,
+                )
+                trace.records.append(
+                    self.packet(
+                        t, device, remote, wrap(packet.build(), direction, index),
+                        direction, truth,
+                    )
+                )
+                t += rng.jitter(interval, 0.05)
+                index += 1
+
+    # -- STUN / TURN -----------------------------------------------------------
+
+    def _emit_stun_turn(self, trace, config, device, remote, mode) -> None:
+        rng = self.rng_for(config, "stun")
+        window = trace.window
+        truth = self.control_truth("stun")
+
+        # The repeated, never-answered Binding Requests with attribute 0x8007.
+        values = [b"\x00\x00\x00\x09"]
+        if mode is TransmissionMode.P2P:
+            if config.network is NetworkCondition.CELLULAR:
+                values.append(b"\x00\x00\x00\x05")
+            else:
+                values.append(b"\x00\x00\x00\x00")
+        fixed_txid = rng.transaction_id()
+        duration = min(60.0, window.call_duration)
+        t = window.call_start + 0.2
+        second = 0
+        while t < window.call_start + duration:
+            msg = StunMessage(
+                msg_type=0x0001,
+                transaction_id=fixed_txid,
+                attributes=[StunAttribute(0x8007, values[second % len(values)])],
+            )
+            trace.records.append(
+                self.packet(t, device, remote, msg.build(), Direction.OUTBOUND, truth)
+            )
+            t += 1.0
+            second += 1
+
+        # Binding Success Responses: 29.4% with family-0x00 ALTERNATE-SERVER
+        # plus undefined 0x8008; the rest structurally fine.
+        t = window.call_start + 0.5
+        while t < window.call_end:
+            txid = rng.transaction_id()
+            if rng.random() < 0.294:
+                bad_alternate = struct.pack("!BBH", 0, 0x00, 3478) + bytes(4)
+                attrs = [
+                    StunAttribute(
+                        int(AttributeType.XOR_MAPPED_ADDRESS),
+                        encode_xor_address(device.ip, device.port, txid),
+                    ),
+                    StunAttribute(int(AttributeType.ALTERNATE_SERVER), bad_alternate),
+                    StunAttribute(0x8008, rng.rand_bytes(16)),
+                ]
+            else:
+                attrs = [
+                    StunAttribute(
+                        int(AttributeType.XOR_MAPPED_ADDRESS),
+                        encode_xor_address(device.ip, device.port, txid),
+                    )
+                ]
+            msg = StunMessage(msg_type=0x0101, transaction_id=txid, attributes=attrs)
+            trace.records.append(
+                self.packet(t, device, remote, msg.build(), Direction.INBOUND, truth)
+            )
+            t += rng.jitter(4.0, 0.2)
+
+        if mode is TransmissionMode.RELAY:
+            # Data Indications with the out-of-place CHANNEL-NUMBER attribute.
+            t = window.call_start + 1.0
+            while t < window.call_end:
+                msg = StunMessage(
+                    msg_type=0x0017,
+                    transaction_id=rng.transaction_id(),
+                    attributes=[
+                        StunAttribute(
+                            int(AttributeType.XOR_PEER_ADDRESS),
+                            encode_xor_address(
+                                self.peer_device_ip(config), 4500, bytes(12)
+                            ),
+                        ),
+                        StunAttribute(int(AttributeType.DATA), rng.rand_bytes(24)),
+                        StunAttribute(int(AttributeType.CHANNEL_NUMBER), bytes(4)),
+                    ],
+                )
+                trace.records.append(
+                    self.packet(t, device, remote, msg.build(), Direction.INBOUND, truth)
+                )
+                t += rng.jitter(6.0, 0.2)
+
+            # ChannelData frames with trailing padding bytes, which RFC 8656
+            # §12.4 forbids over UDP (non-compliant).
+            t = window.call_start + 1.5
+            while t < window.call_end:
+                frame = ChannelData(channel=0x4101, data=rng.rand_bytes(41))
+                padding = bytes(rng.randint(1, 3))
+                trace.records.append(
+                    self.packet(t, device, remote, frame.build() + padding,
+                                Direction.OUTBOUND, truth)
+                )
+                t += rng.jitter(7.0, 0.2)
+
+    # -- QUIC --------------------------------------------------------------------
+
+    def _emit_quic(self, trace, config, device_ip: str) -> None:
+        rng = self.rng_for(config, "quic")
+        window = trace.window
+        device = Endpoint(device_ip, rng.randint(50000, 60000))
+        truth = self.control_truth("quic")
+        dcid = rng.rand_bytes(8)
+        scid = rng.rand_bytes(8)
+
+        def long_packet(long_type: int, payload_len: int, token: bytes = b"") -> bytes:
+            first = 0xC0 | (long_type << 4) | 0x01  # fixed bit, 2-byte pn
+            out = bytes([first]) + struct.pack("!I", 1)
+            out += bytes([len(dcid)]) + dcid + bytes([len(scid)]) + scid
+            if long_type == 0:
+                out += encode_varint(len(token)) + token
+            out += encode_varint(payload_len) + rng.rand_bytes(payload_len)
+            return out
+
+        def short_packet(payload_len: int) -> bytes:
+            return bytes([0x41]) + dcid + rng.rand_bytes(payload_len)
+
+        t = window.call_start + 0.3
+        handshake = [
+            (Direction.OUTBOUND, long_packet(0, 1180)),             # Initial
+            (Direction.INBOUND, long_packet(0, 160, token=b"")),
+            (Direction.OUTBOUND, long_packet(1, 320)),              # 0-RTT
+            (Direction.INBOUND, long_packet(2, 600)),               # Handshake
+            (Direction.OUTBOUND, long_packet(2, 80)),
+        ]
+        for direction, payload in handshake:
+            trace.records.append(
+                self.packet(t, device, QUIC_SERVER, payload, direction, truth)
+            )
+            t += 0.04
+        while t < window.call_end:
+            direction = Direction.OUTBOUND if rng.random() < 0.5 else Direction.INBOUND
+            trace.records.append(
+                self.packet(
+                    t, device, QUIC_SERVER, short_packet(rng.randint(40, 200)),
+                    direction, truth,
+                )
+            )
+            t += rng.jitter(3.0, 0.3)
+
+    # -- cellular beacons --------------------------------------------------------
+
+    def _emit_cellular_beacons(self, trace, config, device, remote) -> None:
+        """36-byte 0xDEADBEEFCAFE datagrams at a fixed 20 packets/second."""
+        rng = self.rng_for(config, "beacon")
+        window = trace.window
+        truth = self.control_truth("cellular-beacon")
+        for direction in (Direction.OUTBOUND, Direction.INBOUND):
+            counter_a = rng.randint(0, 1000)
+            counter_b = rng.randint(0, 1000)
+            middle = rng.rand_bytes(22)
+            t = window.call_start + (0.0 if direction is Direction.OUTBOUND else 0.025)
+            while t < window.call_end:
+                payload = (
+                    CELLULAR_BEACON_PREFIX
+                    + middle
+                    + struct.pack("!II", counter_a & 0xFFFFFFFF, counter_b & 0xFFFFFFFF)
+                )
+                trace.records.append(self.packet(t, device, remote, payload, direction, truth))
+                counter_a += 1
+                counter_b += 2
+                t += 0.05  # exactly 20 packets per second, even spacing

@@ -1,0 +1,466 @@
+"""Google Meet call simulator.
+
+Reproduces the Google Meet behaviours documented in the paper:
+
+- the most standards-faithful STUN/TURN usage of the studied apps and by
+  far the highest STUN/TURN message share (~20%): continuous ICE checks,
+  WebRTC GOOG-PING (0x0200/0x0300), a full TURN control plane, and relay
+  media carried inside compliant ChannelData frames;
+- the only non-compliant STUN/TURN type is the Allocate Request (0x0003),
+  which Meet repurposes as a periodic connectivity check — the ping-pong
+  pattern the paper's fifth criterion flags;
+- fully compliant RTP over payload types 35, 36, 63, 96, 97, 100, 103,
+  104, 109, 111, 114;
+- SRTCP-protected RTCP (types 200-202, 204-207): every message ends with
+  the E-flag ‖ 31-bit index word, but in relay-mode Wi-Fi most messages
+  omit the mandatory 10-byte authentication tag (RFC 3711 violation),
+  making all seven RTCP types non-compliant;
+- cellular calls start in relay mode and switch to P2P after ~30 s.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.apps.base import (
+    AppSimulator,
+    CallConfig,
+    Direction,
+    Endpoint,
+    NetworkCondition,
+    RtpStreamState,
+    Trace,
+    TransmissionMode,
+)
+from repro.apps.background import BackgroundNoiseGenerator
+from repro.apps.signaling import signaling_flows
+from repro.protocols.rtcp.packets import RtcpPacket
+from repro.protocols.rtp.extensions import build_one_byte_extension
+from repro.protocols.stun.attributes import (
+    StunAttribute,
+    channel_number_value,
+    encode_error_code,
+    encode_xor_address,
+    lifetime_value,
+    requested_transport_value,
+)
+from repro.protocols.stun.constants import AttributeType
+from repro.protocols.stun.message import ChannelData, StunMessage, build_with_fingerprint
+
+RELAY_SERVER = Endpoint("142.250.82.85", 19305)
+RELAYED_ADDRESS = ("142.250.82.119", 25012)
+PEER_REFLEXIVE = ("198.51.100.23", 42310)
+SIGNALING_DOMAIN = "meetings.googleapis.com"
+SIGNALING_IP = "142.250.82.14"
+
+AUDIO_PT = 111
+VIDEO_PT = 96
+AUX_PTS = (35, 36, 63, 97, 100, 103, 104, 109, 114)
+P2P_SWITCH_AFTER = 30.0
+CHANNEL = 0x4000
+
+#: Fraction of relay-mode Wi-Fi SRTCP messages missing the auth tag (§5.2.3).
+TAGLESS_FRACTION = 0.9
+
+
+class GoogleMeetSimulator(AppSimulator):
+    """Synthesizes Google Meet 1-on-1 call traffic."""
+
+    name = "meet"
+
+    def simulate(self, config: CallConfig) -> Trace:
+        window = config.window()
+        trace = Trace(app=self.name, config=config, window=window)
+        rng = self.rng_for(config, "main")
+        device_ip = self.device_ip(config)
+        device = Endpoint(device_ip, rng.randint(50000, 60000))
+        peer = Endpoint(self.peer_device_ip(config), rng.randint(50000, 60000))
+
+        segments = self._mode_segments(config, window)
+        trace.mode_timeline.extend((start, mode) for start, _end, mode in segments)
+
+        self._emit_turn_control(trace, config, device, segments)
+        self._emit_ice(trace, config, device, peer, segments)
+        self._emit_media(trace, config, device, peer, segments)
+        self._emit_srtcp(trace, config, device, peer, segments)
+        trace.records.extend(
+            signaling_flows(
+                app=self.name,
+                domain=SIGNALING_DOMAIN,
+                server_ip=SIGNALING_IP,
+                device_ip=device_ip,
+                window=window,
+                rng=self.rng_for(config, "signaling"),
+                in_call_volume=25,
+            )
+        )
+        if config.include_background:
+            noise = BackgroundNoiseGenerator(
+                config=config, device_ip=device_ip, rng=self.rng_for(config, "noise")
+            )
+            trace.records.extend(noise.generate(window))
+        trace.sort()
+        return trace
+
+    def _mode_segments(self, config: CallConfig, window):
+        if config.network is NetworkCondition.WIFI_P2P:
+            return [(window.call_start, window.call_end, TransmissionMode.P2P)]
+        if config.network is NetworkCondition.WIFI_RELAY:
+            return [(window.call_start, window.call_end, TransmissionMode.RELAY)]
+        switch = window.call_start + min(P2P_SWITCH_AFTER, window.call_duration / 2)
+        return [
+            (window.call_start, switch, TransmissionMode.RELAY),
+            (switch, window.call_end, TransmissionMode.P2P),
+        ]
+
+    def _remote_for(self, mode: TransmissionMode, peer: Endpoint) -> Endpoint:
+        return RELAY_SERVER if mode is TransmissionMode.RELAY else peer
+
+    # -- TURN control plane --------------------------------------------------------
+
+    def _emit_turn_control(self, trace, config, device, segments) -> None:
+        rng = self.rng_for(config, "turn")
+        window = trace.window
+        truth = self.control_truth("turn")
+        records = trace.records
+        t = window.call_start + 0.05
+
+        def send(payload: bytes, direction: Direction, at: float) -> None:
+            records.append(self.packet(at, device, RELAY_SERVER, payload, direction, truth))
+
+        # Standard allocation handshake: 401 challenge then success.
+        txid1 = rng.transaction_id()
+        send(
+            StunMessage(
+                msg_type=0x0003,
+                transaction_id=txid1,
+                attributes=[
+                    StunAttribute(int(AttributeType.REQUESTED_TRANSPORT),
+                                  requested_transport_value()),
+                ],
+            ).build(),
+            Direction.OUTBOUND, t,
+        )
+        send(
+            StunMessage(
+                msg_type=0x0113,
+                transaction_id=txid1,
+                attributes=[
+                    StunAttribute(int(AttributeType.ERROR_CODE),
+                                  encode_error_code(401, "Unauthorized")),
+                    StunAttribute(int(AttributeType.REALM), b"goog"),
+                    StunAttribute(int(AttributeType.NONCE), rng.rand_bytes(12).hex().encode()),
+                ],
+            ).build(),
+            Direction.INBOUND, t + 0.04,
+        )
+        txid2 = rng.transaction_id()
+        send(
+            StunMessage(
+                msg_type=0x0003,
+                transaction_id=txid2,
+                attributes=[
+                    StunAttribute(int(AttributeType.REQUESTED_TRANSPORT),
+                                  requested_transport_value()),
+                    StunAttribute(int(AttributeType.USERNAME), b"goog:meet"),
+                    StunAttribute(int(AttributeType.REALM), b"goog"),
+                    StunAttribute(int(AttributeType.MESSAGE_INTEGRITY), rng.rand_bytes(20)),
+                ],
+            ).build(),
+            Direction.OUTBOUND, t + 0.1,
+        )
+        send(
+            StunMessage(
+                msg_type=0x0103,
+                transaction_id=txid2,
+                attributes=[
+                    StunAttribute(int(AttributeType.XOR_RELAYED_ADDRESS),
+                                  encode_xor_address(*RELAYED_ADDRESS, txid2)),
+                    StunAttribute(int(AttributeType.XOR_MAPPED_ADDRESS),
+                                  encode_xor_address(device.ip, device.port, txid2)),
+                    StunAttribute(int(AttributeType.LIFETIME), lifetime_value(600)),
+                ],
+            ).build(),
+            Direction.INBOUND, t + 0.14,
+        )
+
+        # CreatePermission + ChannelBind (compliant pairs).
+        txid3 = rng.transaction_id()
+        send(
+            StunMessage(
+                msg_type=0x0008,
+                transaction_id=txid3,
+                attributes=[
+                    StunAttribute(int(AttributeType.XOR_PEER_ADDRESS),
+                                  encode_xor_address(*PEER_REFLEXIVE, txid3)),
+                    StunAttribute(int(AttributeType.MESSAGE_INTEGRITY), rng.rand_bytes(20)),
+                ],
+            ).build(),
+            Direction.OUTBOUND, t + 0.2,
+        )
+        send(StunMessage(msg_type=0x0108, transaction_id=txid3).build(),
+             Direction.INBOUND, t + 0.24)
+        txid4 = rng.transaction_id()
+        send(
+            StunMessage(
+                msg_type=0x0009,
+                transaction_id=txid4,
+                attributes=[
+                    StunAttribute(int(AttributeType.CHANNEL_NUMBER),
+                                  channel_number_value(CHANNEL)),
+                    StunAttribute(int(AttributeType.XOR_PEER_ADDRESS),
+                                  encode_xor_address(*PEER_REFLEXIVE, txid4)),
+                    StunAttribute(int(AttributeType.MESSAGE_INTEGRITY), rng.rand_bytes(20)),
+                ],
+            ).build(),
+            Direction.OUTBOUND, t + 0.3,
+        )
+        send(StunMessage(msg_type=0x0109, transaction_id=txid4).build(),
+             Direction.INBOUND, t + 0.34)
+
+        # Early media through Send/Data Indications (compliant).
+        ti = t + 0.4
+        for i in range(16):
+            txid = rng.transaction_id()
+            msg_type = 0x0016 if i % 2 == 0 else 0x0017
+            direction = Direction.OUTBOUND if i % 2 == 0 else Direction.INBOUND
+            send(
+                StunMessage(
+                    msg_type=msg_type,
+                    transaction_id=txid,
+                    attributes=[
+                        StunAttribute(int(AttributeType.XOR_PEER_ADDRESS),
+                                      encode_xor_address(*PEER_REFLEXIVE, txid)),
+                        StunAttribute(int(AttributeType.DATA), rng.rand_bytes(120)),
+                    ],
+                ).build(),
+                direction, ti,
+            )
+            ti += 0.02
+
+        # Refresh pairs (compliant).
+        refresh_at = window.call_start + 12.0
+        while refresh_at < window.call_end:
+            txid = rng.transaction_id()
+            send(
+                StunMessage(
+                    msg_type=0x0004,
+                    transaction_id=txid,
+                    attributes=[StunAttribute(int(AttributeType.LIFETIME),
+                                              lifetime_value(600))],
+                ).build(),
+                Direction.OUTBOUND, refresh_at,
+            )
+            send(
+                StunMessage(
+                    msg_type=0x0104,
+                    transaction_id=txid,
+                    attributes=[StunAttribute(int(AttributeType.LIFETIME),
+                                              lifetime_value(600))],
+                ).build(),
+                Direction.INBOUND, refresh_at + 0.03,
+            )
+            refresh_at += rng.jitter(20.0, 0.1)
+
+        # The ping-pong: Allocate Requests repurposed as connectivity checks,
+        # evenly spaced for the whole call (criterion-5 violation, §4.2).
+        ping_at = window.call_start + 2.0
+        while ping_at < window.call_end:
+            send(
+                StunMessage(
+                    msg_type=0x0003,
+                    transaction_id=rng.transaction_id(),
+                    attributes=[
+                        StunAttribute(int(AttributeType.REQUESTED_TRANSPORT),
+                                      requested_transport_value()),
+                    ],
+                ).build(),
+                Direction.OUTBOUND, ping_at,
+            )
+            ping_at += 1.0
+
+    def _emit_ice(self, trace, config, device, peer, segments) -> None:
+        """High-rate ICE checks + GOOG-PING — Meet's hallmark STUN volume."""
+        rng = self.rng_for(config, "ice")
+        truth = self.control_truth("ice")
+        for start, end, mode in segments:
+            remote = self._remote_for(mode, peer)
+            rate = 16.0 * config.media_scale
+            t = start + 0.5
+            i = 0
+            while t < end:
+                if i % 4 == 3:
+                    # GOOG-PING request/response (WebRTC-documented).
+                    txid = rng.transaction_id()
+                    ping = StunMessage(
+                        msg_type=0x0200,
+                        transaction_id=txid,
+                        attributes=[
+                            StunAttribute(int(AttributeType.GOOG_MESSAGE_INTEGRITY_32),
+                                          rng.rand_bytes(4)),
+                        ],
+                    )
+                    pong = StunMessage(msg_type=0x0300, transaction_id=txid)
+                    trace.records.append(
+                        self.packet(t, device, remote, ping.build(),
+                                    Direction.OUTBOUND, truth)
+                    )
+                    trace.records.append(
+                        self.packet(t + 0.015, device, remote, pong.build(),
+                                    Direction.INBOUND, truth)
+                    )
+                else:
+                    txid = rng.transaction_id()
+                    request = StunMessage(
+                        msg_type=0x0001,
+                        transaction_id=txid,
+                        attributes=[
+                            StunAttribute(int(AttributeType.USERNAME), b"goog:peer"),
+                            StunAttribute(int(AttributeType.PRIORITY),
+                                          rng.u32().to_bytes(4, "big")),
+                            StunAttribute(int(AttributeType.ICE_CONTROLLED),
+                                          rng.rand_bytes(8)),
+                            StunAttribute(int(AttributeType.MESSAGE_INTEGRITY),
+                                          rng.rand_bytes(20)),
+                        ],
+                    )
+                    response = StunMessage(
+                        msg_type=0x0101,
+                        transaction_id=txid,
+                        attributes=[
+                            StunAttribute(
+                                int(AttributeType.XOR_MAPPED_ADDRESS),
+                                encode_xor_address(device.ip, device.port, txid),
+                            ),
+                            StunAttribute(int(AttributeType.MESSAGE_INTEGRITY),
+                                          rng.rand_bytes(20)),
+                        ],
+                    )
+                    trace.records.append(
+                        self.packet(t, device, remote, build_with_fingerprint(request),
+                                    Direction.OUTBOUND, truth)
+                    )
+                    trace.records.append(
+                        self.packet(t + 0.015, device, remote,
+                                    build_with_fingerprint(response),
+                                    Direction.INBOUND, truth)
+                    )
+                t += rng.jitter(1.0 / max(rate, 0.5), 0.15)
+                i += 1
+
+    # -- media -----------------------------------------------------------------------
+
+    def _emit_media(self, trace, config, device, peer, segments) -> None:
+        rng = self.rng_for(config, "media")
+        directions = [Direction.OUTBOUND, Direction.INBOUND]
+        # Group calls: the SFU forwards one extra inbound stream pair per
+        # additional participant.
+        directions.extend([Direction.INBOUND] * config.extra_participants)
+        for kind, pt, pps, size, ts_inc in (
+            ("audio", AUDIO_PT, 50, (70, 160), 480),
+            ("video", VIDEO_PT, 85, (650, 1150), 3000),
+        ):
+            for direction in directions:
+                state = RtpStreamState(
+                    ssrc=rng.u32(), payload_type=pt, clock_rate=90000, rng=rng
+                )
+                for start, end, mode in segments:
+                    remote = self._remote_for(mode, peer)
+                    # Relay audio rides in compliant ChannelData frames — a big
+                    # chunk of Meet's unusually high STUN/TURN share.
+                    wrap_channel = mode is TransmissionMode.RELAY and kind == "audio"
+                    self._emit_segment(
+                        trace.records, device, remote, direction, state, rng,
+                        start, end, pps * config.media_scale, size, ts_inc,
+                        kind, wrap_channel,
+                    )
+
+    def _emit_segment(
+        self, records, device, remote, direction, state, rng,
+        t0, t1, pps, size, ts_inc, kind, wrap_channel,
+    ) -> None:
+        interval = 1.0 / pps
+        t = t0 + rng.uniform(0, interval)
+        index = 0
+        truth = self.media_truth(f"rtp-{kind}")
+        aux = AUX_PTS
+        while t < t1:
+            override = None
+            if index % 29 == 9:
+                override = aux[(index // 29) % len(aux)]
+            extension = None
+            if index % 2 == 0:
+                extension = build_one_byte_extension(
+                    [(1, bytes([rng.randint(0, 127)])),
+                     (4, rng.randint(0, 0xFFFFFF).to_bytes(3, "big"))]
+                )
+            packet = state.next_packet(
+                payload=rng.rand_bytes(rng.randint(*size)),
+                ts_increment=ts_inc,
+                marker=index % 15 == 0,
+                extension=extension,
+                payload_type=override,
+            )
+            raw = packet.build()
+            if wrap_channel:
+                raw = ChannelData(channel=CHANNEL, data=raw).build()
+            records.append(self.packet(t, device, remote, raw, direction, truth))
+            t += rng.jitter(interval, 0.05)
+            index += 1
+
+    # -- SRTCP ------------------------------------------------------------------------
+
+    def _emit_srtcp(self, trace, config, device, peer, segments) -> None:
+        """Real SRTCP (RFC 3711): AES-CM encryption + HMAC-SHA1-80 tags.
+
+        Each direction has its own crypto context; the non-compliant
+        relay-Wi-Fi messages are genuine SRTCP with the mandatory tag
+        stripped (§5.2.3), so with the session keys the compliant messages
+        authenticate and decrypt back to their plaintext reports.
+        """
+        from repro.protocols.srtp.session import SrtcpCryptoContext
+
+        rng = self.rng_for(config, "rtcp")
+        truth = self.control_truth("srtcp")
+        ssrc_a, ssrc_b = rng.u32(), rng.u32()
+        state = RtpStreamState(ssrc=ssrc_a, payload_type=AUDIO_PT, clock_rate=48000, rng=rng)
+        contexts = {
+            Direction.OUTBOUND: SrtcpCryptoContext(rng.rand_bytes(16), rng.rand_bytes(14)),
+            Direction.INBOUND: SrtcpCryptoContext(rng.rand_bytes(16), rng.rand_bytes(14)),
+        }
+        rate = 20.0 * config.media_scale
+        relay_wifi = config.network is NetworkCondition.WIFI_RELAY
+        from repro.protocols.rtcp.packets import (
+            AppPacket,
+            FeedbackPacket,
+            XrBlock,
+            XrPacket,
+        )
+        builders = [
+            lambda: self.make_sender_report(state, ssrc_b, rng, 0.0),
+            lambda: self.make_receiver_report(ssrc_a, ssrc_b, rng),
+            lambda: self.make_sdes(ssrc_a, f"meet-{ssrc_a:x}"),
+            lambda: AppPacket(ssrc=ssrc_a, name=b"GOOG", data=rng.rand_bytes(8)).to_packet(),
+            lambda: FeedbackPacket(packet_type=205, fmt=15, sender_ssrc=ssrc_a,
+                                   media_ssrc=ssrc_b, fci=rng.rand_bytes(8)).to_packet(),
+            lambda: FeedbackPacket(packet_type=206, fmt=1, sender_ssrc=ssrc_a,
+                                   media_ssrc=ssrc_b).to_packet(),
+            lambda: XrPacket(ssrc=ssrc_a, blocks=[
+                XrBlock(block_type=4, type_specific=0, data=rng.rand_bytes(8))
+            ]).to_packet(),
+        ]
+        for start, end, mode in segments:
+            remote = self._remote_for(mode, peer)
+            t = start + 1.0
+            i = 0
+            while t < end:
+                plain = builders[i % len(builders)]()
+                include_tag = not (relay_wifi and rng.random() < TAGLESS_FRACTION)
+                direction = Direction.OUTBOUND if i % 2 == 0 else Direction.INBOUND
+                payload = contexts[direction].protect(plain.build())
+                if not include_tag:
+                    payload = payload[:-10]  # drop the mandatory auth tag
+                trace.records.append(self.packet(t, device, remote, payload, direction, truth))
+                t += rng.jitter(1.0 / max(rate, 0.5), 0.2)
+                i += 1

@@ -1,0 +1,405 @@
+"""Facebook Messenger call simulator.
+
+Reproduces the Messenger behaviours documented in the paper:
+
+- the richest TURN usage of the studied apps: Allocate (with the undefined
+  0x4001 attribute → non-compliant), 401/403 error responses, Refresh,
+  CreatePermission, ChannelBind, Send/Data Indications and ChannelData —
+  the latter group fully compliant (Table 4);
+- ICE Binding Requests/Responses carrying the undefined 0x4002 attribute
+  (both 0x0001 and 0x0101 non-compliant);
+- the Meta-proprietary 0x0801/0x0802 pre-join burst and six 0x0800
+  messages at call termination;
+- compliant RTP (payload types 97, 98, 101, 126, 127) and a notably high
+  RTCP share (~10% of messages; SR 200, RR 201, RTPFB 205, PSFB 206);
+- cellular calls start in relay mode and switch to P2P after ~30 s.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (
+    AppSimulator,
+    CallConfig,
+    Direction,
+    Endpoint,
+    NetworkCondition,
+    RtpStreamState,
+    Trace,
+    TransmissionMode,
+)
+from repro.apps.background import BackgroundNoiseGenerator
+from repro.apps.meta_common import (
+    ATTR_RESPONSE_META,
+    ATTR_SESSION,
+    burst_0801_0802,
+    call_end_0800,
+    ice_binding_pair,
+)
+from repro.apps.signaling import signaling_flows
+from repro.protocols.rtcp.packets import FeedbackPacket
+from repro.protocols.rtp.extensions import build_one_byte_extension
+from repro.protocols.stun.attributes import (
+    StunAttribute,
+    channel_number_value,
+    encode_error_code,
+    encode_xor_address,
+    lifetime_value,
+    requested_transport_value,
+)
+from repro.protocols.stun.constants import AttributeType
+from repro.protocols.stun.message import ChannelData, StunMessage, build_with_fingerprint
+
+RELAY_SERVER = Endpoint("157.240.22.48", 3478)
+RELAYED_ADDRESS = ("157.240.22.61", 40022)
+PEER_REFLEXIVE = ("203.0.113.54", 41888)
+SIGNALING_DOMAIN = "edge-mqtt.facebook.com"
+SIGNALING_IP = "157.240.22.35"
+
+AUDIO_PT = 97
+VIDEO_PT = 98
+AUX_PTS = (101, 126, 127)
+P2P_SWITCH_AFTER = 30.0
+CHANNEL = 0x4001
+
+
+class MessengerSimulator(AppSimulator):
+    """Synthesizes Facebook Messenger 1-on-1 call traffic."""
+
+    name = "messenger"
+
+    def simulate(self, config: CallConfig) -> Trace:
+        if config.participants != 2:
+            raise ValueError(
+                "messenger group calls use a different media topology and are "
+                "not modelled; only 1-on-1 calls are supported"
+            )
+        window = config.window()
+        trace = Trace(app=self.name, config=config, window=window)
+        rng = self.rng_for(config, "main")
+        device_ip = self.device_ip(config)
+        device = Endpoint(device_ip, rng.randint(50000, 60000))
+        peer = Endpoint(self.peer_device_ip(config), rng.randint(50000, 60000))
+
+        segments = self._mode_segments(config, window)
+        trace.mode_timeline.extend((start, mode) for start, _end, mode in segments)
+
+        self._emit_turn_setup(trace, config, device)
+        self._emit_ice(trace, config, device, peer, segments)
+        self._emit_media(trace, config, device, peer, segments)
+        self._emit_rtcp(trace, config, device, peer, segments)
+        trace.records.extend(
+            signaling_flows(
+                app=self.name,
+                domain=SIGNALING_DOMAIN,
+                server_ip=SIGNALING_IP,
+                device_ip=device_ip,
+                window=window,
+                rng=self.rng_for(config, "signaling"),
+                in_call_volume=15,
+            )
+        )
+        if config.include_background:
+            noise = BackgroundNoiseGenerator(
+                config=config, device_ip=device_ip, rng=self.rng_for(config, "noise")
+            )
+            trace.records.extend(noise.generate(window))
+        trace.sort()
+        return trace
+
+    def _mode_segments(self, config: CallConfig, window):
+        if config.network is NetworkCondition.WIFI_P2P:
+            return [(window.call_start, window.call_end, TransmissionMode.P2P)]
+        if config.network is NetworkCondition.WIFI_RELAY:
+            return [(window.call_start, window.call_end, TransmissionMode.RELAY)]
+        switch = window.call_start + min(P2P_SWITCH_AFTER, window.call_duration / 2)
+        return [
+            (window.call_start, switch, TransmissionMode.RELAY),
+            (switch, window.call_end, TransmissionMode.P2P),
+        ]
+
+    def _remote_for(self, mode: TransmissionMode, peer: Endpoint) -> Endpoint:
+        return RELAY_SERVER if mode is TransmissionMode.RELAY else peer
+
+    # -- TURN control plane ------------------------------------------------------
+
+    def _emit_turn_setup(self, trace, config, device) -> None:
+        """The full TURN handshake plus periodic refresh/indication traffic."""
+        rng = self.rng_for(config, "turn")
+        window = trace.window
+        truth = self.control_truth("turn")
+        records = trace.records
+        t = window.call_start + 0.05
+
+        def send(payload: bytes, direction: Direction, at: float) -> None:
+            records.append(self.packet(at, device, RELAY_SERVER, payload, direction, truth))
+
+        # Allocate (undefined 0x4001 attr) -> 401 -> Allocate -> Success (0x4002).
+        txid1 = rng.transaction_id()
+        allocate = StunMessage(
+            msg_type=0x0003,
+            transaction_id=txid1,
+            attributes=[
+                StunAttribute(int(AttributeType.REQUESTED_TRANSPORT),
+                              requested_transport_value()),
+                StunAttribute(ATTR_SESSION, rng.rand_bytes(12)),
+            ],
+        )
+        error_401 = StunMessage(
+            msg_type=0x0113,
+            transaction_id=txid1,
+            attributes=[
+                StunAttribute(int(AttributeType.ERROR_CODE),
+                              encode_error_code(401, "Unauthorized")),
+                StunAttribute(int(AttributeType.REALM), b"fbturn"),
+                StunAttribute(int(AttributeType.NONCE), rng.rand_bytes(16).hex().encode()),
+            ],
+        )
+        send(allocate.build(), Direction.OUTBOUND, t)
+        send(error_401.build(), Direction.INBOUND, t + 0.04)
+        txid2 = rng.transaction_id()
+        allocate2 = StunMessage(
+            msg_type=0x0003,
+            transaction_id=txid2,
+            attributes=[
+                StunAttribute(int(AttributeType.REQUESTED_TRANSPORT),
+                              requested_transport_value()),
+                StunAttribute(int(AttributeType.USERNAME), b"fb:caller"),
+                StunAttribute(int(AttributeType.REALM), b"fbturn"),
+                StunAttribute(ATTR_SESSION, rng.rand_bytes(12)),
+                StunAttribute(int(AttributeType.MESSAGE_INTEGRITY), rng.rand_bytes(20)),
+            ],
+        )
+        success = StunMessage(
+            msg_type=0x0103,
+            transaction_id=txid2,
+            attributes=[
+                StunAttribute(int(AttributeType.XOR_RELAYED_ADDRESS),
+                              encode_xor_address(*RELAYED_ADDRESS, txid2)),
+                StunAttribute(int(AttributeType.LIFETIME), lifetime_value(600)),
+                StunAttribute(ATTR_RESPONSE_META, rng.rand_bytes(4)),
+            ],
+        )
+        send(allocate2.build(), Direction.OUTBOUND, t + 0.1)
+        send(success.build(), Direction.INBOUND, t + 0.14)
+
+        # CreatePermission: one 403 error then a success (both compliant).
+        txid3 = rng.transaction_id()
+        create_perm = StunMessage(
+            msg_type=0x0008,
+            transaction_id=txid3,
+            attributes=[
+                StunAttribute(int(AttributeType.XOR_PEER_ADDRESS),
+                              encode_xor_address(*PEER_REFLEXIVE, txid3)),
+                StunAttribute(int(AttributeType.MESSAGE_INTEGRITY), rng.rand_bytes(20)),
+            ],
+        )
+        perm_error = StunMessage(
+            msg_type=0x0118,
+            transaction_id=txid3,
+            attributes=[
+                StunAttribute(int(AttributeType.ERROR_CODE),
+                              encode_error_code(403, "Forbidden")),
+            ],
+        )
+        send(create_perm.build(), Direction.OUTBOUND, t + 0.2)
+        send(perm_error.build(), Direction.INBOUND, t + 0.24)
+        txid4 = rng.transaction_id()
+        create_perm2 = StunMessage(
+            msg_type=0x0008,
+            transaction_id=txid4,
+            attributes=[
+                StunAttribute(int(AttributeType.XOR_PEER_ADDRESS),
+                              encode_xor_address(*PEER_REFLEXIVE, txid4)),
+                StunAttribute(int(AttributeType.MESSAGE_INTEGRITY), rng.rand_bytes(20)),
+            ],
+        )
+        perm_ok = StunMessage(msg_type=0x0108, transaction_id=txid4, attributes=[])
+        send(create_perm2.build(), Direction.OUTBOUND, t + 0.3)
+        send(perm_ok.build(), Direction.INBOUND, t + 0.34)
+
+        # ChannelBind pair.
+        txid5 = rng.transaction_id()
+        channel_bind = StunMessage(
+            msg_type=0x0009,
+            transaction_id=txid5,
+            attributes=[
+                StunAttribute(int(AttributeType.CHANNEL_NUMBER),
+                              channel_number_value(CHANNEL)),
+                StunAttribute(int(AttributeType.XOR_PEER_ADDRESS),
+                              encode_xor_address(*PEER_REFLEXIVE, txid5)),
+                StunAttribute(int(AttributeType.MESSAGE_INTEGRITY), rng.rand_bytes(20)),
+            ],
+        )
+        bind_ok = StunMessage(msg_type=0x0109, transaction_id=txid5, attributes=[])
+        send(channel_bind.build(), Direction.OUTBOUND, t + 0.4)
+        send(bind_ok.build(), Direction.INBOUND, t + 0.44)
+
+        # Early media as Send/Data Indications, then periodic Refresh pairs.
+        ti = t + 0.5
+        for i in range(20):
+            txid = rng.transaction_id()
+            if i % 2 == 0:
+                indication = StunMessage(
+                    msg_type=0x0016,
+                    transaction_id=txid,
+                    attributes=[
+                        StunAttribute(int(AttributeType.XOR_PEER_ADDRESS),
+                                      encode_xor_address(*PEER_REFLEXIVE, txid)),
+                        StunAttribute(int(AttributeType.DATA), rng.rand_bytes(160)),
+                    ],
+                )
+                send(indication.build(), Direction.OUTBOUND, ti)
+            else:
+                indication = StunMessage(
+                    msg_type=0x0017,
+                    transaction_id=txid,
+                    attributes=[
+                        StunAttribute(int(AttributeType.XOR_PEER_ADDRESS),
+                                      encode_xor_address(*PEER_REFLEXIVE, txid)),
+                        StunAttribute(int(AttributeType.DATA), rng.rand_bytes(160)),
+                    ],
+                )
+                send(indication.build(), Direction.INBOUND, ti)
+            ti += 0.03
+
+        refresh_at = window.call_start + 10.0
+        while refresh_at < window.call_end:
+            txid = rng.transaction_id()
+            refresh = StunMessage(
+                msg_type=0x0004,
+                transaction_id=txid,
+                attributes=[StunAttribute(int(AttributeType.LIFETIME), lifetime_value(600))],
+            )
+            refresh_ok = StunMessage(
+                msg_type=0x0104,
+                transaction_id=txid,
+                attributes=[StunAttribute(int(AttributeType.LIFETIME), lifetime_value(600))],
+            )
+            send(refresh.build(), Direction.OUTBOUND, refresh_at)
+            send(refresh_ok.build(), Direction.INBOUND, refresh_at + 0.04)
+            refresh_at += rng.jitter(15.0, 0.1)
+
+        # Meta burst + call-end 0x0800 messages (six for Messenger).
+        trace.records.extend(
+            burst_0801_0802(self.packet, device, RELAY_SERVER,
+                            window.call_start + 0.02, rng, truth)
+        )
+        trace.records.extend(
+            call_end_0800(self.packet, device, RELAY_SERVER, window.call_end,
+                          RELAYED_ADDRESS[0], RELAYED_ADDRESS[1], rng, truth, count=6)
+        )
+
+    def _emit_ice(self, trace, config, device, peer, segments) -> None:
+        rng = self.rng_for(config, "ice")
+        truth = self.control_truth("ice")
+        for start, end, mode in segments:
+            remote = self._remote_for(mode, peer)
+            t = start + 0.6
+            while t < end:
+                request, response = ice_binding_pair(
+                    device, remote, rng,
+                    response_extra=(ATTR_RESPONSE_META, rng.rand_bytes(4)),
+                )
+                # Messenger's requests also carry the undefined attribute;
+                # rebuild with a fresh FINGERPRINT so only the undefined
+                # attribute is at fault.
+                msg = StunMessage.parse(request)
+                tampered = StunMessage(
+                    msg_type=msg.msg_type,
+                    transaction_id=msg.transaction_id,
+                    attributes=msg.attributes[:-1]
+                    + [StunAttribute(ATTR_RESPONSE_META, rng.rand_bytes(4))],
+                )
+                trace.records.append(
+                    self.packet(t, device, remote, build_with_fingerprint(tampered),
+                                Direction.OUTBOUND, truth)
+                )
+                trace.records.append(
+                    self.packet(t + 0.02, device, remote, response, Direction.INBOUND, truth)
+                )
+                t += rng.jitter(2.5, 0.2)
+
+    # -- media ---------------------------------------------------------------------
+
+    def _emit_media(self, trace, config, device, peer, segments) -> None:
+        rng = self.rng_for(config, "media")
+        for kind, pt, pps, size, ts_inc, aux in (
+            ("audio", AUDIO_PT, 50, (70, 160), 480, (AUX_PTS[0],)),
+            ("video", VIDEO_PT, 85, (650, 1150), 3000, AUX_PTS[1:]),
+        ):
+            for direction in (Direction.OUTBOUND, Direction.INBOUND):
+                state = RtpStreamState(
+                    ssrc=rng.u32(), payload_type=pt, clock_rate=90000, rng=rng
+                )
+                for start, end, mode in segments:
+                    remote = self._remote_for(mode, peer)
+                    wrap_channel = mode is TransmissionMode.RELAY and kind == "audio"
+                    self._emit_segment(
+                        trace.records, device, remote, direction, state, rng,
+                        start, end, pps * config.media_scale, size, ts_inc, aux,
+                        kind, wrap_channel,
+                    )
+
+    def _emit_segment(
+        self, records, device, remote, direction, state, rng,
+        t0, t1, pps, size, ts_inc, aux_pts, kind, wrap_channel,
+    ) -> None:
+        interval = 1.0 / pps
+        t = t0 + rng.uniform(0, interval)
+        index = 0
+        truth = self.media_truth(f"rtp-{kind}")
+        while t < t1:
+            override = None
+            if aux_pts and index % 47 == 11:
+                override = aux_pts[(index // 47) % len(aux_pts)]
+            extension = None
+            if index % 2 == 1:
+                extension = build_one_byte_extension(
+                    [(2, rng.rand_bytes(3))]
+                )
+            packet = state.next_packet(
+                payload=rng.rand_bytes(rng.randint(*size)),
+                ts_increment=ts_inc,
+                marker=index % 15 == 0,
+                extension=extension,
+                payload_type=override,
+            )
+            raw = packet.build()
+            # A slice of early relay audio rides inside ChannelData frames.
+            if wrap_channel and index < 60:
+                raw = ChannelData(channel=CHANNEL, data=raw).build()
+            records.append(self.packet(t, device, remote, raw, direction, truth))
+            t += rng.jitter(interval, 0.05)
+            index += 1
+
+    def _emit_rtcp(self, trace, config, device, peer, segments) -> None:
+        """Messenger's RTCP share is ~10% of messages — much chattier."""
+        rng = self.rng_for(config, "rtcp")
+        truth = self.control_truth("rtcp")
+        ssrc_a, ssrc_b = rng.u32(), rng.u32()
+        state = RtpStreamState(ssrc=ssrc_a, payload_type=AUDIO_PT, clock_rate=48000, rng=rng)
+        for start, end, mode in segments:
+            remote = self._remote_for(mode, peer)
+            # ~24 packets/second at scale 1 to reach the ~10% share.
+            rate = 24.0 * config.media_scale
+            t = start + 0.8
+            i = 0
+            while t < end:
+                kind = i % 4
+                if kind == 0:
+                    payload = self.make_sender_report(state, ssrc_b, rng, t).build()
+                elif kind == 1:
+                    payload = self.make_receiver_report(ssrc_a, ssrc_b, rng).build()
+                elif kind == 2:
+                    payload = FeedbackPacket(
+                        packet_type=205, fmt=15, sender_ssrc=ssrc_a, media_ssrc=ssrc_b,
+                        fci=rng.rand_bytes(8),
+                    ).to_packet().build()
+                else:
+                    payload = FeedbackPacket(
+                        packet_type=206, fmt=1, sender_ssrc=ssrc_a, media_ssrc=ssrc_b,
+                    ).to_packet().build()
+                direction = Direction.OUTBOUND if i % 2 == 0 else Direction.INBOUND
+                trace.records.append(self.packet(t, device, remote, payload, direction, truth))
+                t += rng.jitter(1.0 / max(rate, 0.5), 0.2)
+                i += 1

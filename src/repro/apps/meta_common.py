@@ -1,0 +1,144 @@
+"""Behaviours shared by WhatsApp and Messenger (both Meta apps).
+
+Both applications exhibit the same proprietary STUN dialect in the paper:
+the 0x0801/0x0802 burst before the callee joins, the undefined 0x0800
+message at call termination, and undefined 0x400x attributes layered onto
+otherwise standard messages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.apps.base import Direction, Endpoint
+from repro.packets.packet import PacketRecord, Truth
+from repro.protocols.stun.attributes import StunAttribute, encode_xor_address
+from repro.protocols.stun.constants import AttributeType
+from repro.protocols.stun.message import StunMessage, build_with_fingerprint
+from repro.utils.rand import DeterministicRandom
+
+#: Meta-proprietary attribute types (undefined in any specification).
+ATTR_CALL_END = 0x4000
+ATTR_SESSION = 0x4001
+ATTR_RESPONSE_META = 0x4002
+ATTR_FLAG = 0x4003
+ATTR_ZERO_FILL = 0x4004
+
+
+def burst_0801_0802(
+    packet_fn,
+    device: Endpoint,
+    remote: Endpoint,
+    start_time: float,
+    rng: DeterministicRandom,
+    truth: Truth,
+    pairs: int = 16,
+) -> List[PacketRecord]:
+    """The pre-join burst: 16 request/response pairs within ~2.2 ms.
+
+    0x0801 messages are 500 bytes with a zero-filled 0x4004 attribute;
+    0x0802 replies are 40 bytes; both carry 0x4003 = 0xFF and each pair
+    shares one transaction ID (paper §5.2.1).
+    """
+    records: List[PacketRecord] = []
+    t = start_time
+    # 500 bytes total = 20 header + 8 (0x4003 TLV) + 4 + 468 (0x4004 TLV).
+    zero_fill = bytes(468)
+    for _ in range(pairs):
+        txid = rng.transaction_id()
+        request = StunMessage(
+            msg_type=0x0801,
+            transaction_id=txid,
+            attributes=[
+                StunAttribute(ATTR_FLAG, b"\xff"),
+                StunAttribute(ATTR_ZERO_FILL, zero_fill),
+            ],
+        )
+        # 40 bytes total = 20 header + 8 (0x4003 TLV) + 12 (0x4001 TLV).
+        response = StunMessage(
+            msg_type=0x0802,
+            transaction_id=txid,
+            attributes=[
+                StunAttribute(ATTR_FLAG, b"\xff"),
+                StunAttribute(ATTR_SESSION, rng.rand_bytes(8)),
+            ],
+        )
+        records.append(packet_fn(t, device, remote, request.build(), Direction.OUTBOUND, truth))
+        records.append(
+            packet_fn(t + 0.00006, device, remote, response.build(), Direction.INBOUND, truth)
+        )
+        t += 0.000138  # 16 pairs spread across ~2.2 ms
+    return records
+
+
+def call_end_0800(
+    packet_fn,
+    device: Endpoint,
+    remote: Endpoint,
+    end_time: float,
+    relayed_ip: str,
+    relayed_port: int,
+    rng: DeterministicRandom,
+    truth: Truth,
+    count: int,
+) -> List[PacketRecord]:
+    """Undefined type 0x0800 messages sent to the relay at call termination.
+
+    Each carries the undefined 0x4000 attribute plus a standard
+    XOR-RELAYED-ADDRESS (paper §5.2.1).
+    """
+    records: List[PacketRecord] = []
+    t = end_time - 0.4
+    for _ in range(count):
+        txid = rng.transaction_id()
+        msg = StunMessage(
+            msg_type=0x0800,
+            transaction_id=txid,
+            attributes=[
+                StunAttribute(ATTR_CALL_END, rng.rand_bytes(4)),
+                StunAttribute(
+                    int(AttributeType.XOR_RELAYED_ADDRESS),
+                    encode_xor_address(relayed_ip, relayed_port, txid),
+                ),
+            ],
+        )
+        records.append(packet_fn(t, device, remote, msg.build(), Direction.OUTBOUND, truth))
+        t += 0.05
+    return records
+
+
+def ice_binding_pair(
+    device: Endpoint,
+    remote: Endpoint,
+    rng: DeterministicRandom,
+    response_extra: Tuple[int, bytes] = None,
+) -> Tuple[bytes, bytes]:
+    """A standard ICE Binding Request and its Success Response.
+
+    ``response_extra`` injects one additional attribute into the response
+    (used by both Meta apps to add the undefined 0x4002 attribute, which is
+    what makes their 0x0101 messages non-compliant).
+    """
+    txid = rng.transaction_id()
+    request = StunMessage(
+        msg_type=0x0001,
+        transaction_id=txid,
+        attributes=[
+            StunAttribute(int(AttributeType.USERNAME), b"remote:local"),
+            StunAttribute(int(AttributeType.PRIORITY), rng.u32().to_bytes(4, "big")),
+            StunAttribute(int(AttributeType.ICE_CONTROLLING), rng.rand_bytes(8)),
+            StunAttribute(int(AttributeType.MESSAGE_INTEGRITY), rng.rand_bytes(20)),
+        ],
+    )
+    response_attrs = [
+        StunAttribute(
+            int(AttributeType.XOR_MAPPED_ADDRESS),
+            encode_xor_address(device.ip, device.port, txid),
+        ),
+        StunAttribute(int(AttributeType.MESSAGE_INTEGRITY), rng.rand_bytes(20)),
+    ]
+    if response_extra is not None:
+        attr_type, value = response_extra
+        response_attrs.insert(1, StunAttribute(attr_type, value))
+    response = StunMessage(msg_type=0x0101, transaction_id=txid, attributes=response_attrs)
+    return build_with_fingerprint(request), build_with_fingerprint(response)

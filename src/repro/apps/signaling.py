@@ -1,0 +1,109 @@
+"""Signaling-plane traffic shared by the app simulators.
+
+Every application runs a TLS control channel next to its media streams
+(paper §2.1).  Two flavours are emitted:
+
+- a *persistent* channel that predates the call and outlives it — removed by
+  the stage-1 timespan filter, mirroring how the paper's pipeline discards
+  long-lived control connections;
+- an *in-call* burst fully inside the call window — this is the small "RTC
+  TCP" remainder visible in Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.packets.packet import Direction, PacketRecord, TrafficCategory, Truth
+from repro.protocols.tls.client_hello import build_client_hello
+from repro.streams.timeline import CallWindow
+from repro.utils.rand import DeterministicRandom
+
+
+def signaling_flows(
+    app: str,
+    domain: str,
+    server_ip: str,
+    device_ip: str,
+    window: CallWindow,
+    rng: DeterministicRandom,
+    in_call_volume: int = 20,
+) -> List[PacketRecord]:
+    """Emit the persistent and in-call signaling flows for one experiment."""
+    truth = Truth(category=TrafficCategory.SIGNALING, app=app, detail=f"tls:{domain}")
+    records: List[PacketRecord] = []
+
+    # Persistent channel spanning the whole capture (stage-1 fodder).
+    sport = rng.randint(49152, 65535)
+    records.append(
+        PacketRecord(
+            timestamp=window.capture_start + rng.uniform(0.5, 2.0),
+            src_ip=device_ip,
+            src_port=sport,
+            dst_ip=server_ip,
+            dst_port=443,
+            transport="TCP",
+            payload=build_client_hello(domain, random_bytes=rng.rand_bytes(32)),
+            direction=Direction.OUTBOUND,
+            truth=truth,
+        )
+    )
+    t = window.capture_start + 3.0
+    while t < window.capture_end - 1.0:
+        inbound = rng.random() < 0.5
+        records.append(
+            PacketRecord(
+                timestamp=t,
+                src_ip=server_ip if inbound else device_ip,
+                src_port=443 if inbound else sport,
+                dst_ip=device_ip if inbound else server_ip,
+                dst_port=sport if inbound else 443,
+                transport="TCP",
+                payload=rng.rand_bytes(rng.randint(60, 400)),
+                direction=Direction.INBOUND if inbound else Direction.OUTBOUND,
+                truth=truth,
+            )
+        )
+        t += rng.uniform(5.0, 15.0)
+
+    # In-call burst: session negotiation right after call start, periodic
+    # keepalives afterwards; ends with the call.  It targets a different
+    # front-end IP than the persistent channel (as load-balanced services
+    # do), so the 3-tuple filter does not collaterally remove it.
+    parts = server_ip.split(".")
+    parts[-1] = str((int(parts[-1]) + 1) % 256)
+    call_server_ip = ".".join(parts)
+    server_ip = call_server_ip
+    sport2 = rng.randint(49152, 65535)
+    start = window.call_start + rng.uniform(0.1, 0.8)
+    records.append(
+        PacketRecord(
+            timestamp=start,
+            src_ip=device_ip,
+            src_port=sport2,
+            dst_ip=server_ip,
+            dst_port=443,
+            transport="TCP",
+            payload=build_client_hello(domain, random_bytes=rng.rand_bytes(32)),
+            direction=Direction.OUTBOUND,
+            truth=truth,
+        )
+    )
+    span = window.call_duration - 2.0
+    for i in range(in_call_volume):
+        offset = 0.2 + span * (i / max(in_call_volume, 1)) * rng.uniform(0.9, 1.0)
+        inbound = rng.random() < 0.5
+        records.append(
+            PacketRecord(
+                timestamp=start + offset,
+                src_ip=server_ip if inbound else device_ip,
+                src_port=443 if inbound else sport2,
+                dst_ip=device_ip if inbound else server_ip,
+                dst_port=sport2 if inbound else 443,
+                transport="TCP",
+                payload=rng.rand_bytes(rng.randint(80, 600)),
+                direction=Direction.INBOUND if inbound else Direction.OUTBOUND,
+                truth=truth,
+            )
+        )
+    return records

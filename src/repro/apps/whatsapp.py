@@ -1,0 +1,309 @@
+"""WhatsApp call simulator.
+
+Reproduces the WhatsApp behaviours documented in the paper:
+
+- undefined STUN message types 0x0800-0x0805: the 0x0801/0x0802 pre-join
+  burst (16 pairs in ~2.2 ms; 500-byte requests with a zero-filled 0x4004
+  attribute, 40-byte replies, shared transaction IDs), four 0x0800
+  messages at call termination carrying 0x4000 + XOR-RELAYED-ADDRESS, and
+  sporadic 0x0803-0x0805 probes;
+- standard, compliant ICE Binding Requests (0x0001) — the app's only
+  compliant STUN type — while Binding Success (0x0101) and Allocate
+  Success (0x0103) carry the undefined 0x4002 attribute and Allocate
+  Requests (0x0003) carry the undefined 0x4001 attribute;
+- fully compliant RTP (payload types 97, 103, 105, 106, 120) and RTCP
+  (SR 200, SDES 202, RTPFB 205, PSFB 206);
+- cellular calls start in relay mode and switch to P2P after ~30 s.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import (
+    AppSimulator,
+    CallConfig,
+    Direction,
+    Endpoint,
+    NetworkCondition,
+    RtpStreamState,
+    Trace,
+    TransmissionMode,
+)
+from repro.apps.background import BackgroundNoiseGenerator
+from repro.apps.meta_common import (
+    ATTR_RESPONSE_META,
+    ATTR_SESSION,
+    burst_0801_0802,
+    call_end_0800,
+    ice_binding_pair,
+)
+from repro.apps.signaling import signaling_flows
+from repro.packets.packet import PacketRecord
+from repro.protocols.rtcp.packets import FeedbackPacket
+from repro.protocols.rtp.extensions import build_one_byte_extension
+from repro.protocols.stun.attributes import (
+    StunAttribute,
+    encode_xor_address,
+    lifetime_value,
+    requested_transport_value,
+)
+from repro.protocols.stun.constants import AttributeType
+from repro.protocols.stun.message import StunMessage
+from repro.utils.rand import DeterministicRandom
+
+RELAY_SERVER = Endpoint("157.240.195.55", 3478)
+RELAYED_ADDRESS = ("157.240.195.60", 41234)
+SIGNALING_DOMAIN = "g.whatsapp.net"
+SIGNALING_IP = "157.240.195.15"
+
+AUDIO_PT = 120
+VIDEO_PT = 97
+AUX_PTS = (103, 105, 106)
+P2P_SWITCH_AFTER = 30.0
+
+
+class WhatsAppSimulator(AppSimulator):
+    """Synthesizes WhatsApp 1-on-1 call traffic."""
+
+    name = "whatsapp"
+
+    def simulate(self, config: CallConfig) -> Trace:
+        if config.participants != 2:
+            raise ValueError(
+                "whatsapp group calls use a different media topology and are "
+                "not modelled; only 1-on-1 calls are supported"
+            )
+        window = config.window()
+        trace = Trace(app=self.name, config=config, window=window)
+        rng = self.rng_for(config, "main")
+        device_ip = self.device_ip(config)
+        device = Endpoint(device_ip, rng.randint(50000, 60000))
+        peer = Endpoint(self.peer_device_ip(config), rng.randint(50000, 60000))
+
+        segments = self._mode_segments(config, window)
+        trace.mode_timeline.extend((start, mode) for start, _end, mode in segments)
+
+        self._emit_stun(trace, config, device, peer, segments)
+        self._emit_media(trace, config, device, peer, segments)
+        self._emit_rtcp(trace, config, device, peer, segments)
+        self._emit_fully_proprietary(trace, config, device, peer)
+        trace.records.extend(
+            signaling_flows(
+                app=self.name,
+                domain=SIGNALING_DOMAIN,
+                server_ip=SIGNALING_IP,
+                device_ip=device_ip,
+                window=window,
+                rng=self.rng_for(config, "signaling"),
+                in_call_volume=8,
+            )
+        )
+        if config.include_background:
+            noise = BackgroundNoiseGenerator(
+                config=config, device_ip=device_ip, rng=self.rng_for(config, "noise")
+            )
+            trace.records.extend(noise.generate(window))
+        trace.sort()
+        return trace
+
+    def _mode_segments(self, config: CallConfig, window):
+        """(start, end, mode) segments; cellular switches relay→P2P (§3.1.1)."""
+        if config.network is NetworkCondition.WIFI_P2P:
+            return [(window.call_start, window.call_end, TransmissionMode.P2P)]
+        if config.network is NetworkCondition.WIFI_RELAY:
+            return [(window.call_start, window.call_end, TransmissionMode.RELAY)]
+        switch = window.call_start + min(P2P_SWITCH_AFTER, window.call_duration / 2)
+        return [
+            (window.call_start, switch, TransmissionMode.RELAY),
+            (switch, window.call_end, TransmissionMode.P2P),
+        ]
+
+    def _remote_for(self, mode: TransmissionMode, peer: Endpoint) -> Endpoint:
+        return RELAY_SERVER if mode is TransmissionMode.RELAY else peer
+
+    # -- STUN -------------------------------------------------------------------
+
+    def _emit_stun(self, trace, config, device, peer, segments) -> None:
+        rng = self.rng_for(config, "stun")
+        window = trace.window
+        truth = self.control_truth("stun")
+
+        # Pre-join 0x0801/0x0802 burst, right after call initiation.
+        trace.records.extend(
+            burst_0801_0802(
+                self.packet, device, RELAY_SERVER, window.call_start + 0.05, rng, truth
+            )
+        )
+
+        uses_relay = any(mode is TransmissionMode.RELAY for _s, _e, mode in segments)
+        if uses_relay:
+            # Allocate exchange with Meta's undefined attributes on both legs.
+            t = window.call_start + 0.1
+            for _ in range(2):
+                txid = rng.transaction_id()
+                allocate = StunMessage(
+                    msg_type=0x0003,
+                    transaction_id=txid,
+                    attributes=[
+                        StunAttribute(
+                            int(AttributeType.REQUESTED_TRANSPORT),
+                            requested_transport_value(),
+                        ),
+                        StunAttribute(ATTR_SESSION, rng.rand_bytes(12)),
+                    ],
+                )
+                success = StunMessage(
+                    msg_type=0x0103,
+                    transaction_id=txid,
+                    attributes=[
+                        StunAttribute(
+                            int(AttributeType.XOR_RELAYED_ADDRESS),
+                            encode_xor_address(*RELAYED_ADDRESS, txid),
+                        ),
+                        StunAttribute(int(AttributeType.LIFETIME), lifetime_value(600)),
+                        StunAttribute(ATTR_RESPONSE_META, rng.rand_bytes(4)),
+                    ],
+                )
+                trace.records.append(
+                    self.packet(t, device, RELAY_SERVER, allocate.build(),
+                                Direction.OUTBOUND, truth)
+                )
+                trace.records.append(
+                    self.packet(t + 0.05, device, RELAY_SERVER, success.build(),
+                                Direction.INBOUND, truth)
+                )
+                t += 0.2
+
+        # ICE connectivity checks throughout the call; responses carry the
+        # undefined 0x4002 attribute (making 0x0101 non-compliant).
+        for start, end, mode in segments:
+            remote = self._remote_for(mode, peer)
+            t = start + 0.5
+            while t < end:
+                request, response = ice_binding_pair(
+                    device, remote, rng,
+                    response_extra=(ATTR_RESPONSE_META, rng.rand_bytes(4)),
+                )
+                trace.records.append(
+                    self.packet(t, device, remote, request, Direction.OUTBOUND, truth)
+                )
+                trace.records.append(
+                    self.packet(t + 0.02, device, remote, response, Direction.INBOUND, truth)
+                )
+                t += rng.jitter(2.5, 0.2)
+
+        # Sporadic 0x0803-0x0805 probes mid-call.
+        t = window.call_start + 2.0
+        probe_types = (0x0803, 0x0804, 0x0805)
+        i = 0
+        while t < window.call_end:
+            msg = StunMessage(
+                msg_type=probe_types[i % 3],
+                transaction_id=rng.transaction_id(),
+                attributes=[StunAttribute(ATTR_SESSION, rng.rand_bytes(8))],
+            )
+            trace.records.append(
+                self.packet(t, device, RELAY_SERVER, msg.build(), Direction.OUTBOUND, truth)
+            )
+            t += rng.jitter(6.0, 0.3)
+            i += 1
+
+        # Call termination: four 0x0800 messages to the allocation server.
+        trace.records.extend(
+            call_end_0800(
+                self.packet, device, RELAY_SERVER, window.call_end,
+                RELAYED_ADDRESS[0], RELAYED_ADDRESS[1], rng, truth, count=4,
+            )
+        )
+
+    # -- media -------------------------------------------------------------------
+
+    def _emit_media(self, trace, config, device, peer, segments) -> None:
+        rng = self.rng_for(config, "media")
+        for kind, pt, pps, size, ts_inc, aux in (
+            ("audio", AUDIO_PT, 50, (70, 160), 480, ()),
+            ("video", VIDEO_PT, 95, (650, 1150), 3000, AUX_PTS),
+        ):
+            for direction in (Direction.OUTBOUND, Direction.INBOUND):
+                state = RtpStreamState(
+                    ssrc=rng.u32(), payload_type=pt, clock_rate=90000, rng=rng
+                )
+                for start, end, mode in segments:
+                    remote = self._remote_for(mode, peer)
+                    self._emit_segment(
+                        trace.records, device, remote, direction, state, rng,
+                        start, end, pps * config.media_scale, size, ts_inc, aux, kind,
+                    )
+
+    def _emit_segment(
+        self, records, device, remote, direction, state, rng,
+        t0, t1, pps, size, ts_inc, aux_pts, kind,
+    ) -> None:
+        interval = 1.0 / pps
+        t = t0 + rng.uniform(0, interval)
+        index = 0
+        truth = self.media_truth(f"rtp-{kind}")
+        while t < t1:
+            override = None
+            if aux_pts and index % 41 == 3:
+                override = aux_pts[(index // 41) % len(aux_pts)]
+            extension = None
+            if index % 2 == 0:
+                # Compliant one-byte extensions (audio level / TWCC style).
+                extension = build_one_byte_extension(
+                    [(1, bytes([rng.randint(0, 127)])),
+                     (3, rng.randint(0, 0xFFFF).to_bytes(2, "big"))]
+                )
+            packet = state.next_packet(
+                payload=rng.rand_bytes(rng.randint(*size)),
+                ts_increment=ts_inc,
+                marker=index % 15 == 0,
+                extension=extension,
+                payload_type=override,
+            )
+            records.append(self.packet(t, device, remote, packet.build(), direction, truth))
+            t += rng.jitter(interval, 0.05)
+            index += 1
+
+    def _emit_rtcp(self, trace, config, device, peer, segments) -> None:
+        rng = self.rng_for(config, "rtcp")
+        truth = self.control_truth("rtcp")
+        ssrc_a, ssrc_b = rng.u32(), rng.u32()
+        state = RtpStreamState(ssrc=ssrc_a, payload_type=AUDIO_PT, clock_rate=48000, rng=rng)
+        for start, end, mode in segments:
+            remote = self._remote_for(mode, peer)
+            t = start + 1.0
+            i = 0
+            while t < end:
+                if i % 3 == 0:
+                    payload = (
+                        self.make_sender_report(state, ssrc_b, rng, t).build()
+                        + self.make_sdes(ssrc_a, f"wa-{ssrc_a:x}").build()
+                    )
+                elif i % 3 == 1:
+                    payload = FeedbackPacket(
+                        packet_type=205, fmt=1, sender_ssrc=ssrc_a, media_ssrc=ssrc_b,
+                        fci=rng.u32().to_bytes(4, "big"),
+                    ).to_packet().build()
+                else:
+                    payload = FeedbackPacket(
+                        packet_type=206, fmt=1, sender_ssrc=ssrc_a, media_ssrc=ssrc_b,
+                    ).to_packet().build()
+                direction = Direction.OUTBOUND if i % 2 == 0 else Direction.INBOUND
+                trace.records.append(self.packet(t, device, remote, payload, direction, truth))
+                t += rng.jitter(0.35 / max(config.media_scale, 0.05), 0.2)
+                i += 1
+
+    def _emit_fully_proprietary(self, trace, config, device, peer) -> None:
+        """Occasional unparseable keepalives (~0.4% of datagrams)."""
+        rng = self.rng_for(config, "fp")
+        window = trace.window
+        truth = self.control_truth("keepalive")
+        t = window.call_start + 0.7
+        while t < window.call_end:
+            payload = bytes([0xFE, 0xFE]) + rng.rand_bytes(6)
+            trace.records.append(
+                self.packet(t, device, RELAY_SERVER, payload, Direction.OUTBOUND, truth)
+            )
+            t += rng.jitter(1.0 / max(config.media_scale, 0.05), 0.3)

@@ -1,0 +1,410 @@
+"""Zoom call simulator.
+
+Reproduces the Zoom behaviours documented in the paper:
+
+- every RTP/RTCP datagram is preceded by a 24-39 byte proprietary header
+  with an SFU section (direction byte 0x00/0x04, or 0x01/0x05 when the
+  type-7 wrapper is present; constant 4-byte media ID per stream) and a
+  media section (type 15 audio RTP, 16 video RTP, 33-35 RTCP, 7 wrapper);
+- ~6.9% of RTP/RTCP packets use the type-7 wrapper (cellular and
+  P2P-disabled Wi-Fi only);
+- legacy RFC 3489 STUN with undefined attributes 0x0101 (Binding Request,
+  20-byte ASCII ``1234567890`` twice) and 0x0103 (Shared Secret Request,
+  8 bytes); launch-time STUN plus mid-call STUN in Wi-Fi P2P mode only;
+- fixed, network-dependent SSRC sets (never randomized across calls);
+- filler datagrams: 1000 identical bytes, bursts at stream start ramping
+  to 500 pkt/s (relay) / 180 pkt/s (P2P), ~53% of fully proprietary volume;
+- 0.21% of audio datagrams carry two RTP messages (payload type 110,
+  7-byte first payload, same SSRC/timestamp, consecutive sequence numbers).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.apps.base import (
+    AppSimulator,
+    CallConfig,
+    Direction,
+    Endpoint,
+    NetworkCondition,
+    RtpStreamState,
+    Trace,
+    TransmissionMode,
+)
+from repro.apps.background import BackgroundNoiseGenerator
+from repro.apps.signaling import signaling_flows
+from repro.packets.packet import PacketRecord
+from repro.protocols.rtp.header import RtpPacket
+from repro.protocols.stun.attributes import StunAttribute
+from repro.protocols.stun.message import StunMessage
+from repro.utils.rand import DeterministicRandom
+
+SFU_SERVER = Endpoint("170.114.52.2", 8801)
+STUN_SERVER = Endpoint("170.114.10.74", 3478)
+SIGNALING_DOMAIN = "zoomgov-live.zoom.us"
+SIGNALING_IP = "170.114.12.30"
+
+#: Media-section type codes (after Michel et al., IMC '22).
+TYPE_AUDIO_RTP = 15
+TYPE_VIDEO_RTP = 16
+TYPE_RTCP = 33
+TYPE_WRAPPER = 7
+
+#: Fixed SSRC sets per network configuration (paper §5.2.2).
+OUTBOUND_SSRCS = {
+    NetworkCondition.CELLULAR: (0x1001401, 0x1001402),
+    NetworkCondition.WIFI_P2P: (0x1000801, 0x1000802),
+    NetworkCondition.WIFI_RELAY: (0x1000C01, 0x1000C02),
+}
+INBOUND_SSRCS = (0x1000401, 0x1000402)
+
+#: Payload types observed in Zoom traffic (paper Table 5).
+MISC_PAYLOAD_TYPES = (
+    [0, 3, 4, 5, 10, 12, 13, 19, 20, 25, 33, 35, 38, 41, 45, 46, 49, 59,
+     68, 69, 74, 75, 82, 83, 89, 92, 93, 95, 98, 99]
+    + list(range(102, 122))
+    + [123, 126, 127]
+)
+AUDIO_PT = 110
+VIDEO_PT = 98
+
+WRAPPER_FRACTION = 0.069
+DUAL_RTP_FRACTION = 0.0021
+
+
+class ZoomSimulator(AppSimulator):
+    """Synthesizes Zoom 1-on-1 call traffic."""
+
+    name = "zoom"
+
+    def simulate(self, config: CallConfig) -> Trace:
+        window = config.window()
+        trace = Trace(app=self.name, config=config, window=window)
+        mode = (
+            TransmissionMode.P2P
+            if config.network is NetworkCondition.WIFI_P2P
+            else TransmissionMode.RELAY
+        )
+        trace.mode_timeline.append((window.call_start, mode))
+
+        device_ip = self.device_ip(config)
+        rng = self.rng_for(config, "main")
+        media_port = rng.randint(50000, 60000)
+        if mode is TransmissionMode.RELAY:
+            remote = SFU_SERVER
+        else:
+            remote = Endpoint(self.peer_device_ip(config), 8801)
+        device = Endpoint(device_ip, media_port)
+
+        self._emit_launch_stun(trace, config, device_ip)
+        self._emit_media(trace, config, device, remote, mode)
+        if config.network is NetworkCondition.WIFI_P2P:
+            self._emit_midcall_stun(trace, config, device, remote)
+        trace.records.extend(
+            signaling_flows(
+                app=self.name,
+                domain=SIGNALING_DOMAIN,
+                server_ip=SIGNALING_IP,
+                device_ip=device_ip,
+                window=window,
+                rng=self.rng_for(config, "signaling"),
+                in_call_volume=40,
+            )
+        )
+        if config.include_background:
+            noise = BackgroundNoiseGenerator(
+                config=config, device_ip=device_ip, rng=self.rng_for(config, "noise")
+            )
+            trace.records.extend(noise.generate(window))
+        trace.sort()
+        return trace
+
+    # -- proprietary framing --------------------------------------------------
+
+    def _proprietary_header(
+        self,
+        media_type: int,
+        direction: Direction,
+        media_id: int,
+        session_tag: bytes,
+        seq: int,
+        inner_len: int,
+        wrapped: bool,
+    ) -> bytes:
+        """Build the 24- or 32-byte Zoom header preceding each media message."""
+        if wrapped:
+            direction_byte = 0x01 if direction is Direction.OUTBOUND else 0x05
+        else:
+            direction_byte = 0x00 if direction is Direction.OUTBOUND else 0x04
+        sfu = bytes([direction_byte, 0x64]) + media_id.to_bytes(4, "big")
+        sfu += session_tag + (seq & 0xFFFF).to_bytes(2, "big")
+        media = bytes([TYPE_WRAPPER if wrapped else media_type, 0x00])
+        media += (inner_len & 0xFFFF).to_bytes(2, "big")
+        media += ((seq * 960) & 0xFFFFFFFF).to_bytes(4, "big")
+        header = sfu + media
+        if wrapped:
+            # The wrapper nests another media section carrying the real type.
+            inner = bytes([media_type, 0x00]) + inner_len.to_bytes(2, "big")
+            inner += ((seq * 960) & 0xFFFFFFFF).to_bytes(4, "big")
+            header += inner
+        return header
+
+    def _emit_media(
+        self,
+        trace: Trace,
+        config: CallConfig,
+        device: Endpoint,
+        remote: Endpoint,
+        mode: TransmissionMode,
+    ) -> None:
+        window = trace.window
+        rng = self.rng_for(config, "media")
+        t0, t1 = window.call_start, window.call_end
+        out_audio_ssrc, out_video_ssrc = OUTBOUND_SSRCS[config.network]
+        in_audio_ssrc, in_video_ssrc = INBOUND_SSRCS
+        session_tag = rng.rand_bytes(8)
+        allow_wrapper = config.network is not NetworkCondition.WIFI_P2P
+
+        plans = [
+            # (ssrc, base_pt, media_type, direction, pps, size)
+            (out_audio_ssrc, AUDIO_PT, TYPE_AUDIO_RTP, Direction.OUTBOUND, 50, (90, 180)),
+            (in_audio_ssrc, AUDIO_PT, TYPE_AUDIO_RTP, Direction.INBOUND, 50, (90, 180)),
+            (out_video_ssrc, VIDEO_PT, TYPE_VIDEO_RTP, Direction.OUTBOUND, 95, (700, 1150)),
+            (in_video_ssrc, VIDEO_PT, TYPE_VIDEO_RTP, Direction.INBOUND, 95, (700, 1150)),
+        ]
+        # Group calls: the SFU fans in one stream pair per extra participant,
+        # continuing Zoom's deterministic SSRC numbering.
+        for extra in range(config.extra_participants):
+            plans.append((in_audio_ssrc + 2 * (extra + 1), AUDIO_PT,
+                          TYPE_AUDIO_RTP, Direction.INBOUND, 50, (90, 180)))
+            plans.append((in_video_ssrc + 2 * (extra + 1), VIDEO_PT,
+                          TYPE_VIDEO_RTP, Direction.INBOUND, 95, (700, 1150)))
+        # One media ID per transport stream (5-tuple): constant for the
+        # whole call (§5.3).  All media shares one 5-tuple here, so all
+        # plans share the ID.
+        media_id = rng.u32()
+        stream_states = {}
+        for ssrc, pt, media_type, direction, pps, size in plans:
+            pps *= config.media_scale
+            state = RtpStreamState(ssrc=ssrc, payload_type=pt, clock_rate=90000, rng=rng)
+            stream_states[(ssrc, direction)] = state
+            seq_counter = [0]
+            is_audio = media_type == TYPE_AUDIO_RTP
+
+            def wrap(raw: bytes, d: Direction, index: int, _mt=media_type,
+                     _mid=media_id, _sc=seq_counter) -> bytes:
+                wrapped = allow_wrapper and rng.random() < WRAPPER_FRACTION
+                header = self._proprietary_header(
+                    _mt, d, _mid, session_tag, _sc[0], len(raw), wrapped
+                )
+                _sc[0] += 1
+                return header + raw
+
+            # Audio stream: occasionally emit the dual-RTP datagram by hand.
+            if is_audio:
+                self._emit_audio_with_duals(
+                    trace.records, config, device, remote, direction,
+                    state, rng, t0, t1, pps, (90, 180), wrap,
+                )
+            else:
+                # Video stream cycles through Zoom's long payload-type list at
+                # a low rate so every observed type appears (Table 5).  Each
+                # direction starts the rotation elsewhere so short calls
+                # still cover the whole list between them.
+                cycle_offset = (
+                    len(MISC_PAYLOAD_TYPES) // 2
+                    if direction is Direction.INBOUND
+                    else 0
+                )
+
+                def ext_pt(index: int, _off=cycle_offset) -> Optional[int]:
+                    if index % 37 == 5:
+                        return MISC_PAYLOAD_TYPES[
+                            (index // 37 + _off) % len(MISC_PAYLOAD_TYPES)
+                        ]
+                    return None
+
+                self._emit_video_with_misc(
+                    trace.records, device, remote, direction, state, rng,
+                    t0, t1, pps, (700, 1150), wrap, ext_pt,
+                )
+
+        # RTCP: SR + SDES, compliant, wrapped with media-section type 33.
+        self._emit_rtcp(trace, config, device, remote, stream_states,
+                        session_tag, allow_wrapper, media_id)
+        # Filler bursts and other fully proprietary datagrams.
+        self._emit_filler(trace, config, device, remote, mode)
+
+    def _emit_audio_with_duals(
+        self, records, config, device, remote, direction, state, rng,
+        t0, t1, pps, size_range, wrap,
+    ) -> None:
+        interval = 1.0 / pps
+        t = t0 + rng.uniform(0, interval)
+        index = 0
+        truth = self.media_truth("rtp-audio")
+        while t < t1:
+            if rng.random() < DUAL_RTP_FRACTION:
+                # Two RTP messages in one datagram: 7-byte probe + real frame,
+                # same SSRC and timestamp, consecutive sequence numbers.
+                first = state.next_packet(payload=rng.rand_bytes(7), ts_increment=0)
+                second = state.next_packet(
+                    payload=rng.rand_bytes(1000), ts_increment=960
+                )
+                raw = first.build() + second.build()
+            else:
+                raw = state.next_packet(
+                    payload=rng.rand_bytes(rng.randint(*size_range)), ts_increment=960
+                ).build()
+            records.append(
+                self.packet(t, device, remote, wrap(raw, direction, index), direction, truth)
+            )
+            t += rng.jitter(interval, 0.05)
+            index += 1
+
+    def _emit_video_with_misc(
+        self, records, device, remote, direction, state, rng,
+        t0, t1, pps, size_range, wrap, pt_override,
+    ) -> None:
+        interval = 1.0 / pps
+        t = t0 + rng.uniform(0, interval)
+        index = 0
+        truth = self.media_truth("rtp-video")
+        while t < t1:
+            override = pt_override(index)
+            payload_len = 120 if override is not None else rng.randint(*size_range)
+            packet = state.next_packet(
+                payload=rng.rand_bytes(payload_len),
+                ts_increment=3000,
+                marker=index % 10 == 0,
+                payload_type=override,
+            )
+            records.append(
+                self.packet(
+                    t, device, remote, wrap(packet.build(), direction, index),
+                    direction, truth,
+                )
+            )
+            t += rng.jitter(interval, 0.05)
+            index += 1
+
+    def _emit_rtcp(
+        self, trace, config, device, remote, stream_states, session_tag,
+        allow_wrapper, media_id,
+    ) -> None:
+        rng = self.rng_for(config, "rtcp")
+        window = trace.window
+        truth = self.control_truth("rtcp")
+        seq = 0
+        t = window.call_start + 1.0
+        out_audio = stream_states[(OUTBOUND_SSRCS[config.network][0], Direction.OUTBOUND)]
+        in_audio = stream_states[(INBOUND_SSRCS[0], Direction.INBOUND)]
+        while t < window.call_end:
+            for direction, state, remote_ssrc in (
+                (Direction.OUTBOUND, out_audio, INBOUND_SSRCS[0]),
+                (Direction.INBOUND, in_audio, OUTBOUND_SSRCS[config.network][0]),
+            ):
+                compound = (
+                    self.make_sender_report(state, remote_ssrc, rng, t).build()
+                    + self.make_sdes(state.ssrc, f"zoom-{state.ssrc:x}").build()
+                )
+                wrapped = allow_wrapper and rng.random() < WRAPPER_FRACTION
+                header = self._proprietary_header(
+                    TYPE_RTCP, direction, media_id, session_tag, seq, len(compound), wrapped
+                )
+                trace.records.append(
+                    self.packet(t, device, remote, header + compound, direction, truth)
+                )
+                seq += 1
+            t += rng.jitter(0.6 / max(config.media_scale, 0.05), 0.2)
+
+    def _emit_filler(self, trace, config, device, remote, mode) -> None:
+        """Bandwidth-probe fillers plus other fully proprietary datagrams."""
+        rng = self.rng_for(config, "filler")
+        window = trace.window
+        peak = 500.0 if mode is TransmissionMode.RELAY else 180.0
+        peak *= config.media_scale
+        # 10-20 s on the paper's 5-minute calls, i.e. 3-7% of the call —
+        # scaled proportionally so shortened calls keep the same traffic mix.
+        burst_len = window.call_duration * rng.uniform(0.033, 0.067)
+        burst_len = min(burst_len, 20.0)
+        truth = self.control_truth("filler")
+        for direction in (Direction.OUTBOUND, Direction.INBOUND):
+            fill_byte = rng.choice([0x01, 0x02, 0x03])
+            # Linear ramp 0 -> peak over burst_len: cumulative count is
+            # peak*t^2/(2*burst_len), so the i-th packet fires at
+            # burst_len*sqrt(i/total).
+            total = max(8, int(peak * burst_len / 2))
+            for i in range(total):
+                t = window.call_start + burst_len * ((i + 1) / total) ** 0.5
+                trace.records.append(
+                    self.packet(
+                        t, device, remote, bytes([fill_byte]) * 1000, direction, truth
+                    )
+                )
+        # Other fully proprietary control datagrams spread over the call.
+        other_truth = self.control_truth("proprietary-control")
+        t = window.call_start + 0.5
+        rate = 30.0 * config.media_scale
+        while t < window.call_end:
+            payload = bytes([0x05, 0x1F]) + rng.rand_bytes(58)
+            direction = Direction.OUTBOUND if rng.random() < 0.5 else Direction.INBOUND
+            trace.records.append(self.packet(t, device, remote, payload, direction, other_truth))
+            t += rng.jitter(1.0 / max(rate, 1.0), 0.3)
+
+    # -- STUN ------------------------------------------------------------------
+
+    def _binding_request(self, rng: DeterministicRandom) -> bytes:
+        """Classic RFC 3489 Binding Request with the undefined 0x0101 attribute."""
+        return StunMessage(
+            msg_type=0x0001,
+            transaction_id=rng.rand_bytes(16),
+            attributes=[StunAttribute(0x0101, b"12345678901234567890")],
+            classic=True,
+        ).build()
+
+    def _shared_secret_request(self, rng: DeterministicRandom) -> bytes:
+        """Server-originated Shared Secret Request with undefined 0x0103."""
+        return StunMessage(
+            msg_type=0x0002,
+            transaction_id=rng.rand_bytes(16),
+            attributes=[StunAttribute(0x0103, rng.rand_bytes(8))],
+            classic=True,
+        ).build()
+
+    def _emit_launch_stun(self, trace: Trace, config: CallConfig, device_ip: str) -> None:
+        """App-launch STUN in the pre-call phase (filtered out downstream)."""
+        rng = self.rng_for(config, "stun-launch")
+        device = Endpoint(device_ip, rng.randint(49152, 65535))
+        truth = self.control_truth("stun-launch")
+        t = trace.window.capture_start + rng.uniform(2.0, 6.0)
+        for _ in range(4):
+            trace.records.append(
+                self.packet(t, device, STUN_SERVER, self._binding_request(rng),
+                            Direction.OUTBOUND, truth)
+            )
+            trace.records.append(
+                self.packet(t + 0.08, device, STUN_SERVER, self._shared_secret_request(rng),
+                            Direction.INBOUND, truth)
+            )
+            t += rng.uniform(0.5, 1.5)
+
+    def _emit_midcall_stun(
+        self, trace: Trace, config: CallConfig, device: Endpoint, remote: Endpoint
+    ) -> None:
+        """Wi-Fi P2P connectivity checks inside the call window."""
+        rng = self.rng_for(config, "stun-midcall")
+        window = trace.window
+        truth = self.control_truth("stun-midcall")
+        t = window.call_start + 2.0
+        while t < window.call_end:
+            trace.records.append(
+                self.packet(t, device, remote, self._binding_request(rng),
+                            Direction.OUTBOUND, truth)
+            )
+            trace.records.append(
+                self.packet(t + 0.03, device, remote, self._shared_secret_request(rng),
+                            Direction.INBOUND, truth)
+            )
+            t += rng.jitter(5.0, 0.2)

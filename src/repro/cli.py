@@ -1,0 +1,331 @@
+"""Command-line interface: ``rtc-compliance``.
+
+Subcommands::
+
+    rtc-compliance run --app zoom --network wifi_relay   # one experiment
+    rtc-compliance matrix --duration 30 --scale 0.5      # full matrix + tables
+    rtc-compliance synthesize --app discord --out d.pcap # write a pcap trace
+    rtc-compliance pcap capture.pcap                     # analyze a real pcap
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps import APP_NAMES, CallConfig, NetworkCondition, get_simulator
+from repro.core import ComplianceChecker, ComplianceSummary
+from repro.dpi import DpiEngine
+from repro.experiments import ExperimentConfig, run_experiment, run_matrix
+from repro.experiments.figures import figure3, figure4, figure5, render_ratio_series
+from repro.experiments.tables import (
+    render_observed_types,
+    render_table1,
+    render_table2,
+    render_table3,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.filtering import TwoStageFilter
+from repro.packets.pcap import read_pcap, write_pcap
+
+
+def _network(value: str) -> NetworkCondition:
+    try:
+        return NetworkCondition(value)
+    except ValueError:
+        choices = ", ".join(n.value for n in NetworkCondition)
+        raise argparse.ArgumentTypeError(f"expected one of: {choices}") from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rtc-compliance",
+        description="Protocol-compliance measurement for RTC applications",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one experiment cell")
+    run_p.add_argument("--app", choices=APP_NAMES, required=True)
+    run_p.add_argument("--network", type=_network, default=NetworkCondition.WIFI_RELAY)
+    run_p.add_argument("--duration", type=float, default=30.0)
+    run_p.add_argument("--scale", type=float, default=0.5)
+    run_p.add_argument("--seed", type=int, default=0)
+
+    matrix_p = sub.add_parser("matrix", help="run the full experiment matrix")
+    matrix_p.add_argument("--duration", type=float, default=30.0)
+    matrix_p.add_argument("--scale", type=float, default=0.5)
+    matrix_p.add_argument("--repeats", type=int, default=1)
+    matrix_p.add_argument("--seed", type=int, default=0)
+
+    synth_p = sub.add_parser("synthesize", help="write a synthetic call trace to pcap")
+    synth_p.add_argument("--app", choices=APP_NAMES, required=True)
+    synth_p.add_argument("--network", type=_network, default=NetworkCondition.WIFI_RELAY)
+    synth_p.add_argument("--duration", type=float, default=30.0)
+    synth_p.add_argument("--scale", type=float, default=0.5)
+    synth_p.add_argument("--seed", type=int, default=0)
+    synth_p.add_argument("--out", required=True)
+
+    pcap_p = sub.add_parser("pcap", help="analyze an existing pcap capture")
+    pcap_p.add_argument("path")
+    pcap_p.add_argument("--max-offset", type=int, default=200)
+
+    report_p = sub.add_parser("report", help="write a markdown compliance report")
+    report_p.add_argument("--app", choices=APP_NAMES)
+    report_p.add_argument("--network", type=_network, default=NetworkCondition.WIFI_RELAY)
+    report_p.add_argument("--duration", type=float, default=30.0)
+    report_p.add_argument("--scale", type=float, default=0.5)
+    report_p.add_argument("--seed", type=int, default=0)
+    report_p.add_argument("--out", help="output file (default: stdout)")
+
+    dataset_p = sub.add_parser(
+        "dataset", help="synthesize a pcap dataset with ground-truth manifest"
+    )
+    dataset_p.add_argument("--root", required=True)
+    dataset_p.add_argument("--duration", type=float, default=30.0)
+    dataset_p.add_argument("--scale", type=float, default=0.5)
+    dataset_p.add_argument("--repeats", type=int, default=1)
+    dataset_p.add_argument("--seed", type=int, default=0)
+    dataset_p.add_argument("--apps", nargs="*", choices=APP_NAMES, default=APP_NAMES)
+
+    interop_p = sub.add_parser(
+        "interop", help="estimate per-app interoperability adaptation effort"
+    )
+    interop_p.add_argument("--duration", type=float, default=20.0)
+    interop_p.add_argument("--scale", type=float, default=0.4)
+    interop_p.add_argument("--seed", type=int, default=0)
+
+    fingerprint_p = sub.add_parser(
+        "fingerprint", help="identify the RTC application behind a pcap"
+    )
+    fingerprint_p.add_argument("path")
+    fingerprint_p.add_argument("--max-offset", type=int, default=200)
+
+    dissect_p = sub.add_parser(
+        "dissect", help="print a per-datagram dissection of a pcap"
+    )
+    dissect_p.add_argument("path")
+    dissect_p.add_argument("--max-offset", type=int, default=200)
+    dissect_p.add_argument("--limit", type=int, default=20,
+                           help="datagrams to print (default 20)")
+
+    return parser
+
+
+def _print_summary(summary: ComplianceSummary) -> None:
+    print(f"Application: {summary.app}")
+    print(f"Volume compliance: {summary.volume.ratio * 100:.2f}% "
+          f"({summary.volume.compliant}/{summary.volume.total} messages)")
+    for protocol, volume in summary.volume_by_protocol.items():
+        print(f"  {protocol:<10} {volume.ratio * 100:6.2f}% "
+              f"({volume.compliant}/{volume.total})")
+    compliant, total = summary.type_ratio()
+    print(f"Message-type compliance: {compliant}/{total}")
+    for entry in sorted(summary.types.values(), key=lambda e: (e.protocol, e.type_label)):
+        status = "OK " if entry.compliant else "BAD"
+        line = f"  [{status}] {entry.protocol:<10} {entry.type_label:<14} x{entry.total}"
+        if entry.example_violations:
+            line += f"  e.g. {entry.example_violations[0]}"
+        print(line)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        call_duration=args.duration, media_scale=args.scale, seed=args.seed
+    )
+    aggregate = run_experiment(args.app, args.network, config)
+    _print_summary(aggregate.summary)
+    print(f"Filter precision: {aggregate.filter_precision:.3f}  "
+          f"recall: {aggregate.filter_recall:.3f}")
+    return 0
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        call_duration=args.duration,
+        media_scale=args.scale,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    matrix = run_matrix(config=config)
+    print(render_table1(table1(matrix)))
+    print()
+    print(render_table2(table2(matrix)))
+    print()
+    print(render_table3(table3(matrix)))
+    print()
+    print(render_observed_types(table4(matrix), "Table 4: STUN/TURN message types"))
+    print()
+    print(render_observed_types(table5(matrix), "Table 5: RTP payload types"))
+    print()
+    print(render_observed_types(table6(matrix), "Table 6: RTCP packet types"))
+    print()
+    fig4 = figure4(matrix)
+    print(render_ratio_series(fig4["by_app"], "Figure 4 (by app, volume)"))
+    print(render_ratio_series(fig4["by_protocol"], "Figure 4 (by protocol, volume)"))
+    fig5 = figure5(matrix)
+    print(render_ratio_series(fig5["by_app"], "Figure 5 (by app, types)"))
+    print(render_ratio_series(fig5["by_protocol"], "Figure 5 (by protocol, types)"))
+    fig3 = figure3(matrix)
+    for app, shares in fig3.items():
+        print(f"Figure 3 {app}: " + ", ".join(
+            f"{k}={v * 100:.1f}%" for k, v in shares.items()
+        ))
+    return 0
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    simulator = get_simulator(args.app)
+    trace = simulator.simulate(
+        CallConfig(
+            network=args.network,
+            seed=args.seed,
+            call_duration=args.duration,
+            media_scale=args.scale,
+        )
+    )
+    count = write_pcap(args.out, trace.records)
+    print(f"wrote {count} packets to {args.out}")
+    return 0
+
+
+def cmd_pcap(args: argparse.Namespace) -> int:
+    records = read_pcap(args.path)
+    if not records:
+        print("no decodable packets found", file=sys.stderr)
+        return 1
+    engine = DpiEngine(max_offset=args.max_offset)
+    result = engine.analyze_records(records)
+    verdicts = ComplianceChecker().check(result.messages())
+    summary = ComplianceSummary.from_verdicts(args.path, verdicts)
+    _print_summary(summary)
+    by_class = result.by_class()
+    total = sum(by_class.values())
+    if total:
+        print("Datagram classes:")
+        for cls, count in by_class.items():
+            print(f"  {cls.value:<20} {count} ({count / total * 100:.1f}%)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import aggregate_report, matrix_report
+
+    config = ExperimentConfig(
+        call_duration=args.duration, media_scale=args.scale, seed=args.seed
+    )
+    if args.app:
+        aggregate = run_experiment(args.app, args.network, config)
+        text = aggregate_report(aggregate)
+    else:
+        text = matrix_report(run_matrix(config=config))
+    if args.out:
+        with open(args.out, "w") as fileobj:
+            fileobj.write(text)
+        print(f"wrote report to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.experiments.dataset import build_dataset
+
+    dataset = build_dataset(
+        args.root,
+        apps=tuple(args.apps),
+        call_duration=args.duration,
+        media_scale=args.scale,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    total = sum(entry.packet_count for entry in dataset.entries)
+    print(f"wrote {len(dataset.entries)} traces ({total} packets) to {dataset.root}")
+    return 0
+
+
+def cmd_interop(args: argparse.Namespace) -> int:
+    from repro.core import ComplianceChecker
+    from repro.experiments.interop import compute_interop_gap, render_gap_table
+    from repro.apps import get_simulator as _get_simulator
+
+    gaps = []
+    for app in APP_NAMES:
+        verdicts = []
+        analyses = []
+        for network in NetworkCondition:
+            simulator = _get_simulator(app)
+            trace = simulator.simulate(
+                CallConfig(network=network, seed=args.seed,
+                           call_duration=args.duration, media_scale=args.scale)
+            )
+            kept = TwoStageFilter(trace.window).apply(trace.records).kept_records
+            dpi = DpiEngine().analyze_records(kept)
+            analyses.extend(dpi.analyses)
+            verdicts.extend(ComplianceChecker().check(dpi.messages()))
+        gaps.append(compute_interop_gap(app, verdicts, analyses))
+    print(render_gap_table(gaps))
+    print("\nWorkload details:")
+    for gap in gaps:
+        print(f"\n{gap.app} (effort {gap.effort_score}/10):")
+        for item in gap.workload_items():
+            print(f"  - {item}")
+    return 0
+
+
+def cmd_fingerprint(args: argparse.Namespace) -> int:
+    from repro.analysis.classifier import classify_application
+
+    records = read_pcap(args.path)
+    if not records:
+        print("no decodable packets found", file=sys.stderr)
+        return 1
+    result = DpiEngine(max_offset=args.max_offset).analyze_records(records)
+    scores = classify_application(result.analyses)
+    if scores.best is None:
+        print("no RTC application fingerprint recognized")
+        return 1
+    confidence = "high" if scores.confident else "low"
+    print(f"best match: {scores.best} (confidence: {confidence})")
+    for app, score in sorted(scores.scores.items(), key=lambda kv: -kv[1]):
+        print(f"  {app:<11} score {score:.1f}")
+        for reason in scores.evidence.get(app, []):
+            print(f"    - {reason}")
+    return 0
+
+
+def cmd_dissect(args: argparse.Namespace) -> int:
+    from repro.analysis.dissect import dissect_records
+
+    records = read_pcap(args.path)
+    if not records:
+        print("no decodable packets found", file=sys.stderr)
+        return 1
+    print(dissect_records(records, max_offset=args.max_offset,
+                          limit=args.limit))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": cmd_run,
+        "matrix": cmd_matrix,
+        "synthesize": cmd_synthesize,
+        "pcap": cmd_pcap,
+        "report": cmd_report,
+        "dataset": cmd_dataset,
+        "interop": cmd_interop,
+        "fingerprint": cmd_fingerprint,
+        "dissect": cmd_dissect,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""The two compliance metrics of §5.1.
+
+- **volume metric**: share of compliant messages over all messages;
+- **message-type metric**: each distinct (protocol, message type) pair is
+  one unit, compliant only if *every* observed instance is compliant.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.verdict import MessageVerdict
+from repro.dpi.messages import Protocol
+
+TypeKey = Tuple[str, str]  # (protocol value, message-type label)
+
+
+@dataclass(frozen=True)
+class VolumeCompliance:
+    """Compliant/total message counts."""
+
+    compliant: int
+    total: int
+
+    @property
+    def ratio(self) -> float:
+        return self.compliant / self.total if self.total else 1.0
+
+    def __add__(self, other: "VolumeCompliance") -> "VolumeCompliance":
+        return VolumeCompliance(
+            compliant=self.compliant + other.compliant,
+            total=self.total + other.total,
+        )
+
+
+@dataclass
+class TypeComplianceEntry:
+    """All observations of one message type."""
+
+    protocol: str
+    type_label: str
+    total: int = 0
+    non_compliant: int = 0
+    example_violations: List[str] = field(default_factory=list)
+
+    @property
+    def compliant(self) -> bool:
+        return self.non_compliant == 0
+
+
+def volume_metric(
+    verdicts: Sequence[MessageVerdict],
+    protocol: Optional[Protocol] = None,
+) -> VolumeCompliance:
+    """Volume-based compliance, optionally restricted to one protocol."""
+    compliant = total = 0
+    for verdict in verdicts:
+        if protocol is not None and verdict.message.protocol is not protocol:
+            continue
+        total += 1
+        if verdict.compliant:
+            compliant += 1
+    return VolumeCompliance(compliant=compliant, total=total)
+
+
+def message_type_metric(
+    verdicts: Sequence[MessageVerdict],
+) -> Dict[TypeKey, TypeComplianceEntry]:
+    """Message-type-based compliance: one entry per observed type."""
+    entries: Dict[TypeKey, TypeComplianceEntry] = {}
+    for verdict in verdicts:
+        key = verdict.message.type_key()
+        entry = entries.get(key)
+        if entry is None:
+            entry = TypeComplianceEntry(protocol=key[0], type_label=key[1])
+            entries[key] = entry
+        entry.total += 1
+        if not verdict.compliant:
+            entry.non_compliant += 1
+            if len(entry.example_violations) < 3:
+                entry.example_violations.append(str(verdict.first_violation))
+    return entries
+
+
+@dataclass
+class ComplianceSummary:
+    """Aggregated compliance for one application (or any message set)."""
+
+    app: str
+    volume: VolumeCompliance
+    volume_by_protocol: Dict[str, VolumeCompliance]
+    types: Dict[TypeKey, TypeComplianceEntry]
+
+    @classmethod
+    def from_verdicts(cls, app: str, verdicts: Sequence[MessageVerdict]):
+        by_protocol: Dict[str, VolumeCompliance] = {}
+        for protocol in Protocol:
+            volume = volume_metric(verdicts, protocol)
+            if volume.total:
+                by_protocol[protocol.value] = volume
+        return cls(
+            app=app,
+            volume=volume_metric(verdicts),
+            volume_by_protocol=by_protocol,
+            types=message_type_metric(verdicts),
+        )
+
+    def type_ratio(self, protocol: Optional[str] = None) -> Tuple[int, int]:
+        """(compliant types, total types), optionally for one protocol."""
+        compliant = total = 0
+        for entry in self.types.values():
+            if protocol is not None and entry.protocol != protocol:
+                continue
+            total += 1
+            if entry.compliant:
+                compliant += 1
+        return compliant, total
+
+    def observed_types(self, protocol: str) -> Dict[str, TypeComplianceEntry]:
+        return {
+            entry.type_label: entry
+            for entry in self.types.values()
+            if entry.protocol == protocol
+        }
+
+
+def merge_type_entries(
+    summaries: Iterable[ComplianceSummary], protocol: str
+) -> Tuple[int, int]:
+    """Protocol-centric type metric across apps (Table 3's bottom row).
+
+    A type used by multiple applications counts once *per application*,
+    because each vendor interprets the same protocol element independently.
+    """
+    compliant = total = 0
+    for summary in summaries:
+        c, t = summary.type_ratio(protocol)
+        compliant += c
+        total += t
+    return compliant, total

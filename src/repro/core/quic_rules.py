@@ -1,0 +1,60 @@
+"""QUIC compliance rules (criteria 1-5).
+
+Source: RFC 9000.  QUIC payloads (and most header bits) are encrypted, so
+— as in the paper — only invariant structure is judged: header form, fixed
+bit, version, connection-ID lengths, and per-type framing.  Structural
+errors are rejected at parse time; what reaches the checker is largely
+compliant, which is exactly the paper's finding (QUIC: 100%).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.verdict import Criterion, Violation
+from repro.dpi.messages import ExtractedMessage
+from repro.protocols.quic.header import QUIC_V1, QUIC_V2, QuicHeader
+
+
+def check_quic(extracted: ExtractedMessage, sequential: bool = True) -> List[Violation]:
+    header: QuicHeader = extracted.message
+    violations: List[Violation] = []
+
+    # Criterion 1: packet type. Long types 0-3 and the short form are the
+    # only encodings, and the parser guarantees them; version negotiation
+    # (version 0) is likewise defined.
+
+    # Criterion 2: header fields.
+    if not header.is_version_negotiation and not header.fixed_bit:
+        violations.append(
+            Violation(
+                Criterion.HEADER_FIELDS,
+                "fixed-bit-clear",
+                "the fixed bit (0x40) must be 1 in v1 packets (RFC 9000 §17)",
+            )
+        )
+        if sequential:
+            return violations
+    if header.version is not None and header.version not in (0, QUIC_V1, QUIC_V2):
+        violations.append(
+            Violation(
+                Criterion.HEADER_FIELDS,
+                "unknown-version",
+                f"QUIC version 0x{header.version:08X} is not a published version",
+            )
+        )
+        if sequential:
+            return violations
+    if len(header.dcid) > 20 or len(header.scid) > 20:
+        violations.append(
+            Violation(
+                Criterion.HEADER_FIELDS,
+                "cid-too-long",
+                "connection IDs must not exceed 20 bytes (RFC 9000 §17.2)",
+            )
+        )
+
+    # Criteria 3-5: attribute-level and semantic rules operate on frame
+    # contents, which are encrypted — nothing further is judgeable from
+    # passive observation.
+    return violations

@@ -1,0 +1,202 @@
+"""RTCP compliance rules (criteria 1-5), including SRTCP framing.
+
+Sources: RFC 3550 (SR/RR/SDES/BYE/APP), RFC 4585 (feedback), RFC 3611 (XR),
+RFC 3711 (SRTCP).  Encrypted bodies are common in RTC traffic, so body-level
+checks only run when the message is plaintext; framing checks (trailers,
+SRTCP authentication tags) always run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.verdict import Criterion, Violation
+from repro.dpi.messages import ExtractedMessage
+from repro.protocols.rtcp.constants import (
+    KNOWN_PSFB_FORMATS,
+    KNOWN_RTPFB_FORMATS,
+    KNOWN_XR_BLOCK_TYPES,
+    RTCP_TYPE_NAMES,
+    RtcpPacketType,
+)
+from repro.protocols.rtcp.packets import (
+    RtcpPacket,
+    RtcpParseError,
+    SdesPacket,
+)
+
+#: SRTCP trailer lengths: E-flag ‖ index word alone, or with the 10-byte
+#: HMAC-SHA1-80 authentication tag.
+SRTCP_TAGLESS_LEN = 4
+SRTCP_TAGGED_LEN = 14
+#: Indexes count control packets; plausible values are small.
+MAX_PLAUSIBLE_INDEX = 1 << 24
+
+
+def _srtcp_index(trailer: bytes, offset: int) -> Optional[int]:
+    word = int.from_bytes(trailer[offset:offset + 4], "big")
+    index = word & 0x7FFFFFFF
+    return index if index < MAX_PLAUSIBLE_INDEX else None
+
+
+def classify_trailer(trailer: bytes) -> str:
+    """Classify bytes following the declared RTCP length.
+
+    Returns one of: ``"none"``, ``"srtcp"`` (full trailer with auth tag),
+    ``"srtcp-no-tag"`` (E‖index but no tag — the Google Meet violation),
+    ``"proprietary"`` (anything else — e.g. Discord's 3-byte trailer).
+    """
+    if not trailer:
+        return "none"
+    if len(trailer) == SRTCP_TAGGED_LEN and _srtcp_index(trailer, 0) is not None:
+        return "srtcp"
+    if len(trailer) == SRTCP_TAGLESS_LEN and _srtcp_index(trailer, 0) is not None:
+        return "srtcp-no-tag"
+    return "proprietary"
+
+
+def check_rtcp(extracted: ExtractedMessage, sequential: bool = True) -> List[Violation]:
+    """Run the five criteria over one RTCP message."""
+    packet: RtcpPacket = extracted.message
+    violations: List[Violation] = []
+
+    def done() -> bool:
+        return sequential and bool(violations)
+
+    # Criterion 1: packet type defined.
+    if packet.packet_type not in RTCP_TYPE_NAMES:
+        violations.append(
+            Violation(
+                Criterion.MESSAGE_TYPE,
+                "undefined-packet-type",
+                f"RTCP packet type {packet.packet_type} is not defined "
+                f"(expected 200-207)",
+            )
+        )
+    if done():
+        return violations
+
+    trailer_kind = classify_trailer(extracted.trailer)
+    encrypted = trailer_kind in ("srtcp", "srtcp-no-tag")
+
+    # Criterion 2: header fields — count vs length arithmetic.
+    problem = _check_count_consistency(packet)
+    if problem is not None:
+        violations.append(Violation(Criterion.HEADER_FIELDS, *problem))
+    if done():
+        return violations
+
+    # Criteria 3-4: body structure — only meaningful for plaintext bodies.
+    if not encrypted:
+        violations.extend(_check_body(packet, sequential))
+        if done():
+            return violations
+
+    # Criterion 5: framing semantics.
+    if trailer_kind == "srtcp-no-tag":
+        violations.append(
+            Violation(
+                Criterion.SEMANTICS,
+                "srtcp-missing-auth-tag",
+                "SRTCP message carries the E-flag and index but no "
+                "authentication tag; RFC 3711 §3.4 makes the tag mandatory",
+            )
+        )
+    elif trailer_kind == "proprietary":
+        violations.append(
+            Violation(
+                Criterion.SEMANTICS,
+                "undefined-trailing-bytes",
+                f"{len(extracted.trailer)} bytes beyond the declared RTCP "
+                f"length are not defined by any RTCP/SRTCP specification",
+            )
+        )
+    return violations
+
+
+def _check_count_consistency(packet: RtcpPacket):
+    """The 5-bit count field must fit the declared length."""
+    count = packet.header.count
+    body = len(packet.body)
+    if packet.packet_type == RtcpPacketType.SR and body < 24 + count * 24:
+        return ("count-length-mismatch",
+                f"SR with RC={count} needs {24 + count * 24} body bytes, has {body}")
+    if packet.packet_type == RtcpPacketType.RR and body < 4 + count * 24:
+        return ("count-length-mismatch",
+                f"RR with RC={count} needs {4 + count * 24} body bytes, has {body}")
+    if packet.packet_type == RtcpPacketType.BYE and body < count * 4:
+        return ("count-length-mismatch",
+                f"BYE with SC={count} needs {count * 4} body bytes, has {body}")
+    if packet.packet_type == RtcpPacketType.APP and body < 8:
+        return ("count-length-mismatch", f"APP needs 8 body bytes, has {body}")
+    if (
+        packet.packet_type in (RtcpPacketType.RTPFB, RtcpPacketType.PSFB)
+        and body < 8
+    ):
+        return ("count-length-mismatch",
+                f"feedback packet needs 8 body bytes, has {body}")
+    return None
+
+
+def _check_body(packet: RtcpPacket, sequential: bool) -> List[Violation]:
+    violations: List[Violation] = []
+
+    def add(criterion: Criterion, code: str, detail: str) -> bool:
+        violations.append(Violation(criterion, code, detail))
+        return sequential
+
+    if packet.packet_type == RtcpPacketType.SDES:
+        try:
+            sdes = SdesPacket.from_packet(packet)
+        except RtcpParseError as exc:
+            add(Criterion.ATTRIBUTE_VALUES, "malformed-sdes", str(exc))
+            return violations
+        for chunk in sdes.chunks:
+            for item in chunk.items:
+                if not 1 <= item.item_type <= 8:
+                    if add(
+                        Criterion.ATTRIBUTE_TYPES,
+                        "undefined-sdes-item",
+                        f"SDES item type {item.item_type} outside 1-8 "
+                        f"(RFC 3550 §6.5)",
+                    ):
+                        return violations
+    elif packet.packet_type == RtcpPacketType.RTPFB:
+        if packet.header.count not in KNOWN_RTPFB_FORMATS:
+            add(
+                Criterion.ATTRIBUTE_TYPES,
+                "undefined-feedback-format",
+                f"RTPFB FMT {packet.header.count} is not registered "
+                f"(RFC 4585 §6.2)",
+            )
+    elif packet.packet_type == RtcpPacketType.PSFB:
+        if packet.header.count not in KNOWN_PSFB_FORMATS:
+            add(
+                Criterion.ATTRIBUTE_TYPES,
+                "undefined-feedback-format",
+                f"PSFB FMT {packet.header.count} is not registered "
+                f"(RFC 4585 §6.3)",
+            )
+    elif packet.packet_type == RtcpPacketType.APP:
+        name = packet.body[4:8] if len(packet.body) >= 8 else b""
+        if not all(0x20 <= b < 0x7F for b in name):
+            add(
+                Criterion.ATTRIBUTE_VALUES,
+                "bad-app-name",
+                f"APP name {name!r} is not printable ASCII (RFC 3550 §6.7)",
+            )
+    elif packet.packet_type == RtcpPacketType.XR:
+        offset = 4
+        body = packet.body
+        while offset + 4 <= len(body):
+            block_type = body[offset]
+            block_len = int.from_bytes(body[offset + 2:offset + 4], "big") * 4
+            if block_type not in KNOWN_XR_BLOCK_TYPES:
+                if add(
+                    Criterion.ATTRIBUTE_TYPES,
+                    "undefined-xr-block",
+                    f"XR block type {block_type} is not registered (RFC 3611)",
+                ):
+                    return violations
+            offset += 4 + block_len
+    return violations

@@ -1,0 +1,11 @@
+"""Minimal cryptographic primitives for the SRTP/SRTCP substrate.
+
+Pure-Python AES (FIPS-197) in counter mode — slow but dependency-free and
+sufficient for protocol-level work: key derivation, packet protection, and
+authentication-tag generation in tests and simulators.  Not intended for
+production encryption workloads.
+"""
+
+from repro.crypto.aes import AES, aes_ctr_keystream, xor_bytes
+
+__all__ = ["AES", "aes_ctr_keystream", "xor_bytes"]

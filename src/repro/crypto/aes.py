@@ -1,0 +1,118 @@
+"""AES block cipher (FIPS-197), encryption direction only.
+
+Counter-mode usage (SRTP's AES-CM, RFC 3711 §4.1.1) never needs the
+decryption direction, so only the forward cipher is implemented.  Supports
+AES-128/192/256 keys.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_SBOX = bytes.fromhex(
+    "637c777bf26b6fc53001672bfed7ab76"
+    "ca82c97dfa5947f0add4a2af9ca472c0"
+    "b7fd9326363ff7cc34a5e5f171d83115"
+    "04c723c31896059a071280e2eb27b275"
+    "09832c1a1b6e5aa0523bd6b329e32f84"
+    "53d100ed20fcb15b6acbbe394a4c58cf"
+    "d0efaafb434d338545f9027f503c9fa8"
+    "51a3408f929d38f5bcb6da2110fff3d2"
+    "cd0c13ec5f974417c4a77e3d645d1973"
+    "60814fdc222a908846eeb814de5e0bdb"
+    "e0323a0a4906245cc2d3ac629195e479"
+    "e7c8376d8dd54ea96c56f4ea657aae08"
+    "ba78252e1ca6b4c6e8dd741f4bbd8b8a"
+    "703eb5664803f60e613557b986c11d9e"
+    "e1f8981169d98e949b1e87e9ce5528df"
+    "8ca1890dbfe6426841992d0fb054bb16"
+)
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8)
+
+
+def _xtime(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+class AES:
+    """The AES block cipher; :meth:`encrypt_block` processes 16 bytes."""
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 24, 32):
+            raise ValueError("AES keys are 16, 24 or 32 bytes")
+        self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        key_words = len(key) // 4
+        words = [list(key[4 * i:4 * i + 4]) for i in range(key_words)]
+        total_words = 4 * (self._rounds + 1)
+        for i in range(key_words, total_words):
+            temp = list(words[i - 1])
+            if i % key_words == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // key_words - 1]
+            elif key_words > 6 and i % key_words == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([a ^ b for a, b in zip(words[i - key_words], temp)])
+        # Group into 16-byte round keys (column-major state order).
+        return [
+            [byte for word in words[4 * r:4 * r + 4] for byte in word]
+            for r in range(self._rounds + 1)
+        ]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES blocks are 16 bytes")
+        state = [b ^ k for b, k in zip(block, self._round_keys[0])]
+        for round_index in range(1, self._rounds):
+            state = _sub_shift(state)
+            state = _mix_columns(state)
+            state = [b ^ k for b, k in zip(state, self._round_keys[round_index])]
+        state = _sub_shift(state)
+        return bytes(b ^ k for b, k in zip(state, self._round_keys[-1]))
+
+
+def _sub_shift(state: List[int]) -> List[int]:
+    """SubBytes followed by ShiftRows on the column-major state."""
+    substituted = [_SBOX[b] for b in state]
+    # state[r + 4c]; row r rotates left by r.
+    out = [0] * 16
+    for column in range(4):
+        for row in range(4):
+            out[row + 4 * column] = substituted[row + 4 * ((column + row) % 4)]
+    return out
+
+
+def _mix_columns(state: List[int]) -> List[int]:
+    out = [0] * 16
+    for column in range(4):
+        a = state[4 * column:4 * column + 4]
+        out[4 * column + 0] = _xtime(a[0]) ^ (_xtime(a[1]) ^ a[1]) ^ a[2] ^ a[3]
+        out[4 * column + 1] = a[0] ^ _xtime(a[1]) ^ (_xtime(a[2]) ^ a[2]) ^ a[3]
+        out[4 * column + 2] = a[0] ^ a[1] ^ _xtime(a[2]) ^ (_xtime(a[3]) ^ a[3])
+        out[4 * column + 3] = (_xtime(a[0]) ^ a[0]) ^ a[1] ^ a[2] ^ _xtime(a[3])
+    return out
+
+
+def aes_ctr_keystream(key: bytes, initial_block: int, length: int) -> bytes:
+    """Keystream of *length* bytes: AES(counter), counter starting at
+    *initial_block* as a 128-bit big-endian integer."""
+    cipher = AES(key)
+    out = bytearray()
+    counter = initial_block
+    while len(out) < length:
+        out.extend(cipher.encrypt_block(counter.to_bytes(16, "big")))
+        counter = (counter + 1) % (1 << 128)
+    return bytes(out[:length])
+
+
+def xor_bytes(data: bytes, keystream: bytes) -> bytes:
+    if len(keystream) < len(data):
+        raise ValueError("keystream shorter than data")
+    return bytes(a ^ b for a, b in zip(data, keystream))

@@ -1,0 +1,93 @@
+"""Adaptive offset bounds — the extension §4.1.1 leaves as future work.
+
+The fixed k=200 bound wastes work on applications whose messages always sit
+at offset 0 (most of them) and would silently miss messages nested deeper
+than 200 bytes.  The adaptive engine learns, per transport stream, where
+messages actually start: it probes a stream prefix with a generous bound,
+then rescans the remainder with the observed maximum offset plus slack —
+falling back to the probe bound whenever a stream's prefix showed nothing
+(so fully proprietary streams are still scanned honestly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.dpi.engine import DEFAULT_MAX_OFFSET, DpiEngine, DpiResult
+from repro.dpi.messages import DatagramAnalysis
+from repro.packets.packet import PacketRecord
+from repro.streams.flow import Stream, group_streams
+
+
+@dataclass
+class AdaptiveStats:
+    """What the adaptive pass learned, per stream."""
+
+    probe_offset: int
+    learned_offsets: Dict[tuple, int] = field(default_factory=dict)
+
+    @property
+    def max_learned(self) -> int:
+        return max(self.learned_offsets.values(), default=0)
+
+
+class AdaptiveDpiEngine:
+    """Two-phase DPI: probe a stream prefix, then scan with a learned bound.
+
+    ``probe_packets`` datagrams per stream are analyzed at ``probe_offset``;
+    the rest of the stream uses ``max(observed offsets) + slack``.  Results
+    are identical to the fixed engine whenever the probe saw every header
+    depth the stream uses — which holds for all studied applications, whose
+    proprietary header lengths are fixed per stream.
+    """
+
+    def __init__(
+        self,
+        probe_offset: int = DEFAULT_MAX_OFFSET,
+        probe_packets: int = 50,
+        slack: int = 16,
+    ):
+        if probe_packets < 1:
+            raise ValueError("probe_packets must be >= 1")
+        self._probe_offset = probe_offset
+        self._probe_packets = probe_packets
+        self._slack = slack
+        self.stats = AdaptiveStats(probe_offset=probe_offset)
+
+    def analyze_records(self, records: Sequence[PacketRecord]) -> DpiResult:
+        udp = [r for r in records if r.transport == "UDP"]
+        result = DpiResult()
+        for key, stream in group_streams(udp).items():
+            result.analyses.extend(self._analyze_stream(key, stream))
+        result.analyses.sort(key=lambda a: a.record.timestamp)
+        return result
+
+    def _analyze_stream(self, key, stream: Stream) -> List[DatagramAnalysis]:
+        probe_engine = DpiEngine(max_offset=self._probe_offset)
+        if len(stream.packets) <= self._probe_packets:
+            analyses = probe_engine.analyze_stream(stream)
+            self._learn(key, analyses)
+            return analyses
+
+        prefix = Stream(key=key, packets=stream.packets[: self._probe_packets])
+        probe_analyses = probe_engine.analyze_stream(prefix)
+        self._learn(key, probe_analyses)
+
+        learned = self.stats.learned_offsets.get(key)
+        if learned is None:
+            # Nothing recognizable in the prefix: keep scanning honestly.
+            bound = self._probe_offset
+        else:
+            bound = min(self._probe_offset, learned + self._slack)
+        # Rescan the WHOLE stream with the learned bound so validation
+        # context (sequence continuity, QUIC CIDs) sees every packet.
+        return DpiEngine(max_offset=bound).analyze_stream(stream)
+
+    def _learn(self, key, analyses: Sequence[DatagramAnalysis]) -> None:
+        deepest = -1
+        for analysis in analyses:
+            for message in analysis.messages:
+                deepest = max(deepest, message.offset)
+        if deepest >= 0:
+            self.stats.learned_offsets[key] = deepest

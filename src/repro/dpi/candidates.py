@@ -1,0 +1,289 @@
+"""Stage-one candidate extraction: per-protocol structural matchers.
+
+Each matcher answers "could a message of this protocol start at offset i of
+this payload?" using only invariants every specification version shares —
+exactly the loosened Peafowl patterns the paper describes (e.g. no payload
+type restriction for RTP).  Anything that matches becomes a candidate;
+stage two kills the false positives.
+
+A naive implementation re-checks every offset; these matchers instead
+enumerate only offsets whose leading bytes could possibly match, which is
+behaviourally identical to Algorithm 1's 0..k sweep but linear in payload
+size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional
+
+from repro.dpi.messages import Protocol
+from repro.protocols.quic.header import (
+    QUIC_V1,
+    QUIC_V2,
+    QuicParseError,
+    parse_one,
+)
+from repro.protocols.rtcp.packets import RtcpHeader, RtcpPacket, RtcpParseError
+from repro.protocols.rtp.header import RtpPacket, RtpParseError, looks_like_rtp
+from repro.protocols.stun.constants import MAGIC_COOKIE
+from repro.protocols.stun.message import (
+    ChannelData,
+    StunMessage,
+    StunParseError,
+    looks_like_stun,
+)
+
+_COOKIE_BYTES = MAGIC_COOKIE.to_bytes(4, "big")
+#: RTCP packet types occupy 192-223 when demultiplexed per RFC 5761 §4.
+_RTCP_PT_RANGE = range(192, 224)
+#: Maximum unclaimed bytes after an RTCP compound that we treat as a trailer
+#: belonging to the last packet (SRTCP index+tag is 14, Discord's is 3).
+MAX_RTCP_TRAILER = 16
+
+
+@dataclass
+class Candidate:
+    """A structurally plausible message found at some payload offset.
+
+    RTP candidates defer full parsing (``message`` is None) because the scan
+    may surface many of them per datagram; the cheap header fields needed
+    for validation live in ``rtp_ssrc``/``rtp_seq``/``rtp_timestamp``.
+    """
+
+    protocol: Protocol
+    offset: int
+    length: int
+    message: Any = None
+    trailer: bytes = b""
+    # Set for modern STUN (magic cookie present); classic candidates need
+    # stricter validation.
+    classic_stun: bool = False
+    # Header fields pre-extracted for RTP validation.
+    rtp_ssrc: int = 0
+    rtp_seq: int = 0
+    rtp_timestamp: int = 0
+    # Offset of the structure this candidate was found inside (equals
+    # ``offset`` except for members of an RTCP compound, which inherit the
+    # compound's starting offset for validation purposes).
+    anchor: int = -1
+
+    def __post_init__(self) -> None:
+        if self.anchor < 0:
+            self.anchor = self.offset
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length + len(self.trailer)
+
+
+def stun_candidates(payload: bytes, max_offset: int) -> List[Candidate]:
+    """Modern STUN anywhere (cookie-anchored), classic STUN at offset 0,
+    ChannelData at offset 0."""
+    candidates: List[Candidate] = []
+
+    # Modern STUN: anchor on the magic cookie at bytes 4..8 of the header.
+    search_start = 0
+    while True:
+        pos = payload.find(_COOKIE_BYTES, search_start)
+        if pos < 0:
+            break
+        search_start = pos + 1
+        offset = pos - 4
+        if offset < 0 or offset > max_offset:
+            continue
+        window = payload[offset:]
+        if not looks_like_stun(window):
+            continue
+        try:
+            message = StunMessage.parse(window, strict=False)
+        except StunParseError:
+            continue
+        if message.classic:
+            continue  # cookie bytes were coincidental
+        candidates.append(
+            Candidate(
+                protocol=Protocol.STUN_TURN,
+                offset=offset,
+                length=message.wire_length,
+                message=message,
+            )
+        )
+
+    # Classic (RFC 3489) STUN: no cookie to anchor on, so only claim it at
+    # offset 0 with an exact length fit — Zoom's usage.
+    if looks_like_stun(payload):
+        try:
+            message = StunMessage.parse(payload, strict=True)
+        except StunParseError:
+            message = None
+        if message is not None and message.classic:
+            candidates.append(
+                Candidate(
+                    protocol=Protocol.STUN_TURN,
+                    offset=0,
+                    length=message.wire_length,
+                    message=message,
+                    classic_stun=True,
+                )
+            )
+
+    # ChannelData: over UDP the frame is the whole datagram (offset 0);
+    # the channel must be in the RFC 8656 client range 0x4000-0x4FFF and at
+    # most 3 slack bytes may follow (kept as a trailer so the compliance
+    # layer can flag the padding, which is illegal over UDP).
+    if len(payload) >= 4 and 0x40 <= payload[0] <= 0x4F:
+        try:
+            frame = ChannelData.parse(payload, strict=False)
+        except StunParseError:
+            frame = None
+        if frame is not None and frame.channel <= 0x4FFF:
+            leftover = len(payload) - frame.wire_length
+            if 0 <= leftover <= 3:
+                candidates.append(
+                    Candidate(
+                        protocol=Protocol.STUN_TURN,
+                        offset=0,
+                        length=frame.wire_length,
+                        message=frame,
+                        trailer=payload[frame.wire_length:],
+                    )
+                )
+    return candidates
+
+
+def rtp_candidates(payload: bytes, max_offset: int) -> List[Candidate]:
+    """RTP at any offset whose first byte has version 2.
+
+    An RTP message has no length field, so each candidate tentatively spans
+    to the end of the datagram; overlap resolution may later truncate it
+    when a continuation packet follows (Zoom's dual-RTP datagrams).
+    """
+    candidates: List[Candidate] = []
+    limit = min(max_offset, len(payload) - 12)
+    for offset in range(0, limit + 1):
+        if payload[offset] >> 6 != 2:
+            continue
+        # Structural check without copying the (possibly large) payload.
+        if not looks_like_rtp(memoryview(payload)[offset:]):
+            continue
+        candidates.append(
+            Candidate(
+                protocol=Protocol.RTP,
+                offset=offset,
+                length=len(payload) - offset,
+                rtp_ssrc=int.from_bytes(payload[offset + 8:offset + 12], "big"),
+                rtp_seq=int.from_bytes(payload[offset + 2:offset + 4], "big"),
+                rtp_timestamp=int.from_bytes(payload[offset + 4:offset + 8], "big"),
+            )
+        )
+    return candidates
+
+
+def rtcp_candidates(payload: bytes, max_offset: int) -> List[Candidate]:
+    """RTCP compounds at any offset; trailing bytes become the last
+    packet's trailer when short enough."""
+    candidates: List[Candidate] = []
+    limit = min(max_offset, len(payload) - 4)
+    for offset in range(0, limit + 1):
+        if payload[offset] >> 6 != 2 or payload[offset + 1] not in _RTCP_PT_RANGE:
+            continue
+        window = payload[offset:]
+        packets: List[RtcpPacket] = []
+        pos = 0
+        while pos + 4 <= len(window):
+            try:
+                header = RtcpHeader.parse(window[pos:])
+            except RtcpParseError:
+                break
+            if (
+                header.version != 2
+                or window[pos + 1] not in _RTCP_PT_RANGE
+                or pos + header.wire_length > len(window)
+            ):
+                break
+            packets.append(
+                RtcpPacket(header=header, body=window[pos + 4:pos + header.wire_length])
+            )
+            pos += header.wire_length
+        if not packets:
+            continue
+        leftover = window[pos:]
+        if len(leftover) > MAX_RTCP_TRAILER:
+            # Too much unclaimed data to be a trailer; reject the tail
+            # packet boundary — likely a false positive unless another
+            # protocol claims those bytes.
+            continue
+        running = offset
+        for i, packet in enumerate(packets):
+            trailer = leftover if i == len(packets) - 1 else b""
+            candidates.append(
+                Candidate(
+                    protocol=Protocol.RTCP,
+                    offset=running,
+                    length=packet.header.wire_length,
+                    message=packet,
+                    trailer=trailer,
+                    anchor=offset,
+                )
+            )
+            running += packet.header.wire_length
+    return candidates
+
+
+def quic_candidates(payload: bytes, max_offset: int) -> List[Candidate]:
+    """QUIC long headers at any offset (coalesced packets expand in place).
+
+    Short-header packets are only surfaced at offset 0 and must be confirmed
+    by the validator against connection IDs learned from long headers.
+    """
+    candidates: List[Candidate] = []
+    limit = min(max_offset, len(payload) - 7)
+    offset = 0
+    while offset <= limit:
+        first = payload[offset]
+        if first & 0xC0 != 0xC0:
+            offset += 1
+            continue
+        version = int.from_bytes(payload[offset + 1:offset + 5], "big")
+        if version not in (QUIC_V1, QUIC_V2, 0):
+            offset += 1
+            continue
+        try:
+            header = parse_one(payload[offset:])
+        except QuicParseError:
+            offset += 1
+            continue
+        candidates.append(
+            Candidate(
+                protocol=Protocol.QUIC,
+                offset=offset,
+                length=header.wire_length,
+                message=header,
+            )
+        )
+        offset += max(header.wire_length, 1)
+    # Tentative short header at offset 0 (validator checks the DCID).
+    if payload and payload[0] & 0xC0 == 0x40 and len(payload) >= 1 + 8 + 17:
+        try:
+            header = parse_one(payload, short_dcid_len=8)
+        except QuicParseError:
+            header = None
+        if header is not None and not header.is_long:
+            candidates.append(
+                Candidate(
+                    protocol=Protocol.QUIC,
+                    offset=0,
+                    length=header.wire_length,
+                    message=header,
+                )
+            )
+    return candidates
+
+
+MATCHERS = {
+    Protocol.STUN_TURN: stun_candidates,
+    Protocol.RTP: rtp_candidates,
+    Protocol.RTCP: rtcp_candidates,
+    Protocol.QUIC: quic_candidates,
+}

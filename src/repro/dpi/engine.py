@@ -1,0 +1,300 @@
+"""The DPI engine: candidate extraction → stream-context validation →
+byte-ownership resolution → datagram classification (paper §4.1).
+
+The engine works per transport stream because the validation heuristics are
+inherently stream-scoped: RTP sequence continuity within an SSRC, STUN
+transaction request/response pairing, and QUIC connection-ID consistency.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dpi.candidates import MATCHERS, Candidate
+from repro.dpi.messages import (
+    DatagramAnalysis,
+    DatagramClass,
+    ExtractedMessage,
+    Protocol,
+)
+from repro.packets.packet import PacketRecord
+from repro.protocols.rtcp.constants import RTCP_TYPE_NAMES
+from repro.protocols.rtp.header import RtpPacket, RtpParseError
+from repro.protocols.stun.message import ChannelData, StunMessage
+from repro.streams.flow import Stream, group_streams
+
+DEFAULT_MAX_OFFSET = 200
+
+#: An RTP SSRC group must show this many packets with continuous sequence
+#: numbers before its candidates are believed.
+MIN_RTP_GROUP = 3
+#: Fraction of inter-packet sequence deltas that must look consecutive.
+MIN_CONTINUITY = 0.5
+_MAX_SEQ_STEP = 512
+
+
+@dataclass
+class DpiResult:
+    """All datagram analyses plus convenience aggregations."""
+
+    analyses: List[DatagramAnalysis] = field(default_factory=list)
+
+    def messages(self) -> List[ExtractedMessage]:
+        out: List[ExtractedMessage] = []
+        for analysis in self.analyses:
+            out.extend(analysis.messages)
+        return out
+
+    def by_class(self) -> Dict[DatagramClass, int]:
+        counts: Dict[DatagramClass, int] = {cls: 0 for cls in DatagramClass}
+        for analysis in self.analyses:
+            counts[analysis.classification] += 1
+        return counts
+
+    def protocol_counts(self) -> Dict[Protocol, int]:
+        counts: Dict[Protocol, int] = defaultdict(int)
+        for message in self.messages():
+            counts[message.protocol] += 1
+        return dict(counts)
+
+
+class DpiEngine:
+    """Offset-shifting DPI with protocol-specific validation."""
+
+    def __init__(
+        self,
+        max_offset: int = DEFAULT_MAX_OFFSET,
+        protocols: Iterable[Protocol] = tuple(Protocol),
+    ):
+        if max_offset < 0:
+            raise ValueError("max_offset must be non-negative")
+        self._max_offset = max_offset
+        self._protocols = tuple(protocols)
+
+    @property
+    def max_offset(self) -> int:
+        return self._max_offset
+
+    # -- public API --------------------------------------------------------------
+
+    def analyze_records(self, records: Sequence[PacketRecord]) -> DpiResult:
+        """Group UDP records into streams and analyze each."""
+        udp = [r for r in records if r.transport == "UDP"]
+        result = DpiResult()
+        for stream in group_streams(udp).values():
+            result.analyses.extend(self.analyze_stream(stream))
+        result.analyses.sort(key=lambda a: a.record.timestamp)
+        return result
+
+    def analyze_stream(self, stream: Stream) -> List[DatagramAnalysis]:
+        """Run both DPI stages over one transport stream."""
+        per_datagram: List[Tuple[PacketRecord, List[Candidate]]] = []
+        for record in stream.packets:
+            per_datagram.append((record, self._extract_candidates(record.payload)))
+
+        rtp_scores = self._validate_rtp_groups(per_datagram)
+        valid_rtp_ssrcs = frozenset(rtp_scores)
+        quic_cids = self._collect_quic_cids(per_datagram)
+
+        analyses: List[DatagramAnalysis] = []
+        for record, candidates in per_datagram:
+            validated = [
+                c for c in candidates
+                if self._validate(c, record, valid_rtp_ssrcs, quic_cids)
+            ]
+            accepted = self._resolve_overlaps(validated, rtp_scores)
+            messages = [self._materialize(c, record) for c in accepted]
+            messages = [m for m in messages if m is not None]
+            analyses.append(DatagramAnalysis.classify(record, messages))
+        return analyses
+
+    # -- stage 1 -------------------------------------------------------------------
+
+    def _extract_candidates(self, payload: bytes) -> List[Candidate]:
+        candidates: List[Candidate] = []
+        for protocol in self._protocols:
+            candidates.extend(MATCHERS[protocol](payload, self._max_offset))
+        candidates.sort(key=lambda c: (c.offset, -c.length))
+        return candidates
+
+    # -- stage 2: stream-context validation ------------------------------------------
+
+    def _validate_rtp_groups(
+        self, per_datagram: Sequence[Tuple[PacketRecord, List[Candidate]]]
+    ) -> Dict[int, float]:
+        """Score each candidate SSRC by sequence continuity over time.
+
+        This implements the paper's "continuous sequence number within the
+        same stream" heuristic and kills false positives surfaced from
+        random payload bytes (their SSRC groups are tiny and discontinuous).
+        The score — group size weighted by continuity — is also used to
+        arbitrate between overlapping RTP candidates: a genuine media stream
+        vastly outscores byte patterns that happen to recur inside
+        proprietary headers.
+        """
+        groups: Dict[int, List[Tuple[float, int]]] = defaultdict(list)
+        for record, candidates in per_datagram:
+            for candidate in candidates:
+                if candidate.protocol is Protocol.RTP:
+                    groups[candidate.rtp_ssrc].append(
+                        (record.timestamp, candidate.rtp_seq)
+                    )
+        scores: Dict[int, float] = {}
+        for ssrc, samples in groups.items():
+            if len(samples) < MIN_RTP_GROUP:
+                continue
+            samples.sort()
+            consecutive = 0
+            for (_, seq_a), (_, seq_b) in zip(samples, samples[1:]):
+                delta = (seq_b - seq_a) & 0xFFFF
+                if 1 <= delta <= _MAX_SEQ_STEP:
+                    consecutive += 1
+            continuity = consecutive / (len(samples) - 1)
+            if continuity >= MIN_CONTINUITY:
+                scores[ssrc] = len(samples) * continuity
+        return scores
+
+    def _collect_quic_cids(
+        self, per_datagram: Sequence[Tuple[PacketRecord, List[Candidate]]]
+    ) -> frozenset:
+        """Connection IDs learned from long headers, for short-header checks."""
+        cids = set()
+        for _record, candidates in per_datagram:
+            for candidate in candidates:
+                if candidate.protocol is Protocol.QUIC and candidate.message is not None:
+                    header = candidate.message
+                    if header.is_long:
+                        if header.dcid:
+                            cids.add(bytes(header.dcid))
+                        if header.scid:
+                            cids.add(bytes(header.scid))
+        return frozenset(cids)
+
+    def _validate(
+        self,
+        candidate: Candidate,
+        record: PacketRecord,
+        valid_rtp_ssrcs: frozenset,
+        quic_cids: frozenset,
+    ) -> bool:
+        if candidate.protocol is Protocol.RTP:
+            return candidate.rtp_ssrc in valid_rtp_ssrcs
+        if candidate.protocol is Protocol.STUN_TURN:
+            return self._validate_stun(candidate)
+        if candidate.protocol is Protocol.RTCP:
+            return self._validate_rtcp(candidate, valid_rtp_ssrcs)
+        if candidate.protocol is Protocol.QUIC:
+            header = candidate.message
+            if header.is_long:
+                if header.is_version_negotiation:
+                    # VN packets are structurally weak; require the stream to
+                    # have real v1 traffic whose CIDs they reference.
+                    return bytes(header.dcid) in quic_cids or bytes(header.scid) in quic_cids
+                return True
+            return bytes(header.dcid) in quic_cids
+        return False
+
+    def _validate_stun(self, candidate: Candidate) -> bool:
+        message = candidate.message
+        if isinstance(message, ChannelData):
+            # Already constrained to offset 0 + exact fit by the matcher.
+            return True
+        if not message.classic:
+            return True  # magic cookie verified by the matcher
+        # Classic STUN: accepted only at offset 0 with an exact length fit
+        # (checked by the matcher) and a plausible legacy message type.
+        return candidate.offset == 0
+
+    def _validate_rtcp(self, candidate: Candidate, valid_rtp_ssrcs: frozenset) -> bool:
+        packet = candidate.message
+        if candidate.anchor == 0 and packet.packet_type in RTCP_TYPE_NAMES:
+            return True
+        # Candidates at a non-zero offset (behind proprietary headers) and
+        # unknown packet types both need the paper's cross-validation: the
+        # sender SSRC must belong to a known RTP stream.  This kills byte
+        # patterns inside media payloads that masquerade as RTCP.
+        return packet.ssrc is not None and packet.ssrc in valid_rtp_ssrcs
+
+    # -- byte-ownership resolution ------------------------------------------------------
+
+    def _resolve_overlaps(
+        self, candidates: List[Candidate], rtp_scores: Dict[int, float]
+    ) -> List[Candidate]:
+        """Byte-ownership arbitration between overlapping candidates.
+
+        A byte can belong to at most one message (§4.1.1).  Among mutually
+        overlapping RTP candidates, the one from the strongest SSRC group
+        wins — an earlier offset alone is not evidence, because proprietary
+        headers can contain counter bytes that masquerade as weak RTP
+        streams.  Across protocols, the earliest offset wins.  The single
+        exception is the RTP-continuation rule: an RTP packet whose SSRC
+        matches an accepted one and whose sequence number is the successor
+        truncates its predecessor instead of being dropped — this is how
+        Zoom's two-RTP datagrams are recovered.
+        """
+        def rank(candidate: Candidate) -> Tuple[float, int]:
+            if candidate.protocol is Protocol.RTP:
+                score = rtp_scores.get(candidate.rtp_ssrc, 0.0)
+            elif candidate.protocol is Protocol.RTCP:
+                packet = candidate.message
+                if candidate.anchor == 0 and packet.packet_type in RTCP_TYPE_NAMES:
+                    # Anchored at the payload start with a registered type:
+                    # as reliable as a length-delimited protocol gets.
+                    score = float("inf")
+                else:
+                    # Cross-validated only through its SSRC: exactly as
+                    # credible as the RTP group lending that SSRC, so a real
+                    # RTP message at an earlier offset wins the overlap.
+                    score = rtp_scores.get(packet.ssrc or -1, 0.0)
+            else:
+                # STUN (cookie-anchored) and QUIC (version-anchored) match
+                # random bytes with ~2^-32 probability.
+                score = float("inf")
+            return (-score, candidate.offset)
+
+        accepted: List[Candidate] = []
+        for candidate in sorted(candidates, key=rank):
+            overlapping = [a for a in accepted if _overlaps(a, candidate)]
+            if not overlapping:
+                accepted.append(candidate)
+                continue
+            last = max(overlapping, key=lambda a: a.offset)
+            if (
+                candidate.protocol is Protocol.RTP
+                and last.protocol is Protocol.RTP
+                and len(overlapping) == 1
+                and candidate.rtp_ssrc == last.rtp_ssrc
+                and (candidate.rtp_seq - last.rtp_seq) & 0xFFFF == 1
+                and candidate.offset > last.offset
+            ):
+                last.length = candidate.offset - last.offset
+                accepted.append(candidate)
+        accepted.sort(key=lambda c: c.offset)
+        return accepted
+
+    # -- materialization -----------------------------------------------------------------
+
+    def _materialize(
+        self, candidate: Candidate, record: PacketRecord
+    ) -> Optional[ExtractedMessage]:
+        message = candidate.message
+        if candidate.protocol is Protocol.RTP and message is None:
+            window = record.payload[candidate.offset:candidate.offset + candidate.length]
+            try:
+                message = RtpPacket.parse(window, strict=False)
+            except RtpParseError:
+                return None
+        return ExtractedMessage(
+            protocol=candidate.protocol,
+            offset=candidate.offset,
+            length=candidate.length,
+            message=message,
+            record=record,
+            trailer=candidate.trailer,
+        )
+
+
+def _overlaps(a: Candidate, b: Candidate) -> bool:
+    return a.offset < b.end and b.offset < a.end

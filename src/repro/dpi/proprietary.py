@@ -1,0 +1,174 @@
+"""Typed decoders for known proprietary headers (paper §5.3).
+
+The study treats proprietary prefixes as opaque; follow-up analysis (and
+prior work — Michel et al., IMC '22, for Zoom) assigns them structure.
+These decoders recover that structure from the prefixes the DPI isolates,
+enabling the media-ID and direction-byte findings to be verified
+programmatically.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.dpi.messages import DatagramAnalysis
+
+#: Zoom media-section type codes.
+ZOOM_TYPE_AUDIO = 15
+ZOOM_TYPE_VIDEO = 16
+ZOOM_TYPE_RTCP = (33, 34, 35)
+ZOOM_TYPE_WRAPPER = 7
+
+ZOOM_DIRECTION_TO_SERVER = (0x00, 0x01)
+ZOOM_DIRECTION_FROM_SERVER = (0x04, 0x05)
+
+
+@dataclass(frozen=True)
+class ZoomSfuHeader:
+    """Zoom's 24/32-byte proprietary header: SFU section + media section."""
+
+    direction_byte: int
+    media_id: int
+    session_tag: bytes
+    sequence: int
+    media_type: int       # 7, 15, 16, 33-35
+    inner_type: Optional[int]  # set when media_type is the type-7 wrapper
+    declared_length: int
+
+    MIN_LEN = 24
+
+    @property
+    def wrapped(self) -> bool:
+        return self.media_type == ZOOM_TYPE_WRAPPER
+
+    @property
+    def to_server(self) -> bool:
+        return self.direction_byte in ZOOM_DIRECTION_TO_SERVER
+
+    @property
+    def effective_type(self) -> int:
+        return self.inner_type if self.wrapped and self.inner_type else self.media_type
+
+    @classmethod
+    def parse(cls, header: bytes) -> "ZoomSfuHeader":
+        if len(header) < cls.MIN_LEN:
+            raise ValueError(f"Zoom header needs {cls.MIN_LEN}+ bytes")
+        direction = header[0]
+        if direction not in ZOOM_DIRECTION_TO_SERVER + ZOOM_DIRECTION_FROM_SERVER:
+            raise ValueError(f"unknown Zoom direction byte 0x{direction:02x}")
+        media_type = header[16]
+        inner_type = None
+        if media_type == ZOOM_TYPE_WRAPPER:
+            if len(header) < 32:
+                raise ValueError("type-7 wrapper needs a nested media section")
+            inner_type = header[24]
+        return cls(
+            direction_byte=direction,
+            media_id=int.from_bytes(header[2:6], "big"),
+            session_tag=header[6:14],
+            sequence=int.from_bytes(header[14:16], "big"),
+            media_type=media_type,
+            inner_type=inner_type,
+            declared_length=int.from_bytes(header[18:20], "big"),
+        )
+
+
+@dataclass(frozen=True)
+class FaceTimeHeader:
+    """FaceTime's 0x6000 relay prefix: magic ‖ u16 length ‖ opaque bytes."""
+
+    declared_length: int
+    opaque: bytes
+
+    MAGIC = b"\x60\x00"
+
+    @classmethod
+    def parse(cls, header: bytes) -> "FaceTimeHeader":
+        if len(header) < 8 or not header.startswith(cls.MAGIC):
+            raise ValueError("not a FaceTime 0x6000 header")
+        return cls(
+            declared_length=int.from_bytes(header[2:4], "big"),
+            opaque=header[4:],
+        )
+
+    def consistent_with(self, message_length: int) -> bool:
+        """The length field covers the opaque bytes plus the inner message."""
+        return self.declared_length == len(self.opaque) + message_length
+
+
+@dataclass
+class MediaIdReport:
+    """Zoom's per-stream media-ID constancy (§5.3)."""
+
+    ids_per_stream: Dict[tuple, Set[int]]
+
+    @property
+    def constant_per_stream(self) -> bool:
+        media_streams = [
+            ids for ids in self.ids_per_stream.values() if ids
+        ]
+        return bool(media_streams) and all(len(ids) <= 2 for ids in media_streams)
+        # (<=2: one media ID for RTP, one for the RTCP sub-stream sharing
+        #  the 5-tuple — both constant for the whole call.)
+
+
+def detect_zoom_media_ids(analyses: Sequence[DatagramAnalysis]) -> MediaIdReport:
+    """Collect the 4-byte media-ID field per transport stream."""
+    ids: Dict[tuple, Set[int]] = defaultdict(set)
+    for analysis in analyses:
+        header = analysis.proprietary_header
+        if len(header) < ZoomSfuHeader.MIN_LEN:
+            continue
+        try:
+            parsed = ZoomSfuHeader.parse(header)
+        except ValueError:
+            continue
+        ids[analysis.record.flow_key].add(parsed.media_id)
+    return MediaIdReport(ids_per_stream=dict(ids))
+
+
+@dataclass
+class ZoomHeaderSummary:
+    """Aggregate header statistics for one trace."""
+
+    total: int
+    wrapped: int
+    by_effective_type: Dict[int, int]
+    direction_consistent: bool
+
+    @property
+    def wrapper_share(self) -> float:
+        return self.wrapped / self.total if self.total else 0.0
+
+
+def summarize_zoom_headers(
+    analyses: Sequence[DatagramAnalysis],
+) -> ZoomHeaderSummary:
+    from repro.packets.packet import Direction
+
+    total = wrapped = 0
+    by_type: Dict[int, int] = defaultdict(int)
+    direction_ok = True
+    for analysis in analyses:
+        header = analysis.proprietary_header
+        if len(header) < ZoomSfuHeader.MIN_LEN:
+            continue
+        try:
+            parsed = ZoomSfuHeader.parse(header)
+        except ValueError:
+            continue
+        total += 1
+        if parsed.wrapped:
+            wrapped += 1
+        by_type[parsed.effective_type] += 1
+        outbound = analysis.record.direction is Direction.OUTBOUND
+        if parsed.to_server != outbound:
+            direction_ok = False
+    return ZoomHeaderSummary(
+        total=total,
+        wrapped=wrapped,
+        by_effective_type=dict(by_type),
+        direction_consistent=direction_ok,
+    )

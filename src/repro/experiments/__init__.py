@@ -1,0 +1,17 @@
+"""Experiment matrix runner and table/figure generators (paper §3-§5)."""
+
+from repro.experiments.runner import (
+    ExperimentAggregate,
+    ExperimentConfig,
+    MatrixResult,
+    run_experiment,
+    run_matrix,
+)
+
+__all__ = [
+    "ExperimentAggregate",
+    "ExperimentConfig",
+    "MatrixResult",
+    "run_experiment",
+    "run_matrix",
+]

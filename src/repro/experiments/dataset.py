@@ -1,0 +1,209 @@
+"""Dataset builder: persist experiment traces as pcap files + manifest.
+
+The paper publicly releases its dataset; this module produces the
+equivalent artifact for synthetic runs — one pcap per experiment cell plus
+a JSON manifest carrying the call windows, configurations, and the
+ground-truth label index (which real captures cannot have).  A dataset can
+be reloaded and re-analyzed without the simulators, which is exactly how a
+third party would consume the release.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.apps import APP_NAMES, CallConfig, NetworkCondition, get_simulator
+from repro.apps.base import Trace
+from repro.packets.packet import Direction, PacketRecord, TrafficCategory, Truth
+from repro.packets.pcap import read_pcap, write_pcap
+from repro.streams.timeline import CallWindow
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 2
+
+
+@dataclass(frozen=True)
+class DatasetEntry:
+    """One experiment cell inside a dataset."""
+
+    app: str
+    network: str
+    call_index: int
+    pcap: str                       # file name relative to the dataset root
+    window: CallWindow
+    packet_count: int
+    labels: Tuple[Tuple[str, str, str], ...] = ()
+    # labels[i] = (category, app, detail) for packet i; "": unlabelled.
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        return (self.app, self.network, self.call_index)
+
+
+@dataclass
+class Dataset:
+    """A directory of pcap traces plus the manifest."""
+
+    root: Path
+    entries: List[DatasetEntry] = field(default_factory=list)
+
+    def entry(self, app: str, network: str, call_index: int = 0) -> DatasetEntry:
+        for candidate in self.entries:
+            if candidate.key == (app, network, call_index):
+                return candidate
+        raise KeyError(f"no entry for ({app}, {network}, {call_index})")
+
+    def load_records(
+        self, entry: DatasetEntry, with_labels: bool = True
+    ) -> List[PacketRecord]:
+        """Read an entry's pcap, reattaching ground-truth labels if present."""
+        records = read_pcap(self.root / entry.pcap)
+        if not with_labels or not entry.labels:
+            return records
+        if len(records) != len(entry.labels):
+            raise ValueError(
+                f"{entry.pcap}: {len(records)} packets but "
+                f"{len(entry.labels)} labels — dataset corrupted?"
+            )
+        labelled = []
+        for record, (category, app, detail) in zip(records, entry.labels):
+            truth = (
+                Truth(category=TrafficCategory(category), app=app, detail=detail)
+                if category
+                else None
+            )
+            labelled.append(
+                PacketRecord(
+                    timestamp=record.timestamp,
+                    src_ip=record.src_ip,
+                    src_port=record.src_port,
+                    dst_ip=record.dst_ip,
+                    dst_port=record.dst_port,
+                    transport=record.transport,
+                    payload=record.payload,
+                    direction=record.direction,
+                    truth=truth,
+                )
+            )
+        return labelled
+
+
+def _window_to_json(window: CallWindow) -> Dict[str, float]:
+    return {
+        "capture_start": window.capture_start,
+        "call_start": window.call_start,
+        "call_end": window.call_end,
+        "capture_end": window.capture_end,
+        "margin": window.margin,
+    }
+
+
+def _window_from_json(data: Dict[str, float]) -> CallWindow:
+    return CallWindow(
+        capture_start=data["capture_start"],
+        call_start=data["call_start"],
+        call_end=data["call_end"],
+        capture_end=data["capture_end"],
+        margin=data.get("margin", 2.0),
+    )
+
+
+def save_trace(root: Union[str, Path], trace: Trace) -> DatasetEntry:
+    """Write one trace into the dataset directory; returns its entry."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    name = f"{trace.app}_{trace.config.network.value}_{trace.config.call_index}.pcap"
+    count = write_pcap(root / name, trace.records)
+    labels = tuple(
+        (
+            (record.truth.category.value, record.truth.app, record.truth.detail)
+            if record.truth
+            else ("", "", "")
+        )
+        for record in trace.records
+    )
+    return DatasetEntry(
+        app=trace.app,
+        network=trace.config.network.value,
+        call_index=trace.config.call_index,
+        pcap=name,
+        window=trace.window,
+        packet_count=count,
+        labels=labels,
+    )
+
+
+def build_dataset(
+    root: Union[str, Path],
+    apps: Sequence[str] = APP_NAMES,
+    networks: Sequence[NetworkCondition] = tuple(NetworkCondition),
+    call_duration: float = 30.0,
+    media_scale: float = 0.5,
+    repeats: int = 1,
+    seed: int = 0,
+) -> Dataset:
+    """Synthesize and persist a full dataset (the paper's release artifact)."""
+    root = Path(root)
+    entries: List[DatasetEntry] = []
+    for app in apps:
+        simulator = get_simulator(app)
+        for network in networks:
+            for call_index in range(repeats):
+                trace = simulator.simulate(
+                    CallConfig(
+                        network=network,
+                        seed=seed,
+                        call_index=call_index,
+                        call_duration=call_duration,
+                        media_scale=media_scale,
+                    )
+                )
+                entries.append(save_trace(root, trace))
+    dataset = Dataset(root=root, entries=entries)
+    save_manifest(dataset)
+    return dataset
+
+
+def save_manifest(dataset: Dataset) -> Path:
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "entries": [
+            {
+                "app": entry.app,
+                "network": entry.network,
+                "call_index": entry.call_index,
+                "pcap": entry.pcap,
+                "window": _window_to_json(entry.window),
+                "packet_count": entry.packet_count,
+                "labels": [list(label) for label in entry.labels],
+            }
+            for entry in dataset.entries
+        ],
+    }
+    path = dataset.root / MANIFEST_NAME
+    path.write_text(json.dumps(manifest))
+    return path
+
+
+def load_dataset(root: Union[str, Path]) -> Dataset:
+    """Open an existing dataset directory by reading its manifest."""
+    root = Path(root)
+    manifest = json.loads((root / MANIFEST_NAME).read_text())
+    if manifest.get("version") not in (1, MANIFEST_VERSION):
+        raise ValueError(f"unsupported manifest version {manifest.get('version')}")
+    entries = [
+        DatasetEntry(
+            app=raw["app"],
+            network=raw["network"],
+            call_index=raw["call_index"],
+            pcap=raw["pcap"],
+            window=_window_from_json(raw["window"]),
+            packet_count=raw["packet_count"],
+            labels=tuple(tuple(label) for label in raw.get("labels", [])),
+        )
+        for raw in manifest["entries"]
+    ]
+    return Dataset(root=root, entries=entries)

@@ -1,0 +1,81 @@
+"""Generators for the paper's figures (3-5) as data series.
+
+The benchmark harness prints the series; anything downstream (matplotlib,
+gnuplot) can consume the returned dictionaries directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.metrics import merge_type_entries
+from repro.dpi.messages import DatagramClass, Protocol
+from repro.experiments.runner import MatrixResult
+
+_PROTOCOL_ORDER = ("stun_turn", "rtp", "rtcp", "quic")
+
+
+def figure3(matrix: MatrixResult) -> Dict[str, Dict[str, float]]:
+    """Datagram breakdown: standard / proprietary header / fully proprietary."""
+    result: Dict[str, Dict[str, float]] = {}
+    for app, agg in matrix.per_app.items():
+        total = sum(agg.class_counts.values())
+        if not total:
+            continue
+        result[app] = {
+            cls.value: agg.class_counts.get(cls, 0) / total for cls in DatagramClass
+        }
+    return result
+
+
+def figure4(matrix: MatrixResult) -> Dict[str, Dict[str, float]]:
+    """Compliance ratio by traffic volume.
+
+    Returns ``{"by_app": {app: ratio}, "by_protocol": {protocol: ratio}}``;
+    the protocol view aggregates messages across all applications.
+    """
+    by_app = {
+        app: agg.summary.volume.ratio
+        for app, agg in matrix.per_app.items()
+        if agg.summary is not None
+    }
+    protocol_totals: Dict[str, Tuple[int, int]] = {}
+    for agg in matrix.per_app.values():
+        if agg.summary is None:
+            continue
+        for protocol, volume in agg.summary.volume_by_protocol.items():
+            compliant, total = protocol_totals.get(protocol, (0, 0))
+            protocol_totals[protocol] = (
+                compliant + volume.compliant,
+                total + volume.total,
+            )
+    by_protocol = {
+        protocol: compliant / total
+        for protocol, (compliant, total) in protocol_totals.items()
+        if total
+    }
+    return {"by_app": by_app, "by_protocol": by_protocol}
+
+
+def figure5(matrix: MatrixResult) -> Dict[str, Dict[str, float]]:
+    """Compliance ratio by message type (app-centric and protocol-centric)."""
+    by_app = {}
+    for app, agg in matrix.per_app.items():
+        compliant, total = agg.summary.type_ratio()
+        if total:
+            by_app[app] = compliant / total
+    by_protocol = {}
+    summaries = matrix.summaries()
+    for protocol in _PROTOCOL_ORDER:
+        compliant, total = merge_type_entries(summaries, protocol)
+        if total:
+            by_protocol[protocol] = compliant / total
+    return {"by_app": by_app, "by_protocol": by_protocol}
+
+
+def render_ratio_series(series: Dict[str, float], title: str) -> str:
+    lines = [title]
+    for key, ratio in series.items():
+        bar = "#" * int(round(ratio * 40))
+        lines.append(f"  {key:<12} {ratio * 100:6.2f}% {bar}")
+    return "\n".join(lines)

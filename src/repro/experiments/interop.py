@@ -1,0 +1,167 @@
+"""Interoperability-gap analysis — the DMA use case (paper §1, §6).
+
+The paper argues compliance measurements "estimate the technical challenges
+involved in achieving interoperability": a standards-conformant peer must
+implement every proprietary deviation of the application it wants to talk
+to.  This module turns verdicts and DPI output into that estimate — an
+itemized adaptation workload per application.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence
+
+from repro.core.verdict import Criterion, MessageVerdict
+from repro.dpi.messages import DatagramAnalysis, DatagramClass
+
+#: Violation codes that imply a custom *parser* (new wire syntax).
+_PARSER_CODES = frozenset({
+    "undefined-message-type",
+    "undefined-attribute",
+    "undefined-extension-profile",
+    "undefined-packet-type",
+    "undefined-trailing-bytes",
+})
+#: Violation codes that imply custom *semantics* (state-machine changes).
+_SEMANTIC_CODES = frozenset({
+    "allocate-pingpong",
+    "unanswered-retransmission",
+    "srtcp-missing-auth-tag",
+    "channeldata-padding",
+    "id-zero-with-length",
+    "attribute-not-allowed",
+})
+
+
+@dataclass
+class InteropGap:
+    """The adaptation workload for interoperating with one application."""
+
+    app: str
+    undefined_message_types: FrozenSet[str]
+    undefined_attribute_messages: int
+    semantic_deviation_messages: int
+    proprietary_header_share: float
+    fully_proprietary_share: float
+    violation_codes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def needs_custom_framing(self) -> bool:
+        """Must a peer strip proprietary wrappers before standard parsing?"""
+        return self.proprietary_header_share > 0.01
+
+    @property
+    def needs_custom_protocol(self) -> bool:
+        """Does the app speak datagrams no standard stack can interpret?"""
+        return self.fully_proprietary_share > 0.01
+
+    @property
+    def effort_score(self) -> int:
+        """A coarse 0-10 engineering-effort estimate.
+
+        One point per undefined message type (cap 3), plus framing,
+        fully-proprietary protocol, attribute-level and semantic adaptation
+        needs — a deliberately simple rubric so scores are explainable.
+        """
+        score = min(3, len(self.undefined_message_types))
+        if self.needs_custom_framing:
+            score += 2
+        if self.needs_custom_protocol:
+            score += 2
+        if self.undefined_attribute_messages:
+            score += 2
+        if self.semantic_deviation_messages:
+            score += 1
+        return min(10, score)
+
+    def workload_items(self) -> List[str]:
+        """Human-readable adaptation checklist."""
+        items = []
+        if self.undefined_message_types:
+            items.append(
+                f"implement {len(self.undefined_message_types)} undefined "
+                f"message types ({', '.join(sorted(self.undefined_message_types))})"
+            )
+        if self.undefined_attribute_messages:
+            items.append(
+                f"parse proprietary attributes/extensions "
+                f"({self.undefined_attribute_messages} messages observed)"
+            )
+        if self.needs_custom_framing:
+            items.append(
+                f"strip proprietary framing from "
+                f"{self.proprietary_header_share:.0%} of datagrams"
+            )
+        if self.needs_custom_protocol:
+            items.append(
+                f"reverse-engineer a fully proprietary protocol "
+                f"({self.fully_proprietary_share:.0%} of datagrams)"
+            )
+        if self.semantic_deviation_messages:
+            items.append(
+                f"replicate non-standard protocol semantics "
+                f"({self.semantic_deviation_messages} messages observed)"
+            )
+        if not items:
+            items.append("none — interoperates with a stock RFC stack")
+        return items
+
+
+def compute_interop_gap(
+    app: str,
+    verdicts: Sequence[MessageVerdict],
+    analyses: Sequence[DatagramAnalysis],
+) -> InteropGap:
+    """Derive the adaptation workload from one application's pipeline output."""
+    undefined_types = set()
+    attribute_messages = 0
+    semantic_messages = 0
+    codes: Counter = Counter()
+    for verdict in verdicts:
+        for violation in verdict.violations:
+            codes[violation.code] += 1
+            if violation.code == "undefined-message-type":
+                undefined_types.add(verdict.message.type_key()[1])
+            if violation.code in _PARSER_CODES and violation.code != "undefined-message-type":
+                attribute_messages += 1
+            if violation.code in _SEMANTIC_CODES:
+                semantic_messages += 1
+
+    total = len(analyses) or 1
+    headered = sum(
+        1 for a in analyses
+        if a.classification is DatagramClass.PROPRIETARY_HEADER
+    )
+    fully = sum(
+        1 for a in analyses
+        if a.classification is DatagramClass.FULLY_PROPRIETARY
+    )
+    return InteropGap(
+        app=app,
+        undefined_message_types=frozenset(undefined_types),
+        undefined_attribute_messages=attribute_messages,
+        semantic_deviation_messages=semantic_messages,
+        proprietary_header_share=headered / total,
+        fully_proprietary_share=fully / total,
+        violation_codes=dict(codes),
+    )
+
+
+def render_gap_table(gaps: Sequence[InteropGap]) -> str:
+    """An aligned text table over several applications' gaps."""
+    header = (
+        f"{'app':<11} {'score':>5} {'undef types':>11} {'prop.hdr':>9} "
+        f"{'fully prop':>10}  workload"
+    )
+    lines = [header, "-" * (len(header) + 20)]
+    for gap in sorted(gaps, key=lambda g: -g.effort_score):
+        first_item = gap.workload_items()[0]
+        lines.append(
+            f"{gap.app:<11} {gap.effort_score:>5} "
+            f"{len(gap.undefined_message_types):>11} "
+            f"{gap.proprietary_header_share:>8.1%} "
+            f"{gap.fully_proprietary_share:>9.1%}  {first_item}"
+        )
+    return "\n".join(lines)

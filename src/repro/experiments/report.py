@@ -1,0 +1,144 @@
+"""Markdown report generation for a compliance analysis.
+
+Turns pipeline outputs into the per-application report a network operator
+or regulator (the DMA use case) would read: overall scores, per-protocol
+breakdown, every observed message type with its verdict, and the violation
+inventory grouped by criterion.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.metrics import ComplianceSummary
+from repro.core.verdict import Criterion, MessageVerdict
+from repro.dpi.messages import DatagramClass
+from repro.experiments.runner import ExperimentAggregate, MatrixResult
+
+_CRITERION_TITLES = {
+    Criterion.MESSAGE_TYPE: "Criterion 1 — message type definition",
+    Criterion.HEADER_FIELDS: "Criterion 2 — header field validity",
+    Criterion.ATTRIBUTE_TYPES: "Criterion 3 — attribute type validity",
+    Criterion.ATTRIBUTE_VALUES: "Criterion 4 — attribute value validity",
+    Criterion.SEMANTICS: "Criterion 5 — syntax & semantic integrity",
+}
+
+
+def violation_inventory(verdicts: Sequence[MessageVerdict]) -> Dict[Criterion, Counter]:
+    """criterion -> Counter of violation codes."""
+    inventory: Dict[Criterion, Counter] = defaultdict(Counter)
+    for verdict in verdicts:
+        for violation in verdict.violations:
+            inventory[violation.criterion][violation.code] += 1
+    return dict(inventory)
+
+
+def summary_report(summary: ComplianceSummary) -> str:
+    """A self-contained markdown report for one application's summary."""
+    lines = [f"# Compliance report — {summary.app}", ""]
+    lines.append(
+        f"**Volume compliance:** {summary.volume.ratio:.2%} "
+        f"({summary.volume.compliant}/{summary.volume.total} messages)"
+    )
+    compliant, total = summary.type_ratio()
+    lines.append(f"**Message-type compliance:** {compliant}/{total}")
+    lines.append("")
+    lines.append("## Per-protocol volume")
+    lines.append("")
+    lines.append("| Protocol | Compliant | Total | Ratio |")
+    lines.append("|---|---:|---:|---:|")
+    for protocol, volume in sorted(summary.volume_by_protocol.items()):
+        lines.append(
+            f"| {protocol} | {volume.compliant} | {volume.total} "
+            f"| {volume.ratio:.2%} |"
+        )
+    lines.append("")
+    lines.append("## Observed message types")
+    lines.append("")
+    lines.append("| Protocol | Type | Messages | Verdict | Example violation |")
+    lines.append("|---|---|---:|---|---|")
+    for entry in sorted(summary.types.values(),
+                        key=lambda e: (e.protocol, e.type_label)):
+        verdict = "compliant" if entry.compliant else "**non-compliant**"
+        example = entry.example_violations[0] if entry.example_violations else ""
+        example = example.replace("|", "\\|")
+        lines.append(
+            f"| {entry.protocol} | {entry.type_label} | {entry.total} "
+            f"| {verdict} | {example} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def aggregate_report(aggregate: ExperimentAggregate) -> str:
+    """Report for one experiment aggregate: filter stats + DPI + compliance."""
+    lines = [f"# Experiment report — {aggregate.app}", ""]
+    lines.append("## Traffic filtering")
+    lines.append("")
+    lines.append("| Stage | UDP streams | UDP packets | TCP streams | TCP packets |")
+    lines.append("|---|---:|---:|---:|---:|")
+    for label, counts in (
+        ("raw capture", aggregate.raw),
+        ("stage-1 removed", aggregate.stage1_removed),
+        ("stage-2 removed", aggregate.stage2_removed),
+        ("RTC (kept)", aggregate.kept),
+    ):
+        lines.append(
+            f"| {label} | {counts.udp_streams} | {counts.udp_packets} "
+            f"| {counts.tcp_streams} | {counts.tcp_packets} |"
+        )
+    lines.append("")
+    lines.append(
+        f"Filter precision {aggregate.filter_precision:.4f}, "
+        f"recall {aggregate.filter_recall:.4f} (vs. ground truth)."
+    )
+    lines.append("")
+    lines.append("## Datagram classes (Figure 3 view)")
+    lines.append("")
+    total = sum(aggregate.class_counts.values()) or 1
+    for cls in DatagramClass:
+        count = aggregate.class_counts.get(cls, 0)
+        lines.append(f"- {cls.value}: {count} ({count / total:.1%})")
+    lines.append("")
+    if aggregate.summary is not None:
+        lines.append(summary_report(aggregate.summary))
+    return "\n".join(lines)
+
+
+def matrix_report(matrix: MatrixResult) -> str:
+    """One report covering every application in a matrix run."""
+    lines = ["# RTC protocol-compliance matrix report", ""]
+    lines.append("| App | Volume compliance | Type compliance | Fully proprietary |")
+    lines.append("|---|---:|---:|---:|")
+    for app, aggregate in matrix.per_app.items():
+        summary = aggregate.summary
+        compliant, total = summary.type_ratio()
+        fully = aggregate.class_counts.get(DatagramClass.FULLY_PROPRIETARY, 0)
+        datagrams = sum(aggregate.class_counts.values()) or 1
+        lines.append(
+            f"| {app} | {summary.volume.ratio:.2%} | {compliant}/{total} "
+            f"| {fully / datagrams:.1%} |"
+        )
+    lines.append("")
+    for app, aggregate in matrix.per_app.items():
+        lines.append(aggregate_report(aggregate))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def criteria_report(verdicts: Sequence[MessageVerdict]) -> str:
+    """Violation inventory grouped by the five criteria."""
+    inventory = violation_inventory(verdicts)
+    lines = ["# Violations by criterion", ""]
+    for criterion in Criterion:
+        lines.append(f"## {_CRITERION_TITLES[criterion]}")
+        lines.append("")
+        counter = inventory.get(criterion)
+        if not counter:
+            lines.append("No violations.")
+        else:
+            for code, count in counter.most_common():
+                lines.append(f"- `{code}`: {count} messages")
+        lines.append("")
+    return "\n".join(lines)

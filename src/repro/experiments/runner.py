@@ -1,0 +1,202 @@
+"""End-to-end experiment execution.
+
+One *experiment* is the full pipeline for one (app, network, repeat) cell:
+simulate the call, filter unrelated traffic, run the DPI, judge compliance.
+A *matrix* is the paper's 6 apps × 3 network configurations × N repeats.
+
+Aggregates keep only counters and verdict summaries, so a full matrix stays
+small in memory even for long calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.apps import APP_NAMES, CallConfig, NetworkCondition, get_simulator
+from repro.core import ComplianceChecker, ComplianceSummary
+from repro.core.metrics import TypeComplianceEntry, VolumeCompliance
+from repro.dpi import DatagramClass, DpiEngine, Protocol
+from repro.dpi.messages import ExtractedMessage
+from repro.filtering import TwoStageFilter
+from repro.filtering.pipeline import FilterResult, StageCounts
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters for one experiment cell (or a whole matrix)."""
+
+    call_duration: float = 30.0
+    media_scale: float = 0.5
+    repeats: int = 1
+    seed: int = 0
+    max_offset: int = 200
+    include_background: bool = True
+
+
+@dataclass
+class ExperimentAggregate:
+    """Counter-level results for one app (possibly merged across cells)."""
+
+    app: str
+    raw: StageCounts = field(default_factory=StageCounts)
+    stage1_removed: StageCounts = field(default_factory=StageCounts)
+    stage2_removed: StageCounts = field(default_factory=StageCounts)
+    kept: StageCounts = field(default_factory=StageCounts)
+    class_counts: Dict[DatagramClass, int] = field(
+        default_factory=lambda: {cls: 0 for cls in DatagramClass}
+    )
+    protocol_counts: Dict[Protocol, int] = field(default_factory=dict)
+    summary: Optional[ComplianceSummary] = None
+    filter_precision: float = 1.0
+    filter_recall: float = 1.0
+
+    def merge(self, other: "ExperimentAggregate") -> None:
+        self.raw = _add_counts(self.raw, other.raw)
+        self.stage1_removed = _add_counts(self.stage1_removed, other.stage1_removed)
+        self.stage2_removed = _add_counts(self.stage2_removed, other.stage2_removed)
+        self.kept = _add_counts(self.kept, other.kept)
+        for cls, count in other.class_counts.items():
+            self.class_counts[cls] = self.class_counts.get(cls, 0) + count
+        for protocol, count in other.protocol_counts.items():
+            self.protocol_counts[protocol] = (
+                self.protocol_counts.get(protocol, 0) + count
+            )
+        if self.summary is None:
+            self.summary = other.summary
+        elif other.summary is not None:
+            self.summary = merge_summaries(self.summary, other.summary)
+        # Precision/recall: keep the worst observed (conservative).
+        self.filter_precision = min(self.filter_precision, other.filter_precision)
+        self.filter_recall = min(self.filter_recall, other.filter_recall)
+
+    def message_distribution(self) -> Dict[str, float]:
+        """Table 2's row: per-protocol message share incl. fully proprietary."""
+        fully = self.class_counts.get(DatagramClass.FULLY_PROPRIETARY, 0)
+        total = sum(self.protocol_counts.values()) + fully
+        if total == 0:
+            return {}
+        shares = {
+            protocol.value: count / total
+            for protocol, count in sorted(
+                self.protocol_counts.items(), key=lambda kv: kv[0].value
+            )
+        }
+        shares["fully_proprietary"] = fully / total
+        return shares
+
+
+def _add_counts(a: StageCounts, b: StageCounts) -> StageCounts:
+    return StageCounts(
+        udp_streams=a.udp_streams + b.udp_streams,
+        udp_packets=a.udp_packets + b.udp_packets,
+        tcp_streams=a.tcp_streams + b.tcp_streams,
+        tcp_packets=a.tcp_packets + b.tcp_packets,
+    )
+
+
+def merge_summaries(a: ComplianceSummary, b: ComplianceSummary) -> ComplianceSummary:
+    volume = a.volume + b.volume
+    by_protocol: Dict[str, VolumeCompliance] = dict(a.volume_by_protocol)
+    for protocol, vol in b.volume_by_protocol.items():
+        by_protocol[protocol] = by_protocol.get(
+            protocol, VolumeCompliance(0, 0)
+        ) + vol
+    types: Dict[Tuple[str, str], TypeComplianceEntry] = {
+        key: TypeComplianceEntry(
+            protocol=entry.protocol,
+            type_label=entry.type_label,
+            total=entry.total,
+            non_compliant=entry.non_compliant,
+            example_violations=list(entry.example_violations),
+        )
+        for key, entry in a.types.items()
+    }
+    for key, entry in b.types.items():
+        existing = types.get(key)
+        if existing is None:
+            types[key] = TypeComplianceEntry(
+                protocol=entry.protocol,
+                type_label=entry.type_label,
+                total=entry.total,
+                non_compliant=entry.non_compliant,
+                example_violations=list(entry.example_violations),
+            )
+        else:
+            existing.total += entry.total
+            existing.non_compliant += entry.non_compliant
+            for example in entry.example_violations:
+                if len(existing.example_violations) < 3:
+                    existing.example_violations.append(example)
+    return ComplianceSummary(
+        app=a.app, volume=volume, volume_by_protocol=by_protocol, types=types
+    )
+
+
+def run_experiment(
+    app: str,
+    network: NetworkCondition,
+    config: ExperimentConfig = ExperimentConfig(),
+    call_index: int = 0,
+) -> ExperimentAggregate:
+    """Run one (app, network, call) cell through the full pipeline."""
+    simulator = get_simulator(app)
+    call_config = CallConfig(
+        network=network,
+        seed=config.seed,
+        call_index=call_index,
+        call_duration=config.call_duration,
+        media_scale=config.media_scale,
+        include_background=config.include_background,
+    )
+    trace = simulator.simulate(call_config)
+    filter_result = TwoStageFilter(trace.window).apply(trace.records)
+    dpi = DpiEngine(max_offset=config.max_offset).analyze_records(
+        filter_result.kept_records
+    )
+    verdicts = ComplianceChecker().check(dpi.messages())
+
+    aggregate = ExperimentAggregate(app=app)
+    aggregate.raw = filter_result.raw
+    aggregate.stage1_removed = filter_result.stage1_removed
+    aggregate.stage2_removed = filter_result.stage2_removed
+    aggregate.kept = filter_result.kept
+    aggregate.class_counts = dpi.by_class()
+    aggregate.protocol_counts = dpi.protocol_counts()
+    aggregate.summary = ComplianceSummary.from_verdicts(app, verdicts)
+    if filter_result.evaluation is not None:
+        aggregate.filter_precision = filter_result.evaluation.precision
+        aggregate.filter_recall = filter_result.evaluation.recall
+    return aggregate
+
+
+@dataclass
+class MatrixResult:
+    """Aggregates for a full experiment matrix, keyed by app."""
+
+    per_app: Dict[str, ExperimentAggregate]
+    config: ExperimentConfig
+
+    def apps(self) -> List[str]:
+        return list(self.per_app)
+
+    def summaries(self) -> List[ComplianceSummary]:
+        return [agg.summary for agg in self.per_app.values() if agg.summary]
+
+
+def run_matrix(
+    apps: Sequence[str] = APP_NAMES,
+    networks: Sequence[NetworkCondition] = tuple(NetworkCondition),
+    config: ExperimentConfig = ExperimentConfig(),
+) -> MatrixResult:
+    """Run the full experiment matrix and merge per-app aggregates."""
+    per_app: Dict[str, ExperimentAggregate] = {}
+    for app in apps:
+        for network in networks:
+            for repeat in range(config.repeats):
+                aggregate = run_experiment(app, network, config, call_index=repeat)
+                if app in per_app:
+                    per_app[app].merge(aggregate)
+                else:
+                    per_app[app] = aggregate
+    return MatrixResult(per_app=per_app, config=config)

@@ -1,0 +1,194 @@
+"""Generators for the paper's tables (1-6).
+
+Each ``tableN`` function consumes a :class:`MatrixResult` and returns a
+structured representation; ``render_*`` turns it into the aligned text the
+benchmark harness prints, mirroring the paper's rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.metrics import merge_type_entries
+from repro.dpi.messages import Protocol
+from repro.experiments.runner import MatrixResult
+
+_PROTOCOL_ORDER = ("stun_turn", "rtp", "rtcp", "quic")
+_PROTOCOL_LABELS = {
+    "stun_turn": "STUN/TURN",
+    "rtp": "RTP",
+    "rtcp": "RTCP",
+    "quic": "QUIC",
+    "fully_proprietary": "Fully Proprietary",
+}
+
+
+# --- Table 1: traffic traces and filtering progress ---------------------------
+
+@dataclass
+class Table1Row:
+    app: str
+    raw_udp: Tuple[int, int]       # (streams, datagrams)
+    raw_tcp: Tuple[int, int]
+    stage1_udp: Tuple[int, int]
+    stage2_udp: Tuple[int, int]
+    stage1_tcp: Tuple[int, int]
+    stage2_tcp: Tuple[int, int]
+    rtc_udp: Tuple[int, int]
+    rtc_tcp: Tuple[int, int]
+
+
+def table1(matrix: MatrixResult) -> List[Table1Row]:
+    rows = []
+    for app, agg in matrix.per_app.items():
+        rows.append(
+            Table1Row(
+                app=app,
+                raw_udp=(agg.raw.udp_streams, agg.raw.udp_packets),
+                raw_tcp=(agg.raw.tcp_streams, agg.raw.tcp_packets),
+                stage1_udp=(agg.stage1_removed.udp_streams, agg.stage1_removed.udp_packets),
+                stage2_udp=(agg.stage2_removed.udp_streams, agg.stage2_removed.udp_packets),
+                stage1_tcp=(agg.stage1_removed.tcp_streams, agg.stage1_removed.tcp_packets),
+                stage2_tcp=(agg.stage2_removed.tcp_streams, agg.stage2_removed.tcp_packets),
+                rtc_udp=(agg.kept.udp_streams, agg.kept.udp_packets),
+                rtc_tcp=(agg.kept.tcp_streams, agg.kept.tcp_packets),
+            )
+        )
+    return rows
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    header = (
+        f"{'App':<10} | {'Raw UDP':>14} | {'Raw TCP':>12} | "
+        f"{'S1 UDP':>12} | {'S2 UDP':>12} | {'S1 TCP':>12} | {'S2 TCP':>12} | "
+        f"{'RTC UDP':>14} | {'RTC TCP':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        def fmt(pair):
+            return f"{pair[0]} | {pair[1]}"
+        lines.append(
+            f"{row.app:<10} | {fmt(row.raw_udp):>14} | {fmt(row.raw_tcp):>12} | "
+            f"{fmt(row.stage1_udp):>12} | {fmt(row.stage2_udp):>12} | "
+            f"{fmt(row.stage1_tcp):>12} | {fmt(row.stage2_tcp):>12} | "
+            f"{fmt(row.rtc_udp):>14} | {fmt(row.rtc_tcp):>12}"
+        )
+    return "\n".join(lines)
+
+
+# --- Table 2: message distribution by protocol --------------------------------
+
+def table2(matrix: MatrixResult) -> Dict[str, Dict[str, float]]:
+    """app -> {protocol: share} including the fully-proprietary column."""
+    return {app: agg.message_distribution() for app, agg in matrix.per_app.items()}
+
+
+def render_table2(distribution: Dict[str, Dict[str, float]]) -> str:
+    columns = list(_PROTOCOL_ORDER) + ["fully_proprietary"]
+    header = f"{'App':<10} | " + " | ".join(
+        f"{_PROTOCOL_LABELS[c]:>18}" for c in columns
+    )
+    lines = [header, "-" * len(header)]
+    for app, shares in distribution.items():
+        cells = []
+        for column in columns:
+            share = shares.get(column)
+            cells.append(f"{share * 100:>17.1f}%" if share is not None else f"{'N/A':>18}")
+        lines.append(f"{app:<10} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+# --- Table 3: compliance ratio by message type ---------------------------------
+
+def table3(matrix: MatrixResult) -> Dict[str, Dict[str, Tuple[int, int]]]:
+    """app -> protocol -> (compliant types, total types); plus an 'All Apps' row."""
+    result: Dict[str, Dict[str, Tuple[int, int]]] = {}
+    for app, agg in matrix.per_app.items():
+        row: Dict[str, Tuple[int, int]] = {}
+        for protocol in _PROTOCOL_ORDER:
+            ratio = agg.summary.type_ratio(protocol)
+            if ratio[1]:
+                row[protocol] = ratio
+        row["all"] = agg.summary.type_ratio()
+        result[app] = row
+    bottom: Dict[str, Tuple[int, int]] = {}
+    summaries = matrix.summaries()
+    for protocol in _PROTOCOL_ORDER:
+        merged = merge_type_entries(summaries, protocol)
+        if merged[1]:
+            bottom[protocol] = merged
+    result["All Apps"] = bottom
+    return result
+
+
+def render_table3(table: Dict[str, Dict[str, Tuple[int, int]]]) -> str:
+    columns = list(_PROTOCOL_ORDER) + ["all"]
+    header = f"{'App':<10} | " + " | ".join(
+        f"{_PROTOCOL_LABELS.get(c, 'All'):>10}" for c in columns
+    )
+    lines = [header, "-" * len(header)]
+    for app, row in table.items():
+        cells = []
+        for column in columns:
+            ratio = row.get(column)
+            cells.append(f"{ratio[0]}/{ratio[1]:<4}".rjust(10) if ratio else f"{'N/A':>10}")
+        lines.append(f"{app:<10} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+# --- Tables 4-6: observed types per protocol ------------------------------------
+
+def observed_types(
+    matrix: MatrixResult, protocol: str
+) -> Dict[str, Dict[str, List[str]]]:
+    """app -> {"compliant": [types], "non_compliant": [types]} for *protocol*."""
+    result: Dict[str, Dict[str, List[str]]] = {}
+    for app, agg in matrix.per_app.items():
+        entries = agg.summary.observed_types(protocol)
+        if not entries:
+            continue
+        compliant = sorted(
+            (label for label, e in entries.items() if e.compliant), key=_type_sort_key
+        )
+        bad = sorted(
+            (label for label, e in entries.items() if not e.compliant),
+            key=_type_sort_key,
+        )
+        result[app] = {"compliant": compliant, "non_compliant": bad}
+    return result
+
+
+def _type_sort_key(label: str):
+    try:
+        return (0, int(label, 0))
+    except ValueError:
+        return (1, label)
+
+
+def table4(matrix: MatrixResult) -> Dict[str, Dict[str, List[str]]]:
+    """Observed STUN/TURN message types (paper Table 4)."""
+    return observed_types(matrix, "stun_turn")
+
+
+def table5(matrix: MatrixResult) -> Dict[str, Dict[str, List[str]]]:
+    """Observed RTP payload types (paper Table 5)."""
+    return observed_types(matrix, "rtp")
+
+
+def table6(matrix: MatrixResult) -> Dict[str, Dict[str, List[str]]]:
+    """Observed RTCP packet types (paper Table 6)."""
+    return observed_types(matrix, "rtcp")
+
+
+def render_observed_types(table: Dict[str, Dict[str, List[str]]], title: str) -> str:
+    lines = [title, "=" * len(title)]
+    for app, groups in table.items():
+        lines.append(f"{app}:")
+        lines.append(
+            "  compliant:     " + (", ".join(groups["compliant"]) or "-")
+        )
+        lines.append(
+            "  non-compliant: " + (", ".join(groups["non_compliant"]) or "-")
+        )
+    return "\n".join(lines)

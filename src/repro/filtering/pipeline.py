@@ -1,0 +1,205 @@
+"""The two-stage filtering pipeline and its accounting (paper §3.2, Table 1).
+
+Stage 1 removes streams misaligned with the call window; stage 2 applies the
+four protocol-aware heuristics to what remains.  The result object tracks,
+per transport, how many streams/packets each stage removed — exactly the
+columns of the paper's Table 1 — and, when ground-truth labels are present,
+the filter's precision and recall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.apps.background import DEFAULT_SNI_BLOCKLIST
+from repro.filtering.heuristics import (
+    DEFAULT_EXCLUDED_PORTS,
+    LocalIpFilter,
+    PortFilter,
+    SniFilter,
+    ThreeTupleFilter,
+)
+from repro.filtering.timespan import TimespanFilter
+from repro.packets.packet import PacketRecord
+from repro.streams.flow import Stream, group_streams
+from repro.streams.timeline import CallWindow
+
+
+@dataclass(frozen=True)
+class StageCounts:
+    """Streams and packets attributed to one pipeline stage, per transport."""
+
+    udp_streams: int = 0
+    udp_packets: int = 0
+    tcp_streams: int = 0
+    tcp_packets: int = 0
+
+    @classmethod
+    def of(cls, streams: Iterable[Stream]) -> "StageCounts":
+        udp_s = udp_p = tcp_s = tcp_p = 0
+        for stream in streams:
+            if stream.transport == "UDP":
+                udp_s += 1
+                udp_p += stream.packet_count
+            else:
+                tcp_s += 1
+                tcp_p += stream.packet_count
+        return cls(udp_s, udp_p, tcp_s, tcp_p)
+
+
+@dataclass(frozen=True)
+class FilterEvaluation:
+    """Ground-truth-based quality metrics (only for labelled traces)."""
+
+    kept_rtc: int
+    kept_non_rtc: int
+    removed_rtc: int
+    removed_non_rtc: int
+
+    @property
+    def precision(self) -> float:
+        kept = self.kept_rtc + self.kept_non_rtc
+        return self.kept_rtc / kept if kept else 1.0
+
+    @property
+    def recall(self) -> float:
+        total_rtc = self.kept_rtc + self.removed_rtc
+        return self.kept_rtc / total_rtc if total_rtc else 1.0
+
+
+@dataclass
+class FilterResult:
+    """Everything the pipeline decided, with per-stage accounting."""
+
+    raw: StageCounts
+    stage1_removed: StageCounts
+    stage2_removed: StageCounts
+    kept: StageCounts
+    kept_streams: List[Stream]
+    removed_by: Dict[str, List[Stream]]
+    evaluation: Optional[FilterEvaluation] = None
+
+    @property
+    def kept_records(self) -> List[PacketRecord]:
+        records: List[PacketRecord] = []
+        for stream in self.kept_streams:
+            records.extend(stream.packets)
+        records.sort(key=lambda r: r.timestamp)
+        return records
+
+    def stage2_by_heuristic(self) -> Dict[str, StageCounts]:
+        return {
+            name: StageCounts.of(streams)
+            for name, streams in self.removed_by.items()
+            if name != TimespanFilter.name
+        }
+
+
+class TwoStageFilter:
+    """The paper's full filtering pipeline.
+
+    Individual stage-2 heuristics can be disabled via ``enabled_heuristics``
+    for ablation studies.
+    """
+
+    ALL_HEURISTICS = ("3tuple", "sni", "local_ip", "port")
+
+    def __init__(
+        self,
+        window: CallWindow,
+        sni_blocklist: Iterable[str] = DEFAULT_SNI_BLOCKLIST,
+        excluded_ports: Iterable[int] = DEFAULT_EXCLUDED_PORTS,
+        enabled_heuristics: Sequence[str] = ALL_HEURISTICS,
+    ):
+        unknown = set(enabled_heuristics) - set(self.ALL_HEURISTICS)
+        if unknown:
+            raise ValueError(f"unknown heuristics {sorted(unknown)}")
+        self._window = window
+        self._sni_blocklist = frozenset(sni_blocklist)
+        self._excluded_ports = frozenset(excluded_ports)
+        self._enabled = tuple(enabled_heuristics)
+
+    def apply(self, records: Sequence[PacketRecord]) -> FilterResult:
+        streams = list(group_streams(records).values())
+        raw = StageCounts.of(streams)
+        removed_by: Dict[str, List[Stream]] = {}
+
+        stage1 = TimespanFilter(self._window)
+        kept, removed = stage1.split(streams)
+        removed_by[stage1.name] = removed
+        stage1_counts = StageCounts.of(removed)
+
+        heuristics = []
+        if "3tuple" in self._enabled:
+            heuristics.append(ThreeTupleFilter(records, self._window))
+        if "sni" in self._enabled:
+            heuristics.append(SniFilter(self._sni_blocklist))
+        if "local_ip" in self._enabled:
+            heuristics.append(LocalIpFilter(records, self._window))
+        if "port" in self._enabled:
+            heuristics.append(PortFilter(self._excluded_ports))
+
+        surviving: List[Stream] = []
+        for stream in kept:
+            verdict = None
+            for heuristic in heuristics:
+                if not heuristic.keeps(stream):
+                    verdict = heuristic.name
+                    break
+            if verdict is None:
+                surviving.append(stream)
+            else:
+                removed_by.setdefault(verdict, []).append(stream)
+
+        stage2_counts = StageCounts.of(
+            stream
+            for name, streams_ in removed_by.items()
+            if name != stage1.name
+            for stream in streams_
+        )
+        result = FilterResult(
+            raw=raw,
+            stage1_removed=stage1_counts,
+            stage2_removed=stage2_counts,
+            kept=StageCounts.of(surviving),
+            kept_streams=surviving,
+            removed_by=removed_by,
+            evaluation=_evaluate(surviving, removed_by),
+        )
+        return result
+
+
+def _evaluate(
+    kept_streams: Sequence[Stream], removed_by: Dict[str, List[Stream]]
+) -> Optional[FilterEvaluation]:
+    from repro.packets.packet import TrafficCategory
+
+    def label_counts(streams: Iterable[Stream]):
+        # Signaling is call-related: the paper's pipeline keeps in-call
+        # signaling too (the "RTC TCP" column of Table 1), so only true
+        # background counts against precision.
+        rtc = non_rtc = labelled = 0
+        for stream in streams:
+            for record in stream.packets:
+                if record.truth is None:
+                    continue
+                labelled += 1
+                if record.truth.category is TrafficCategory.BACKGROUND:
+                    non_rtc += 1
+                else:
+                    rtc += 1
+        return rtc, non_rtc, labelled
+
+    kept_rtc, kept_non, kept_labelled = label_counts(kept_streams)
+    removed_rtc, removed_non, removed_labelled = label_counts(
+        stream for streams in removed_by.values() for stream in streams
+    )
+    if kept_labelled + removed_labelled == 0:
+        return None
+    return FilterEvaluation(
+        kept_rtc=kept_rtc,
+        kept_non_rtc=kept_non,
+        removed_rtc=removed_rtc,
+        removed_non_rtc=removed_non,
+    )

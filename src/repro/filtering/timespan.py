@@ -1,0 +1,34 @@
+"""Stage-1 filtering: stream-timespan alignment with the call window (§3.2.1).
+
+Streams that begin before the call starts, end after it ends, or span both
+are removed: legitimate RTC sessions start and end in synchrony with the
+user-initiated call.  The window is expanded by ±2 s to absorb timing
+offsets and delayed packet delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.streams.flow import Stream
+from repro.streams.timeline import CallWindow
+
+
+class TimespanFilter:
+    """Removes streams whose active timespan is not enclosed by the window."""
+
+    name = "timespan"
+
+    def __init__(self, window: CallWindow):
+        self._window = window
+
+    def keeps(self, stream: Stream) -> bool:
+        return self._window.encloses(stream.first_timestamp, stream.last_timestamp)
+
+    def split(self, streams: Iterable[Stream]) -> Tuple[List[Stream], List[Stream]]:
+        """Partition *streams* into (kept, removed)."""
+        kept: List[Stream] = []
+        removed: List[Stream] = []
+        for stream in streams:
+            (kept if self.keeps(stream) else removed).append(stream)
+        return kept, removed

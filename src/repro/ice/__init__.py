@@ -1,0 +1,33 @@
+"""Interactive Connectivity Establishment (RFC 8445), lite.
+
+The paper's §2.1 narrative — gather candidates via STUN, probe pairs,
+fall back to TURN relays behind symmetric NATs — implemented as a compact
+substrate: candidate model with the RFC priority formulas, the pair
+checklist state machine, and an agent pair driven over a configurable
+simulated network.  The three network configurations of the experiment
+matrix map onto NAT behaviours here, grounding each simulator's
+P2P-vs-relay decision in actual connectivity checks.
+"""
+
+from repro.ice.candidates import (
+    Candidate,
+    CandidateType,
+    candidate_priority,
+    pair_priority,
+)
+from repro.ice.checklist import CheckState, CandidatePair, Checklist
+from repro.ice.agent import IceAgent, NatBehaviour, SimulatedNetwork, run_ice
+
+__all__ = [
+    "Candidate",
+    "CandidateType",
+    "candidate_priority",
+    "pair_priority",
+    "CheckState",
+    "CandidatePair",
+    "Checklist",
+    "IceAgent",
+    "NatBehaviour",
+    "SimulatedNetwork",
+    "run_ice",
+]

@@ -1,0 +1,179 @@
+"""A lite ICE agent pair over a simulated network.
+
+Connectivity checks are actual STUN Binding Requests/Responses built with
+the library's codec; the :class:`SimulatedNetwork` decides which paths
+deliver based on the NAT behaviour under test.  This grounds the paper's
+three network configurations:
+
+- ``wifi_p2p``  → endpoint-independent NAT: host/srflx checks succeed → P2P
+- ``wifi_relay`` → UDP hole punching blocked: only relayed pairs succeed
+- ``cellular``   → carrier-dependent (the experiment sets it per app)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ice.candidates import Candidate, CandidateType
+from repro.ice.checklist import CandidatePair, Checklist, CheckState
+from repro.protocols.stun.attributes import StunAttribute, encode_xor_address
+from repro.protocols.stun.constants import AttributeType
+from repro.protocols.stun.message import StunMessage, build_with_fingerprint
+from repro.utils.rand import DeterministicRandom
+
+
+class NatBehaviour(enum.Enum):
+    """Simplified NAT model per endpoint."""
+
+    OPEN = "open"                      # public address, no NAT
+    ENDPOINT_INDEPENDENT = "eim"       # hole punching works
+    ADDRESS_DEPENDENT = "adm"          # works after outbound packet to peer
+    BLOCKED = "blocked"                # inbound UDP always dropped (firewall)
+
+
+@dataclass
+class SimulatedNetwork:
+    """Decides whether a connectivity check between two pairs delivers."""
+
+    nat_a: NatBehaviour
+    nat_b: NatBehaviour
+
+    def direct_path_works(self) -> bool:
+        """Can a host/srflx ↔ host/srflx pair ever succeed?"""
+        blocked = NatBehaviour.BLOCKED
+        return self.nat_a is not blocked and self.nat_b is not blocked
+
+    def check_succeeds(self, pair: CandidatePair) -> bool:
+        if pair.uses_relay:
+            return True  # the relay is publicly reachable by definition
+        return self.direct_path_works()
+
+
+@dataclass
+class IceAgent:
+    """One side of the session: its candidates and connectivity state."""
+
+    name: str
+    host_ip: str
+    public_ip: str
+    relay_ip: str
+    controlling: bool
+    rng: DeterministicRandom
+    candidates: List[Candidate] = field(default_factory=list)
+    check_messages: List[bytes] = field(default_factory=list)
+
+    def gather(self) -> List[Candidate]:
+        """Host, server-reflexive (via STUN) and relayed (via TURN) candidates."""
+        host_port = self.rng.randint(49152, 65535)
+        self.candidates = [
+            Candidate(ip=self.host_ip, port=host_port,
+                      candidate_type=CandidateType.HOST),
+            Candidate(ip=self.public_ip, port=self.rng.randint(1024, 65535),
+                      candidate_type=CandidateType.SERVER_REFLEXIVE,
+                      related_ip=self.host_ip, related_port=host_port),
+            Candidate(ip=self.relay_ip, port=self.rng.randint(40000, 50000),
+                      candidate_type=CandidateType.RELAYED,
+                      related_ip=self.public_ip, related_port=host_port),
+        ]
+        return self.candidates
+
+    def build_check(self, pair: CandidatePair) -> bytes:
+        """A real ICE Binding Request for this pair."""
+        role_attr = (
+            AttributeType.ICE_CONTROLLING if self.controlling
+            else AttributeType.ICE_CONTROLLED
+        )
+        message = StunMessage(
+            msg_type=0x0001,
+            transaction_id=self.rng.transaction_id(),
+            attributes=[
+                StunAttribute(int(AttributeType.USERNAME), b"remote:local"),
+                StunAttribute(int(AttributeType.PRIORITY),
+                              pair.local.priority.to_bytes(4, "big")),
+                StunAttribute(int(role_attr), self.rng.rand_bytes(8)),
+                StunAttribute(int(AttributeType.MESSAGE_INTEGRITY),
+                              self.rng.rand_bytes(20)),
+            ],
+        )
+        raw = build_with_fingerprint(message)
+        self.check_messages.append(raw)
+        return raw
+
+    def build_response(self, request_raw: bytes, pair: CandidatePair) -> bytes:
+        request = StunMessage.parse(request_raw)
+        response = StunMessage(
+            msg_type=0x0101,
+            transaction_id=request.transaction_id,
+            attributes=[
+                StunAttribute(
+                    int(AttributeType.XOR_MAPPED_ADDRESS),
+                    encode_xor_address(pair.remote.ip, pair.remote.port,
+                                       request.transaction_id),
+                ),
+                StunAttribute(int(AttributeType.MESSAGE_INTEGRITY),
+                              self.rng.rand_bytes(20)),
+            ],
+        )
+        raw = build_with_fingerprint(response)
+        self.check_messages.append(raw)
+        return raw
+
+
+@dataclass
+class IceOutcome:
+    """Result of a full ICE run."""
+
+    nominated: Optional[CandidatePair]
+    checks_sent: int
+    succeeded: int
+    failed: int
+
+    @property
+    def connected(self) -> bool:
+        return self.nominated is not None
+
+    @property
+    def mode(self) -> str:
+        if self.nominated is None:
+            return "failed"
+        return "relay" if self.nominated.uses_relay else "p2p"
+
+
+def run_ice(
+    network: SimulatedNetwork,
+    seed: int = 0,
+    relay_ip_a: str = "198.18.0.10",
+    relay_ip_b: str = "198.18.0.11",
+) -> IceOutcome:
+    """Run a full ICE session between two agents over *network*."""
+    rng = DeterministicRandom(f"ice:{seed}")
+    agent_a = IceAgent(name="a", host_ip="192.168.1.23", public_ip="203.0.113.10",
+                       relay_ip=relay_ip_a, controlling=True, rng=rng.child("a"))
+    agent_b = IceAgent(name="b", host_ip="192.168.1.57", public_ip="203.0.113.20",
+                       relay_ip=relay_ip_b, controlling=False, rng=rng.child("b"))
+    checklist = Checklist.form(agent_a.gather(), agent_b.gather(), controlling=True)
+
+    checks = succeeded = failed = 0
+    while not checklist.exhausted:
+        pair = checklist.next_pair()
+        if pair is None:
+            break
+        pair.state = CheckState.IN_PROGRESS
+        request = agent_a.build_check(pair)
+        checks += 1
+        if network.check_succeeds(pair):
+            agent_b.build_response(request, pair)
+            pair.state = CheckState.SUCCEEDED
+            succeeded += 1
+        else:
+            pair.state = CheckState.FAILED
+            failed += 1
+
+    return IceOutcome(
+        nominated=checklist.nominate(),
+        checks_sent=checks,
+        succeeded=succeeded,
+        failed=failed,
+    )

@@ -1,0 +1,76 @@
+"""ICE candidates and the RFC 8445 priority formulas."""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+
+class CandidateType(enum.Enum):
+    HOST = "host"
+    SERVER_REFLEXIVE = "srflx"
+    PEER_REFLEXIVE = "prflx"
+    RELAYED = "relay"
+
+
+#: RFC 8445 §5.1.2.2 recommended type preferences.
+TYPE_PREFERENCES = {
+    CandidateType.HOST: 126,
+    CandidateType.PEER_REFLEXIVE: 110,
+    CandidateType.SERVER_REFLEXIVE: 100,
+    CandidateType.RELAYED: 0,
+}
+
+
+def candidate_priority(
+    candidate_type: CandidateType,
+    local_preference: int = 65535,
+    component: int = 1,
+) -> int:
+    """priority = 2^24·type-pref + 2^8·local-pref + (256 − component)."""
+    if not 1 <= component <= 256:
+        raise ValueError("component IDs are 1-256")
+    if not 0 <= local_preference <= 65535:
+        raise ValueError("local preference is 16 bits")
+    return (
+        (TYPE_PREFERENCES[candidate_type] << 24)
+        | (local_preference << 8)
+        | (256 - component)
+    )
+
+
+def pair_priority(controlling_priority: int, controlled_priority: int) -> int:
+    """RFC 8445 §6.1.2.3: 2^32·MIN + 2·MAX + (G>D ? 1 : 0)."""
+    g, d = controlling_priority, controlled_priority
+    return (min(g, d) << 32) + 2 * max(g, d) + (1 if g > d else 0)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One ICE candidate."""
+
+    ip: str
+    port: int
+    candidate_type: CandidateType
+    component: int = 1
+    local_preference: int = 65535
+    related_ip: Optional[str] = None  # base address for srflx/relay
+    related_port: Optional[int] = None
+
+    @property
+    def priority(self) -> int:
+        return candidate_priority(
+            self.candidate_type, self.local_preference, self.component
+        )
+
+    @property
+    def foundation(self) -> str:
+        """Candidates of one type from one base share a foundation (§5.1.1.3)."""
+        seed = f"{self.candidate_type.value}|{self.ip}|{self.related_ip}"
+        return hashlib.sha1(seed.encode()).hexdigest()[:8]
+
+    @property
+    def transport_address(self):
+        return (self.ip, self.port)

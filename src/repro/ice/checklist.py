@@ -1,0 +1,127 @@
+"""Candidate-pair checklist (RFC 8445 §6.1)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.ice.candidates import Candidate, CandidateType, pair_priority
+
+
+class CheckState(enum.Enum):
+    FROZEN = "frozen"
+    WAITING = "waiting"
+    IN_PROGRESS = "in_progress"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+@dataclass
+class CandidatePair:
+    local: Candidate
+    remote: Candidate
+    controlling: bool
+    state: CheckState = CheckState.FROZEN
+    nominated: bool = False
+
+    @property
+    def priority(self) -> int:
+        if self.controlling:
+            return pair_priority(self.local.priority, self.remote.priority)
+        return pair_priority(self.remote.priority, self.local.priority)
+
+    @property
+    def uses_relay(self) -> bool:
+        return (
+            self.local.candidate_type is CandidateType.RELAYED
+            or self.remote.candidate_type is CandidateType.RELAYED
+        )
+
+    @property
+    def foundation(self) -> str:
+        return f"{self.local.foundation}:{self.remote.foundation}"
+
+
+@dataclass
+class Checklist:
+    """Ordered candidate pairs with the RFC's unfreezing discipline."""
+
+    pairs: List[CandidatePair] = field(default_factory=list)
+
+    @classmethod
+    def form(
+        cls,
+        local_candidates: List[Candidate],
+        remote_candidates: List[Candidate],
+        controlling: bool,
+    ) -> "Checklist":
+        """Pair every compatible candidate and sort by pair priority."""
+        pairs = [
+            CandidatePair(local=local, remote=remote, controlling=controlling)
+            for local in local_candidates
+            for remote in remote_candidates
+            if local.component == remote.component
+        ]
+        pairs.sort(key=lambda pair: pair.priority, reverse=True)
+        deduped = cls._prune(pairs)
+        checklist = cls(pairs=deduped)
+        checklist._unfreeze_initial()
+        return checklist
+
+    @staticmethod
+    def _prune(pairs: List[CandidatePair]) -> List[CandidatePair]:
+        """Drop redundant pairs (same local base + remote, §6.1.2.4)."""
+        seen = set()
+        kept = []
+        for pair in pairs:
+            base = (
+                pair.local.related_ip or pair.local.ip,
+                pair.local.related_port or pair.local.port,
+            )
+            key = (base, pair.remote.transport_address,
+                   pair.local.candidate_type is CandidateType.RELAYED)
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(pair)
+        return kept
+
+    def _unfreeze_initial(self) -> None:
+        """One WAITING pair per foundation, the rest stay FROZEN (§6.1.2.6)."""
+        seen_foundations = set()
+        for pair in self.pairs:
+            if pair.foundation not in seen_foundations:
+                pair.state = CheckState.WAITING
+                seen_foundations.add(pair.foundation)
+
+    def next_pair(self) -> Optional[CandidatePair]:
+        """Highest-priority WAITING pair, unfreezing when none is ready."""
+        for pair in self.pairs:
+            if pair.state is CheckState.WAITING:
+                return pair
+        for pair in self.pairs:
+            if pair.state is CheckState.FROZEN:
+                pair.state = CheckState.WAITING
+                return pair
+        return None
+
+    def succeeded_pairs(self) -> List[CandidatePair]:
+        return [pair for pair in self.pairs
+                if pair.state is CheckState.SUCCEEDED]
+
+    @property
+    def exhausted(self) -> bool:
+        return all(
+            pair.state in (CheckState.SUCCEEDED, CheckState.FAILED)
+            for pair in self.pairs
+        )
+
+    def nominate(self) -> Optional[CandidatePair]:
+        """Regular nomination: the best succeeded pair wins."""
+        succeeded = self.succeeded_pairs()
+        if not succeeded:
+            return None
+        best = max(succeeded, key=lambda pair: pair.priority)
+        best.nominated = True
+        return best

@@ -1,0 +1,42 @@
+"""Packet substrate: pcap/pcapng I/O and L2-L4 codecs.
+
+This package replaces the paper's Wireshark/RVI capture setup.  Traces can be
+synthesized in memory as :class:`PacketRecord` sequences, serialized to real
+``.pcap``/``.pcapng`` files, and decoded back — the compliance pipeline only
+ever sees the analysis-level records.
+"""
+
+from repro.packets.checksum import internet_checksum, udp_checksum
+from repro.packets.decode import DecodeError, decode_frame, encode_record
+from repro.packets.ethernet import EtherType, EthernetFrame
+from repro.packets.ip import IPv4Header, IPv6Header, IPProto
+from repro.packets.packet import Direction, PacketRecord, Truth
+from repro.packets.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+from repro.packets.pcapng import PcapngReader, PcapngWriter, read_pcapng, write_pcapng
+from repro.packets.transport import TcpSegment, UdpDatagram
+
+__all__ = [
+    "internet_checksum",
+    "udp_checksum",
+    "DecodeError",
+    "decode_frame",
+    "encode_record",
+    "EtherType",
+    "EthernetFrame",
+    "IPv4Header",
+    "IPv6Header",
+    "IPProto",
+    "Direction",
+    "PacketRecord",
+    "Truth",
+    "PcapReader",
+    "PcapWriter",
+    "read_pcap",
+    "write_pcap",
+    "PcapngReader",
+    "PcapngWriter",
+    "read_pcapng",
+    "write_pcapng",
+    "TcpSegment",
+    "UdpDatagram",
+]

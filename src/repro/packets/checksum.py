@@ -1,0 +1,48 @@
+"""Internet checksum (RFC 1071) and transport pseudo-header checksums."""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement checksum over *data*."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    # Fold carries back into the low 16 bits.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def _pseudo_header(src_ip: str, dst_ip: str, proto: int, length: int) -> bytes:
+    src = ipaddress.ip_address(src_ip)
+    dst = ipaddress.ip_address(dst_ip)
+    if src.version != dst.version:
+        raise ValueError("mixed address families in pseudo header")
+    if src.version == 4:
+        return src.packed + dst.packed + struct.pack("!BBH", 0, proto, length)
+    return src.packed + dst.packed + struct.pack("!IHBB", length, 0, 0, proto)
+
+
+def udp_checksum(src_ip: str, dst_ip: str, udp_bytes: bytes) -> int:
+    """UDP checksum over the pseudo header and the full UDP datagram.
+
+    Per RFC 768 a computed value of zero is transmitted as 0xFFFF; zero on
+    the wire means "no checksum" (IPv4 only).
+    """
+    checksum = internet_checksum(
+        _pseudo_header(src_ip, dst_ip, 17, len(udp_bytes)) + udp_bytes
+    )
+    return checksum or 0xFFFF
+
+
+def tcp_checksum(src_ip: str, dst_ip: str, tcp_bytes: bytes) -> int:
+    """TCP checksum over the pseudo header and the full TCP segment."""
+    return internet_checksum(
+        _pseudo_header(src_ip, dst_ip, 6, len(tcp_bytes)) + tcp_bytes
+    )

@@ -1,0 +1,139 @@
+"""Full-stack frame decoding and record encoding.
+
+``decode_frame`` turns raw link-layer bytes (as read from a pcap file) into a
+:class:`PacketRecord`; ``encode_record`` does the reverse so synthetic traces
+can be persisted as genuine pcap files and re-read losslessly (minus the
+ground-truth labels, which only exist in memory).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from typing import Optional
+
+from repro.packets.ethernet import EthernetFrame, EtherType
+from repro.packets.ip import IPProto, IPv4Header, IPv6Header
+from repro.packets.packet import Direction, PacketRecord
+from repro.packets.transport import TcpSegment, UdpDatagram
+
+# Subset of pcap link types we handle.
+LINKTYPE_NULL = 0
+LINKTYPE_ETHERNET = 1
+LINKTYPE_RAW = 101
+LINKTYPE_LOOP = 108
+
+_NULL_AF_INET = 2
+_NULL_AF_INET6_VARIANTS = (24, 28, 30)  # varies by BSD flavour
+
+
+class DecodeError(ValueError):
+    """Raised when a frame cannot be decoded down to a transport payload."""
+
+
+def _decode_ip(data: bytes, timestamp: float) -> PacketRecord:
+    if not data:
+        raise DecodeError("empty IP packet")
+    version = data[0] >> 4
+    if version == 4:
+        ip: IPv4Header | IPv6Header = IPv4Header.parse(data)
+    elif version == 6:
+        ip = IPv6Header.parse(data)
+    else:
+        raise DecodeError(f"unknown IP version {version}")
+    if ip.proto == IPProto.UDP:
+        udp = UdpDatagram.parse(ip.payload)
+        return PacketRecord(
+            timestamp=timestamp,
+            src_ip=ip.src_ip,
+            src_port=udp.src_port,
+            dst_ip=ip.dst_ip,
+            dst_port=udp.dst_port,
+            transport="UDP",
+            payload=udp.payload,
+        )
+    if ip.proto == IPProto.TCP:
+        tcp = TcpSegment.parse(ip.payload)
+        return PacketRecord(
+            timestamp=timestamp,
+            src_ip=ip.src_ip,
+            src_port=tcp.src_port,
+            dst_ip=ip.dst_ip,
+            dst_port=tcp.dst_port,
+            transport="TCP",
+            payload=tcp.payload,
+        )
+    raise DecodeError(f"unsupported IP protocol {ip.proto}")
+
+
+def decode_frame(link_type: int, data: bytes, timestamp: float) -> PacketRecord:
+    """Decode one captured frame down to a :class:`PacketRecord`.
+
+    Raises :class:`DecodeError` for non-IP frames (ARP, etc.) and for IP
+    protocols other than UDP/TCP; callers typically skip those.
+    """
+    if link_type == LINKTYPE_ETHERNET:
+        frame = EthernetFrame.parse(data)
+        if frame.ethertype not in (EtherType.IPV4, EtherType.IPV6):
+            raise DecodeError(f"non-IP ethertype 0x{frame.ethertype:04x}")
+        return _decode_ip(frame.payload, timestamp)
+    if link_type in (LINKTYPE_NULL, LINKTYPE_LOOP):
+        if len(data) < 4:
+            raise DecodeError("truncated null/loopback header")
+        family = struct.unpack("<I" if link_type == LINKTYPE_NULL else "!I", data[:4])[0]
+        if family != _NULL_AF_INET and family not in _NULL_AF_INET6_VARIANTS:
+            raise DecodeError(f"unknown loopback address family {family}")
+        return _decode_ip(data[4:], timestamp)
+    if link_type == LINKTYPE_RAW:
+        return _decode_ip(data, timestamp)
+    raise DecodeError(f"unsupported link type {link_type}")
+
+
+_SRC_MAC = "02:00:00:00:00:01"
+_DST_MAC = "02:00:00:00:00:02"
+
+
+def encode_record(record: PacketRecord, link_type: int = LINKTYPE_ETHERNET) -> bytes:
+    """Serialize a :class:`PacketRecord` to link-layer bytes for pcap output."""
+    if record.transport == "UDP":
+        transport_bytes = UdpDatagram(
+            record.src_port, record.dst_port, record.payload
+        ).build(record.src_ip, record.dst_ip)
+        proto = int(IPProto.UDP)
+    else:
+        transport_bytes = TcpSegment(
+            src_port=record.src_port,
+            dst_port=record.dst_port,
+            seq=0,
+            ack=0,
+            flags=0x18,  # PSH|ACK: plausible mid-stream data segment
+            payload=record.payload,
+        ).build(record.src_ip, record.dst_ip)
+        proto = int(IPProto.TCP)
+
+    version = ipaddress.ip_address(record.src_ip).version
+    if version == 4:
+        ip_bytes = IPv4Header(
+            src_ip=record.src_ip,
+            dst_ip=record.dst_ip,
+            proto=proto,
+            payload=transport_bytes,
+        ).build()
+        ethertype = int(EtherType.IPV4)
+    else:
+        ip_bytes = IPv6Header(
+            src_ip=record.src_ip,
+            dst_ip=record.dst_ip,
+            proto=proto,
+            payload=transport_bytes,
+        ).build()
+        ethertype = int(EtherType.IPV6)
+
+    if link_type == LINKTYPE_ETHERNET:
+        return EthernetFrame(_DST_MAC, _SRC_MAC, ethertype, ip_bytes).build()
+    if link_type == LINKTYPE_RAW:
+        return ip_bytes
+    if link_type == LINKTYPE_NULL:
+        family = _NULL_AF_INET if version == 4 else _NULL_AF_INET6_VARIANTS[0]
+        return struct.pack("<I", family) + ip_bytes
+    raise ValueError(f"unsupported link type {link_type}")

@@ -1,0 +1,60 @@
+"""Ethernet II frame codec."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.bytesview import ByteReader, ByteWriter
+
+
+class EtherType(enum.IntEnum):
+    IPV4 = 0x0800
+    ARP = 0x0806
+    IPV6 = 0x86DD
+    VLAN = 0x8100
+
+
+def parse_mac(text: str) -> bytes:
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"malformed MAC address {text!r}")
+    return bytes(int(p, 16) for p in parts)
+
+
+def format_mac(raw: bytes) -> str:
+    if len(raw) != 6:
+        raise ValueError("MAC addresses are 6 bytes")
+    return ":".join(f"{b:02x}" for b in raw)
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """A decoded Ethernet II frame (802.1Q tags are transparently skipped)."""
+
+    dst_mac: str
+    src_mac: str
+    ethertype: int
+    payload: bytes
+
+    HEADER_LEN = 14
+
+    @classmethod
+    def parse(cls, data: bytes) -> "EthernetFrame":
+        reader = ByteReader(data)
+        dst = format_mac(reader.read(6))
+        src = format_mac(reader.read(6))
+        ethertype = reader.u16()
+        # Skip any stacked VLAN tags so the payload always starts at L3.
+        while ethertype == EtherType.VLAN:
+            reader.skip(2)
+            ethertype = reader.u16()
+        return cls(dst_mac=dst, src_mac=src, ethertype=ethertype, payload=reader.rest())
+
+    def build(self) -> bytes:
+        writer = ByteWriter()
+        writer.write(parse_mac(self.dst_mac))
+        writer.write(parse_mac(self.src_mac))
+        writer.u16(self.ethertype)
+        writer.write(self.payload)
+        return writer.getvalue()

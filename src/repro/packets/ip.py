@@ -1,0 +1,158 @@
+"""IPv4 and IPv6 header codecs."""
+
+from __future__ import annotations
+
+import enum
+import ipaddress
+from dataclasses import dataclass, field
+
+from repro.packets.checksum import internet_checksum
+from repro.utils.bytesview import ByteReader, ByteWriter, TruncatedError
+
+
+class IPProto(enum.IntEnum):
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+    ICMPV6 = 58
+
+
+@dataclass(frozen=True)
+class IPv4Header:
+    """A decoded IPv4 packet (header fields plus payload)."""
+
+    src_ip: str
+    dst_ip: str
+    proto: int
+    payload: bytes
+    ttl: int = 64
+    identification: int = 0
+    dscp: int = 0
+    flags: int = 2  # don't-fragment, matching typical RTC senders
+    fragment_offset: int = 0
+    options: bytes = b""
+
+    MIN_HEADER_LEN = 20
+
+    @classmethod
+    def parse(cls, data: bytes) -> "IPv4Header":
+        reader = ByteReader(data)
+        ver_ihl = reader.u8()
+        version = ver_ihl >> 4
+        if version != 4:
+            raise ValueError(f"not IPv4 (version={version})")
+        ihl = (ver_ihl & 0x0F) * 4
+        if ihl < cls.MIN_HEADER_LEN:
+            raise ValueError(f"IPv4 IHL too small: {ihl}")
+        tos = reader.u8()
+        total_length = reader.u16()
+        identification = reader.u16()
+        flags_frag = reader.u16()
+        ttl = reader.u8()
+        proto = reader.u8()
+        reader.u16()  # header checksum (not verified on synthetic traces)
+        src = str(ipaddress.IPv4Address(reader.read(4)))
+        dst = str(ipaddress.IPv4Address(reader.read(4)))
+        options = reader.read(ihl - cls.MIN_HEADER_LEN)
+        if total_length < ihl or total_length > len(data):
+            raise TruncatedError(
+                f"IPv4 total length {total_length} inconsistent with {len(data)} bytes"
+            )
+        payload = data[ihl:total_length]
+        return cls(
+            src_ip=src,
+            dst_ip=dst,
+            proto=proto,
+            payload=payload,
+            ttl=ttl,
+            identification=identification,
+            dscp=tos >> 2,
+            flags=flags_frag >> 13,
+            fragment_offset=flags_frag & 0x1FFF,
+            options=options,
+        )
+
+    def build(self) -> bytes:
+        ihl = self.MIN_HEADER_LEN + len(self.options)
+        if ihl % 4:
+            raise ValueError("IPv4 options must pad the header to a 4-byte multiple")
+        total_length = ihl + len(self.payload)
+        writer = ByteWriter()
+        writer.u8((4 << 4) | (ihl // 4))
+        writer.u8(self.dscp << 2)
+        writer.u16(total_length)
+        writer.u16(self.identification)
+        writer.u16((self.flags << 13) | self.fragment_offset)
+        writer.u8(self.ttl)
+        writer.u8(self.proto)
+        writer.u16(0)  # checksum placeholder
+        writer.write(ipaddress.IPv4Address(self.src_ip).packed)
+        writer.write(ipaddress.IPv4Address(self.dst_ip).packed)
+        writer.write(self.options)
+        header = bytearray(writer.getvalue())
+        checksum = internet_checksum(bytes(header))
+        header[10:12] = checksum.to_bytes(2, "big")
+        return bytes(header) + self.payload
+
+
+@dataclass(frozen=True)
+class IPv6Header:
+    """A decoded IPv6 packet (fixed header only; extension headers unsupported)."""
+
+    src_ip: str
+    dst_ip: str
+    proto: int
+    payload: bytes
+    hop_limit: int = 64
+    traffic_class: int = 0
+    flow_label: int = 0
+
+    HEADER_LEN = 40
+
+    @classmethod
+    def parse(cls, data: bytes) -> "IPv6Header":
+        reader = ByteReader(data)
+        first = reader.u32()
+        version = first >> 28
+        if version != 6:
+            raise ValueError(f"not IPv6 (version={version})")
+        traffic_class = (first >> 20) & 0xFF
+        flow_label = first & 0xFFFFF
+        payload_length = reader.u16()
+        next_header = reader.u8()
+        hop_limit = reader.u8()
+        src = str(ipaddress.IPv6Address(reader.read(16)))
+        dst = str(ipaddress.IPv6Address(reader.read(16)))
+        if payload_length > reader.remaining:
+            raise TruncatedError("IPv6 payload length exceeds captured bytes")
+        payload = reader.read(payload_length)
+        return cls(
+            src_ip=src,
+            dst_ip=dst,
+            proto=next_header,
+            payload=payload,
+            hop_limit=hop_limit,
+            traffic_class=traffic_class,
+            flow_label=flow_label,
+        )
+
+    def build(self) -> bytes:
+        writer = ByteWriter()
+        writer.u32((6 << 28) | (self.traffic_class << 20) | self.flow_label)
+        writer.u16(len(self.payload))
+        writer.u8(self.proto)
+        writer.u8(self.hop_limit)
+        writer.write(ipaddress.IPv6Address(self.src_ip).packed)
+        writer.write(ipaddress.IPv6Address(self.dst_ip).packed)
+        writer.write(self.payload)
+        return writer.getvalue()
+
+
+def is_private_address(ip: str) -> bool:
+    """True for RFC 1918 IPv4, IPv6 unique-local (fc00::/7) and link-local."""
+    addr = ipaddress.ip_address(ip)
+    return addr.is_private or addr.is_link_local
+
+
+def is_link_local(ip: str) -> bool:
+    return ipaddress.ip_address(ip).is_link_local

@@ -1,0 +1,15 @@
+"""Wire-format codecs for the RTC media-transmission protocols.
+
+Each subpackage provides parse/build for one protocol family:
+
+- :mod:`repro.protocols.stun` — STUN and TURN (RFC 3489, 5389, 8489, 8656)
+- :mod:`repro.protocols.rtp` — RTP (RFC 3550) with header extensions (RFC 8285)
+- :mod:`repro.protocols.rtcp` — RTCP (RFC 3550, 4585, 3611) and SRTCP (RFC 3711)
+- :mod:`repro.protocols.quic` — QUIC v1 headers (RFC 9000)
+- :mod:`repro.protocols.tls` — TLS records / ClientHello SNI extraction
+
+Parsers are deliberately permissive: they accept structurally well-formed
+messages with *undefined* types or attributes, because the whole point of
+the study is to observe those.  Judging legality is the compliance layer's
+job (:mod:`repro.core`), not the codec's.
+"""

@@ -1,0 +1,20 @@
+"""QUIC v1 header parsing (RFC 9000)."""
+
+from repro.protocols.quic.header import (
+    LongHeaderType,
+    QuicHeader,
+    QuicParseError,
+    looks_like_quic,
+    parse_datagram,
+)
+from repro.protocols.quic.varint import decode_varint, encode_varint
+
+__all__ = [
+    "LongHeaderType",
+    "QuicHeader",
+    "QuicParseError",
+    "looks_like_quic",
+    "parse_datagram",
+    "decode_varint",
+    "encode_varint",
+]

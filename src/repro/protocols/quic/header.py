@@ -1,0 +1,228 @@
+"""QUIC v1 packet header parsing (RFC 9000 §17).
+
+Packet payloads are always encrypted, so — exactly like the paper — only the
+invariant header structure is parsed: header form, version, connection IDs,
+and for long headers the per-type fields (token, length).  Short-header
+destination connection ID length is not self-describing; callers supply the
+expected length learned from earlier long-header packets on the same flow.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.protocols.quic.varint import decode_varint
+from repro.utils.bytesview import TruncatedError
+
+QUIC_V1 = 0x00000001
+QUIC_V2 = 0x6B3343CF
+
+FORM_BIT = 0x80
+FIXED_BIT = 0x40
+
+
+class LongHeaderType(enum.IntEnum):
+    INITIAL = 0
+    ZERO_RTT = 1
+    HANDSHAKE = 2
+    RETRY = 3
+
+
+class QuicParseError(ValueError):
+    """Raised when bytes cannot be parsed as a QUIC packet header."""
+
+
+@dataclass(frozen=True)
+class QuicHeader:
+    """A parsed QUIC packet header (long or short form)."""
+
+    is_long: bool
+    first_byte: int
+    version: Optional[int]  # None for short headers
+    dcid: bytes
+    scid: bytes = b""
+    long_type: Optional[LongHeaderType] = None
+    token: bytes = b""          # Initial packets only
+    payload_length: Optional[int] = None  # declared Length field (long headers)
+    header_length: int = 0      # bytes consumed up to (not incl.) packet number
+    wire_length: int = 0        # total bytes this packet spans in the datagram
+
+    @property
+    def fixed_bit(self) -> bool:
+        return bool(self.first_byte & FIXED_BIT)
+
+    @property
+    def is_version_negotiation(self) -> bool:
+        return self.is_long and self.version == 0
+
+
+def parse_one(data: bytes, short_dcid_len: int = 8) -> QuicHeader:
+    """Parse a single QUIC packet header starting at byte 0."""
+    if not data:
+        raise QuicParseError("empty buffer")
+    first = data[0]
+    if first & FORM_BIT:
+        return _parse_long(data, first)
+    return _parse_short(data, first, short_dcid_len)
+
+
+def _parse_long(data: bytes, first: int) -> QuicHeader:
+    if len(data) < 7:
+        raise QuicParseError("long header too short")
+    version = int.from_bytes(data[1:5], "big")
+    offset = 5
+    dcid_len = data[offset]
+    offset += 1
+    # RFC 9000 §17.2 caps v1 CIDs at 20 bytes; we apply the cap to version
+    # negotiation too, since every deployed version shares it — and an
+    # unbounded CID makes random bytes parse as VN packets.
+    if dcid_len > 20:
+        raise QuicParseError(f"DCID length {dcid_len} exceeds 20 (RFC 9000 §17.2)")
+    if offset + dcid_len > len(data):
+        raise QuicParseError("truncated DCID")
+    dcid = data[offset:offset + dcid_len]
+    offset += dcid_len
+    if offset >= len(data):
+        raise QuicParseError("missing SCID length")
+    scid_len = data[offset]
+    offset += 1
+    if scid_len > 20:
+        raise QuicParseError(f"SCID length {scid_len} exceeds 20")
+    if offset + scid_len > len(data):
+        raise QuicParseError("truncated SCID")
+    scid = data[offset:offset + scid_len]
+    offset += scid_len
+
+    if version == 0:
+        # Version negotiation: remainder is a non-empty list of versions.
+        if (len(data) - offset) % 4 or len(data) == offset:
+            raise QuicParseError("malformed version negotiation list")
+        return QuicHeader(
+            is_long=True,
+            first_byte=first,
+            version=0,
+            dcid=dcid,
+            scid=scid,
+            header_length=offset,
+            wire_length=len(data),
+        )
+
+    if not first & FIXED_BIT:
+        raise QuicParseError("fixed bit clear in long header")
+
+    long_type = LongHeaderType((first >> 4) & 0x03)
+    token = b""
+    payload_length: Optional[int] = None
+
+    try:
+        if long_type == LongHeaderType.INITIAL:
+            token_len, consumed = decode_varint(data, offset)
+            offset += consumed
+            if offset + token_len > len(data):
+                raise QuicParseError("truncated Initial token")
+            token = data[offset:offset + token_len]
+            offset += token_len
+        if long_type == LongHeaderType.RETRY:
+            # Retry: token runs to 16 bytes before the end (integrity tag).
+            if len(data) - offset < 16:
+                raise QuicParseError("Retry packet shorter than integrity tag")
+            token = data[offset:len(data) - 16]
+            return QuicHeader(
+                is_long=True,
+                first_byte=first,
+                version=version,
+                dcid=dcid,
+                scid=scid,
+                long_type=long_type,
+                token=token,
+                header_length=offset,
+                wire_length=len(data),
+            )
+        payload_length, consumed = decode_varint(data, offset)
+        offset += consumed
+    except TruncatedError as exc:
+        raise QuicParseError(str(exc)) from exc
+
+    pn_length = (first & 0x03) + 1
+    total = offset + payload_length
+    if total > len(data):
+        raise QuicParseError(
+            f"declared length {payload_length} overruns datagram "
+            f"({total} > {len(data)})"
+        )
+    if payload_length < pn_length:
+        raise QuicParseError("Length field smaller than packet number")
+    return QuicHeader(
+        is_long=True,
+        first_byte=first,
+        version=version,
+        dcid=dcid,
+        scid=scid,
+        long_type=long_type,
+        token=token,
+        payload_length=payload_length,
+        header_length=offset,
+        wire_length=total,
+    )
+
+
+def _parse_short(data: bytes, first: int, dcid_len: int) -> QuicHeader:
+    if not first & FIXED_BIT:
+        raise QuicParseError("fixed bit clear in short header")
+    if 1 + dcid_len > len(data):
+        raise QuicParseError("short header shorter than DCID")
+    # A 1-RTT packet must still carry a packet number and at least a sample
+    # of ciphertext; anything tiny is noise.
+    if len(data) < 1 + dcid_len + 1 + 16:
+        raise QuicParseError("short-header packet implausibly small")
+    return QuicHeader(
+        is_long=False,
+        first_byte=first,
+        version=None,
+        dcid=data[1:1 + dcid_len],
+        header_length=1 + dcid_len,
+        wire_length=len(data),  # short header always extends to datagram end
+    )
+
+
+def parse_datagram(data: bytes, short_dcid_len: int = 8) -> List[QuicHeader]:
+    """Parse all coalesced QUIC packets in one UDP datagram (RFC 9000 §12.2)."""
+    headers: List[QuicHeader] = []
+    offset = 0
+    while offset < len(data):
+        header = parse_one(data[offset:], short_dcid_len=short_dcid_len)
+        headers.append(header)
+        if header.wire_length <= 0:
+            break
+        offset += header.wire_length
+        if not header.is_long:
+            break  # short header consumes the rest of the datagram
+    return headers
+
+
+_KNOWN_VERSIONS = frozenset({QUIC_V1, QUIC_V2, 0})
+
+
+def looks_like_quic(data: bytes) -> bool:
+    """Structural test used by the DPI candidate matcher.
+
+    Long headers are recognized by form bit + known version + parseable
+    CID/length structure.  Short headers are too ambiguous to detect inside
+    arbitrary payload bytes, so the DPI only claims them at offset 0 on flows
+    that previously carried long-header packets (handled by the validator).
+    """
+    if len(data) < 7:
+        return False
+    first = data[0]
+    if not first & FORM_BIT:
+        return False
+    version = int.from_bytes(data[1:5], "big")
+    if version not in _KNOWN_VERSIONS:
+        return False
+    try:
+        parse_one(data)
+    except QuicParseError:
+        return False
+    return True

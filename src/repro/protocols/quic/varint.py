@@ -1,0 +1,37 @@
+"""QUIC variable-length integers (RFC 9000 §16)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.utils.bytesview import TruncatedError
+
+_PREFIX_TO_LENGTH = {0b00: 1, 0b01: 2, 0b10: 4, 0b11: 8}
+
+
+def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a varint at *offset*; returns (value, bytes consumed)."""
+    if offset >= len(data):
+        raise TruncatedError("varint at end of buffer")
+    length = _PREFIX_TO_LENGTH[data[offset] >> 6]
+    if offset + length > len(data):
+        raise TruncatedError(f"varint needs {length} bytes, buffer exhausted")
+    value = data[offset] & 0x3F
+    for i in range(1, length):
+        value = (value << 8) | data[offset + i]
+    return value, length
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode *value* in the smallest varint form."""
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    if value < 1 << 6:
+        return bytes([value])
+    if value < 1 << 14:
+        return (value | 0x4000).to_bytes(2, "big")
+    if value < 1 << 30:
+        return (value | 0x80000000).to_bytes(4, "big")
+    if value < 1 << 62:
+        return (value | 0xC000000000000000).to_bytes(8, "big")
+    raise ValueError("value exceeds 62 bits")

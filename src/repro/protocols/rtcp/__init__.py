@@ -1,0 +1,48 @@
+"""RTCP wire format (RFC 3550, 4585, 3611) and SRTCP framing (RFC 3711)."""
+
+from repro.protocols.rtcp.constants import (
+    RTCP_TYPE_NAMES,
+    RtcpPacketType,
+    is_known_rtcp_type,
+)
+from repro.protocols.rtcp.packets import (
+    AppPacket,
+    ByePacket,
+    FeedbackPacket,
+    ReceiverReport,
+    ReportBlock,
+    RtcpHeader,
+    RtcpPacket,
+    RtcpParseError,
+    SdesChunk,
+    SdesItem,
+    SdesPacket,
+    SenderReport,
+    XrPacket,
+    looks_like_rtcp,
+    parse_compound,
+)
+from repro.protocols.rtcp.srtcp import SrtcpTrailer, split_srtcp
+
+__all__ = [
+    "RTCP_TYPE_NAMES",
+    "RtcpPacketType",
+    "is_known_rtcp_type",
+    "AppPacket",
+    "ByePacket",
+    "FeedbackPacket",
+    "ReceiverReport",
+    "ReportBlock",
+    "RtcpHeader",
+    "RtcpPacket",
+    "RtcpParseError",
+    "SdesChunk",
+    "SdesItem",
+    "SdesPacket",
+    "SenderReport",
+    "XrPacket",
+    "looks_like_rtcp",
+    "parse_compound",
+    "SrtcpTrailer",
+    "split_srtcp",
+]

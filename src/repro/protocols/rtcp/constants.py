@@ -1,0 +1,34 @@
+"""RTCP packet-type registry."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class RtcpPacketType(enum.IntEnum):
+    SR = 200      # Sender Report (RFC 3550)
+    RR = 201      # Receiver Report (RFC 3550)
+    SDES = 202    # Source Description (RFC 3550)
+    BYE = 203     # Goodbye (RFC 3550)
+    APP = 204     # Application-defined (RFC 3550)
+    RTPFB = 205   # Transport-layer feedback (RFC 4585)
+    PSFB = 206    # Payload-specific feedback (RFC 4585)
+    XR = 207      # Extended reports (RFC 3611)
+
+
+RTCP_TYPE_NAMES: Dict[int, str] = {
+    int(t): t.name for t in RtcpPacketType
+}
+
+#: RTPFB FMT values (RFC 4585 §6.2, RFC 4588, RFC 5104, draft-twcc).
+KNOWN_RTPFB_FORMATS = frozenset({1, 3, 4, 5, 15})  # NACK, TMMBR, TMMBN, RAMS?, TWCC
+#: PSFB FMT values (RFC 4585 §6.3, RFC 5104): PLI, SLI, RPSI, FIR, TSTR, TSTN, VBCM, AFB.
+KNOWN_PSFB_FORMATS = frozenset({1, 2, 3, 4, 5, 6, 7, 15})
+
+#: XR block types (RFC 3611 §4).
+KNOWN_XR_BLOCK_TYPES = frozenset(range(1, 8))
+
+
+def is_known_rtcp_type(packet_type: int) -> bool:
+    return packet_type in RTCP_TYPE_NAMES

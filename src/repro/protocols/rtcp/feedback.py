@@ -1,0 +1,259 @@
+"""Typed RTCP feedback payloads (RFC 4585, RFC 5104, draft-TWCC, REMB).
+
+The generic :class:`FeedbackPacket` carries an opaque FCI blob; these
+codecs give the blob structure for the feedback formats WebRTC-era
+applications actually exchange:
+
+- Generic NACK (RTPFB FMT 1): (PID, BLP) pairs → lost sequence numbers;
+- PLI (PSFB FMT 1): empty FCI;
+- FIR (PSFB FMT 4): (SSRC, command sequence) entries;
+- REMB (PSFB FMT 15 / AFB): receiver-estimated max bitrate;
+- TWCC (RTPFB FMT 15): transport-wide congestion-control feedback header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.protocols.rtcp.packets import FeedbackPacket, RtcpParseError
+from repro.utils.bytesview import ByteReader, ByteWriter, TruncatedError
+
+
+@dataclass(frozen=True)
+class NackEntry:
+    """One FCI entry: packet ID plus a 16-bit bitmask of following losses."""
+
+    pid: int
+    blp: int
+
+    def lost_sequence_numbers(self) -> List[int]:
+        lost = [self.pid]
+        for bit in range(16):
+            if self.blp & (1 << bit):
+                lost.append((self.pid + bit + 1) & 0xFFFF)
+        return lost
+
+
+@dataclass(frozen=True)
+class GenericNack:
+    """RTPFB FMT 1 (RFC 4585 §6.2.1)."""
+
+    sender_ssrc: int
+    media_ssrc: int
+    entries: List[NackEntry] = field(default_factory=list)
+
+    FMT = 1
+    PACKET_TYPE = 205
+
+    @classmethod
+    def from_feedback(cls, feedback: FeedbackPacket) -> "GenericNack":
+        if feedback.packet_type != cls.PACKET_TYPE or feedback.fmt != cls.FMT:
+            raise RtcpParseError("not a Generic NACK")
+        if len(feedback.fci) % 4:
+            raise RtcpParseError("NACK FCI must be 4-byte entries")
+        reader = ByteReader(feedback.fci)
+        entries = []
+        while reader.remaining:
+            entries.append(NackEntry(pid=reader.u16(), blp=reader.u16()))
+        return cls(sender_ssrc=feedback.sender_ssrc,
+                   media_ssrc=feedback.media_ssrc, entries=entries)
+
+    def to_feedback(self) -> FeedbackPacket:
+        writer = ByteWriter()
+        for entry in self.entries:
+            writer.u16(entry.pid)
+            writer.u16(entry.blp)
+        return FeedbackPacket(
+            packet_type=self.PACKET_TYPE, fmt=self.FMT,
+            sender_ssrc=self.sender_ssrc, media_ssrc=self.media_ssrc,
+            fci=writer.getvalue(),
+        )
+
+    @classmethod
+    def for_lost(cls, sender_ssrc: int, media_ssrc: int,
+                 lost: List[int]) -> "GenericNack":
+        """Build the minimal NACK covering *lost* sequence numbers."""
+        entries: List[NackEntry] = []
+        for seq in sorted(set(lost)):
+            if entries:
+                delta = (seq - entries[-1].pid) & 0xFFFF
+                if 1 <= delta <= 16:
+                    last = entries[-1]
+                    entries[-1] = NackEntry(
+                        pid=last.pid, blp=last.blp | (1 << (delta - 1))
+                    )
+                    continue
+            entries.append(NackEntry(pid=seq, blp=0))
+        return cls(sender_ssrc=sender_ssrc, media_ssrc=media_ssrc,
+                   entries=entries)
+
+
+@dataclass(frozen=True)
+class PictureLossIndication:
+    """PSFB FMT 1 (RFC 4585 §6.3.1): FCI is empty."""
+
+    sender_ssrc: int
+    media_ssrc: int
+
+    FMT = 1
+    PACKET_TYPE = 206
+
+    @classmethod
+    def from_feedback(cls, feedback: FeedbackPacket) -> "PictureLossIndication":
+        if feedback.packet_type != cls.PACKET_TYPE or feedback.fmt != cls.FMT:
+            raise RtcpParseError("not a PLI")
+        if feedback.fci:
+            raise RtcpParseError("PLI carries no FCI")
+        return cls(sender_ssrc=feedback.sender_ssrc,
+                   media_ssrc=feedback.media_ssrc)
+
+    def to_feedback(self) -> FeedbackPacket:
+        return FeedbackPacket(packet_type=self.PACKET_TYPE, fmt=self.FMT,
+                              sender_ssrc=self.sender_ssrc,
+                              media_ssrc=self.media_ssrc)
+
+
+@dataclass(frozen=True)
+class FullIntraRequest:
+    """PSFB FMT 4 (RFC 5104 §4.3.1): (SSRC, seq) entries."""
+
+    sender_ssrc: int
+    media_ssrc: int
+    entries: List[Tuple[int, int]] = field(default_factory=list)
+
+    FMT = 4
+    PACKET_TYPE = 206
+
+    @classmethod
+    def from_feedback(cls, feedback: FeedbackPacket) -> "FullIntraRequest":
+        if feedback.packet_type != cls.PACKET_TYPE or feedback.fmt != cls.FMT:
+            raise RtcpParseError("not a FIR")
+        if len(feedback.fci) % 8:
+            raise RtcpParseError("FIR FCI entries are 8 bytes")
+        reader = ByteReader(feedback.fci)
+        entries = []
+        while reader.remaining:
+            ssrc = reader.u32()
+            seq = reader.u8()
+            reader.skip(3)
+            entries.append((ssrc, seq))
+        return cls(sender_ssrc=feedback.sender_ssrc,
+                   media_ssrc=feedback.media_ssrc, entries=entries)
+
+    def to_feedback(self) -> FeedbackPacket:
+        writer = ByteWriter()
+        for ssrc, seq in self.entries:
+            writer.u32(ssrc)
+            writer.u8(seq)
+            writer.write(b"\x00\x00\x00")
+        return FeedbackPacket(packet_type=self.PACKET_TYPE, fmt=self.FMT,
+                              sender_ssrc=self.sender_ssrc,
+                              media_ssrc=self.media_ssrc,
+                              fci=writer.getvalue())
+
+
+@dataclass(frozen=True)
+class Remb:
+    """Receiver Estimated Max Bitrate (draft-alvestrand-rmcat-remb).
+
+    PSFB FMT 15 with media SSRC 0 and an FCI starting 'REMB'.
+    """
+
+    sender_ssrc: int
+    bitrate_bps: int
+    media_ssrcs: List[int] = field(default_factory=list)
+
+    FMT = 15
+    PACKET_TYPE = 206
+    MAGIC = b"REMB"
+
+    @classmethod
+    def from_feedback(cls, feedback: FeedbackPacket) -> "Remb":
+        if feedback.packet_type != cls.PACKET_TYPE or feedback.fmt != cls.FMT:
+            raise RtcpParseError("not an AFB/REMB")
+        reader = ByteReader(feedback.fci)
+        try:
+            if reader.read(4) != cls.MAGIC:
+                raise RtcpParseError("missing REMB magic")
+            count = reader.u8()
+            exp_mantissa = reader.u24()
+            exponent = exp_mantissa >> 18
+            mantissa = exp_mantissa & 0x3FFFF
+            ssrcs = [reader.u32() for _ in range(count)]
+        except TruncatedError as exc:
+            raise RtcpParseError(str(exc)) from exc
+        return cls(sender_ssrc=feedback.sender_ssrc,
+                   bitrate_bps=mantissa << exponent, media_ssrcs=ssrcs)
+
+    def to_feedback(self) -> FeedbackPacket:
+        # Normalize bitrate into 18-bit mantissa + 6-bit exponent.
+        exponent = 0
+        mantissa = self.bitrate_bps
+        while mantissa >= (1 << 18):
+            mantissa >>= 1
+            exponent += 1
+        if exponent >= 64:
+            raise ValueError("bitrate too large for REMB encoding")
+        writer = ByteWriter()
+        writer.write(self.MAGIC)
+        writer.u8(len(self.media_ssrcs))
+        writer.u24((exponent << 18) | mantissa)
+        for ssrc in self.media_ssrcs:
+            writer.u32(ssrc)
+        return FeedbackPacket(packet_type=self.PACKET_TYPE, fmt=self.FMT,
+                              sender_ssrc=self.sender_ssrc, media_ssrc=0,
+                              fci=writer.getvalue())
+
+
+@dataclass(frozen=True)
+class TwccFeedbackHeader:
+    """Transport-wide congestion control feedback header (draft-twcc §3.1).
+
+    Only the fixed header is decoded — the packet-status chunks and recv
+    deltas stay raw, which is all the compliance study needs.
+    """
+
+    sender_ssrc: int
+    media_ssrc: int
+    base_sequence: int
+    packet_status_count: int
+    reference_time: int  # multiples of 64 ms
+    feedback_count: int
+    chunks_and_deltas: bytes
+
+    FMT = 15
+    PACKET_TYPE = 205
+
+    @classmethod
+    def from_feedback(cls, feedback: FeedbackPacket) -> "TwccFeedbackHeader":
+        if feedback.packet_type != cls.PACKET_TYPE or feedback.fmt != cls.FMT:
+            raise RtcpParseError("not a TWCC feedback packet")
+        reader = ByteReader(feedback.fci)
+        try:
+            base_sequence = reader.u16()
+            count = reader.u16()
+            word = reader.u32()
+        except TruncatedError as exc:
+            raise RtcpParseError(str(exc)) from exc
+        return cls(
+            sender_ssrc=feedback.sender_ssrc,
+            media_ssrc=feedback.media_ssrc,
+            base_sequence=base_sequence,
+            packet_status_count=count,
+            reference_time=word >> 8,
+            feedback_count=word & 0xFF,
+            chunks_and_deltas=reader.rest(),
+        )
+
+    def to_feedback(self) -> FeedbackPacket:
+        writer = ByteWriter()
+        writer.u16(self.base_sequence)
+        writer.u16(self.packet_status_count)
+        writer.u32((self.reference_time << 8) | (self.feedback_count & 0xFF))
+        writer.write(self.chunks_and_deltas)
+        writer.pad_to_multiple(4)
+        return FeedbackPacket(packet_type=self.PACKET_TYPE, fmt=self.FMT,
+                              sender_ssrc=self.sender_ssrc,
+                              media_ssrc=self.media_ssrc,
+                              fci=writer.getvalue())

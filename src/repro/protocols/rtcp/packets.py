@@ -1,0 +1,514 @@
+"""RTCP packet codecs (RFC 3550 §6, RFC 4585, RFC 3611).
+
+The generic :class:`RtcpPacket` keeps the raw body so encrypted payloads
+(SRTCP, or Discord's proprietary scheme) can still be carried around and
+judged structurally; the typed views decode plaintext bodies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.protocols.rtcp.constants import RtcpPacketType
+from repro.utils.bytesview import ByteReader, ByteWriter, TruncatedError
+
+RTCP_VERSION = 2
+HEADER_LEN = 4
+
+
+class RtcpParseError(ValueError):
+    """Raised when bytes cannot be parsed as an RTCP packet."""
+
+
+@dataclass(frozen=True)
+class RtcpHeader:
+    """The 4-byte common header every RTCP packet starts with."""
+
+    version: int
+    padding: bool
+    count: int  # RC for SR/RR, SC for SDES/BYE, FMT for feedback, subtype for APP
+    packet_type: int
+    length_words: int  # length in 32-bit words minus one (RFC 3550 §6.4.1)
+
+    @property
+    def wire_length(self) -> int:
+        return (self.length_words + 1) * 4
+
+    @classmethod
+    def parse(cls, data: bytes) -> "RtcpHeader":
+        if len(data) < HEADER_LEN:
+            raise RtcpParseError("buffer shorter than RTCP header")
+        first = data[0]
+        return cls(
+            version=first >> 6,
+            padding=bool(first & 0x20),
+            count=first & 0x1F,
+            packet_type=data[1],
+            length_words=int.from_bytes(data[2:4], "big"),
+        )
+
+    def build(self) -> bytes:
+        first = (self.version << 6) | (0x20 if self.padding else 0) | (self.count & 0x1F)
+        return bytes([first, self.packet_type]) + self.length_words.to_bytes(2, "big")
+
+
+@dataclass(frozen=True)
+class RtcpPacket:
+    """One RTCP packet: header plus raw body (everything after byte 4)."""
+
+    header: RtcpHeader
+    body: bytes
+    trailer: bytes = b""  # any bytes beyond the declared length (e.g. Discord)
+
+    @property
+    def packet_type(self) -> int:
+        return self.header.packet_type
+
+    @property
+    def ssrc(self) -> Optional[int]:
+        """Sender SSRC — the first body word for every RFC-defined type."""
+        if len(self.body) >= 4:
+            return int.from_bytes(self.body[:4], "big")
+        return None
+
+    @classmethod
+    def parse(cls, data: bytes, strict: bool = True) -> "RtcpPacket":
+        header = RtcpHeader.parse(data)
+        if header.version != RTCP_VERSION:
+            raise RtcpParseError(f"RTCP version {header.version} != 2")
+        if header.wire_length > len(data):
+            raise RtcpParseError(
+                f"declared length {header.wire_length} exceeds {len(data)} bytes"
+            )
+        body = data[HEADER_LEN:header.wire_length]
+        trailer = b"" if strict else data[header.wire_length:]
+        return cls(header=header, body=body, trailer=trailer)
+
+    def build(self) -> bytes:
+        return self.header.build() + self.body + self.trailer
+
+    @property
+    def wire_length(self) -> int:
+        return self.header.wire_length + len(self.trailer)
+
+
+def parse_compound(data: bytes, strict: bool = True) -> List[RtcpPacket]:
+    """Split a compound RTCP datagram into its constituent packets.
+
+    With ``strict=False``, trailing bytes that do not form another valid
+    RTCP header are attached to the last packet as ``trailer`` — this is how
+    Discord's 1- and 3-byte proprietary trailers are surfaced.
+    """
+    packets: List[RtcpPacket] = []
+    offset = 0
+    while offset + HEADER_LEN <= len(data):
+        window = data[offset:]
+        try:
+            header = RtcpHeader.parse(window)
+        except RtcpParseError:
+            break
+        if header.version != RTCP_VERSION or header.wire_length > len(window):
+            break
+        packets.append(RtcpPacket(header=header, body=window[HEADER_LEN:header.wire_length]))
+        offset += header.wire_length
+    if offset != len(data):
+        leftover = data[offset:]
+        if strict:
+            raise RtcpParseError(f"{len(leftover)} stray bytes after compound RTCP")
+        if packets:
+            last = packets[-1]
+            packets[-1] = RtcpPacket(header=last.header, body=last.body, trailer=leftover)
+        else:
+            raise RtcpParseError("no RTCP packet found in datagram")
+    return packets
+
+
+# --- Typed bodies -----------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReportBlock:
+    """SR/RR report block (RFC 3550 §6.4.1)."""
+
+    ssrc: int
+    fraction_lost: int
+    cumulative_lost: int
+    highest_seq: int
+    jitter: int
+    lsr: int
+    dlsr: int
+
+    LENGTH = 24
+
+    @classmethod
+    def parse(cls, reader: ByteReader) -> "ReportBlock":
+        ssrc = reader.u32()
+        frac_cum = reader.u32()
+        return cls(
+            ssrc=ssrc,
+            fraction_lost=frac_cum >> 24,
+            cumulative_lost=frac_cum & 0xFFFFFF,
+            highest_seq=reader.u32(),
+            jitter=reader.u32(),
+            lsr=reader.u32(),
+            dlsr=reader.u32(),
+        )
+
+    def build(self) -> bytes:
+        writer = ByteWriter()
+        writer.u32(self.ssrc)
+        writer.u32((self.fraction_lost << 24) | (self.cumulative_lost & 0xFFFFFF))
+        writer.u32(self.highest_seq)
+        writer.u32(self.jitter)
+        writer.u32(self.lsr)
+        writer.u32(self.dlsr)
+        return writer.getvalue()
+
+
+@dataclass(frozen=True)
+class SenderReport:
+    """SR body (RFC 3550 §6.4.1)."""
+
+    ssrc: int
+    ntp_timestamp: int
+    rtp_timestamp: int
+    packet_count: int
+    octet_count: int
+    report_blocks: List[ReportBlock] = field(default_factory=list)
+    profile_extension: bytes = b""
+
+    @classmethod
+    def from_packet(cls, packet: RtcpPacket) -> "SenderReport":
+        if packet.packet_type != RtcpPacketType.SR:
+            raise RtcpParseError(f"packet type {packet.packet_type} is not SR")
+        reader = ByteReader(packet.body)
+        try:
+            ssrc = reader.u32()
+            ntp = reader.u64()
+            rtp_ts = reader.u32()
+            packet_count = reader.u32()
+            octet_count = reader.u32()
+            blocks = [ReportBlock.parse(reader) for _ in range(packet.header.count)]
+        except TruncatedError as exc:
+            raise RtcpParseError(str(exc)) from exc
+        return cls(
+            ssrc=ssrc,
+            ntp_timestamp=ntp,
+            rtp_timestamp=rtp_ts,
+            packet_count=packet_count,
+            octet_count=octet_count,
+            report_blocks=blocks,
+            profile_extension=reader.rest(),
+        )
+
+    def to_packet(self, padding: bool = False) -> RtcpPacket:
+        writer = ByteWriter()
+        writer.u32(self.ssrc)
+        writer.u64(self.ntp_timestamp)
+        writer.u32(self.rtp_timestamp)
+        writer.u32(self.packet_count)
+        writer.u32(self.octet_count)
+        for block in self.report_blocks:
+            writer.write(block.build())
+        writer.write(self.profile_extension)
+        body = writer.getvalue()
+        header = RtcpHeader(
+            version=RTCP_VERSION,
+            padding=padding,
+            count=len(self.report_blocks),
+            packet_type=int(RtcpPacketType.SR),
+            length_words=len(body) // 4,
+        )
+        return RtcpPacket(header=header, body=body)
+
+
+@dataclass(frozen=True)
+class ReceiverReport:
+    """RR body (RFC 3550 §6.4.2)."""
+
+    ssrc: int
+    report_blocks: List[ReportBlock] = field(default_factory=list)
+    profile_extension: bytes = b""
+
+    @classmethod
+    def from_packet(cls, packet: RtcpPacket) -> "ReceiverReport":
+        if packet.packet_type != RtcpPacketType.RR:
+            raise RtcpParseError(f"packet type {packet.packet_type} is not RR")
+        reader = ByteReader(packet.body)
+        try:
+            ssrc = reader.u32()
+            blocks = [ReportBlock.parse(reader) for _ in range(packet.header.count)]
+        except TruncatedError as exc:
+            raise RtcpParseError(str(exc)) from exc
+        return cls(ssrc=ssrc, report_blocks=blocks, profile_extension=reader.rest())
+
+    def to_packet(self) -> RtcpPacket:
+        writer = ByteWriter()
+        writer.u32(self.ssrc)
+        for block in self.report_blocks:
+            writer.write(block.build())
+        writer.write(self.profile_extension)
+        body = writer.getvalue()
+        header = RtcpHeader(
+            version=RTCP_VERSION,
+            padding=False,
+            count=len(self.report_blocks),
+            packet_type=int(RtcpPacketType.RR),
+            length_words=len(body) // 4,
+        )
+        return RtcpPacket(header=header, body=body)
+
+
+@dataclass(frozen=True)
+class SdesItem:
+    item_type: int  # 1=CNAME .. 8=PRIV (RFC 3550 §6.5)
+    value: bytes
+
+
+@dataclass(frozen=True)
+class SdesChunk:
+    ssrc: int
+    items: List[SdesItem] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class SdesPacket:
+    chunks: List[SdesChunk] = field(default_factory=list)
+
+    @classmethod
+    def from_packet(cls, packet: RtcpPacket) -> "SdesPacket":
+        if packet.packet_type != RtcpPacketType.SDES:
+            raise RtcpParseError(f"packet type {packet.packet_type} is not SDES")
+        reader = ByteReader(packet.body)
+        chunks: List[SdesChunk] = []
+        try:
+            for _ in range(packet.header.count):
+                ssrc = reader.u32()
+                items: List[SdesItem] = []
+                while True:
+                    item_type = reader.u8()
+                    if item_type == 0:
+                        # Chunk terminator; skip padding to the 32-bit boundary.
+                        while reader.pos % 4 and reader.remaining:
+                            reader.skip(1)
+                        break
+                    length = reader.u8()
+                    items.append(SdesItem(item_type=item_type, value=reader.read(length)))
+                chunks.append(SdesChunk(ssrc=ssrc, items=items))
+        except TruncatedError as exc:
+            raise RtcpParseError(str(exc)) from exc
+        return cls(chunks=chunks)
+
+    def to_packet(self) -> RtcpPacket:
+        writer = ByteWriter()
+        for chunk in self.chunks:
+            writer.u32(chunk.ssrc)
+            for item in chunk.items:
+                writer.u8(item.item_type)
+                writer.u8(len(item.value))
+                writer.write(item.value)
+            writer.u8(0)
+            writer.pad_to_multiple(4)
+        body = writer.getvalue()
+        header = RtcpHeader(
+            version=RTCP_VERSION,
+            padding=False,
+            count=len(self.chunks),
+            packet_type=int(RtcpPacketType.SDES),
+            length_words=len(body) // 4,
+        )
+        return RtcpPacket(header=header, body=body)
+
+
+@dataclass(frozen=True)
+class ByePacket:
+    ssrcs: List[int] = field(default_factory=list)
+    reason: bytes = b""
+
+    @classmethod
+    def from_packet(cls, packet: RtcpPacket) -> "ByePacket":
+        if packet.packet_type != RtcpPacketType.BYE:
+            raise RtcpParseError(f"packet type {packet.packet_type} is not BYE")
+        reader = ByteReader(packet.body)
+        try:
+            ssrcs = [reader.u32() for _ in range(packet.header.count)]
+            reason = b""
+            if reader.remaining:
+                length = reader.u8()
+                reason = reader.read(min(length, reader.remaining))
+        except TruncatedError as exc:
+            raise RtcpParseError(str(exc)) from exc
+        return cls(ssrcs=ssrcs, reason=reason)
+
+    def to_packet(self) -> RtcpPacket:
+        writer = ByteWriter()
+        for ssrc in self.ssrcs:
+            writer.u32(ssrc)
+        if self.reason:
+            writer.u8(len(self.reason))
+            writer.write(self.reason)
+            writer.pad_to_multiple(4)
+        body = writer.getvalue()
+        header = RtcpHeader(
+            version=RTCP_VERSION,
+            padding=False,
+            count=len(self.ssrcs),
+            packet_type=int(RtcpPacketType.BYE),
+            length_words=len(body) // 4,
+        )
+        return RtcpPacket(header=header, body=body)
+
+
+@dataclass(frozen=True)
+class AppPacket:
+    ssrc: int
+    name: bytes  # exactly 4 ASCII bytes
+    data: bytes = b""
+    subtype: int = 0
+
+    @classmethod
+    def from_packet(cls, packet: RtcpPacket) -> "AppPacket":
+        if packet.packet_type != RtcpPacketType.APP:
+            raise RtcpParseError(f"packet type {packet.packet_type} is not APP")
+        reader = ByteReader(packet.body)
+        try:
+            ssrc = reader.u32()
+            name = reader.read(4)
+        except TruncatedError as exc:
+            raise RtcpParseError(str(exc)) from exc
+        return cls(ssrc=ssrc, name=name, data=reader.rest(), subtype=packet.header.count)
+
+    def to_packet(self) -> RtcpPacket:
+        if len(self.name) != 4:
+            raise ValueError("APP name must be exactly 4 bytes")
+        if len(self.data) % 4:
+            raise ValueError("APP data must be a multiple of 4 bytes")
+        body = self.ssrc.to_bytes(4, "big") + self.name + self.data
+        header = RtcpHeader(
+            version=RTCP_VERSION,
+            padding=False,
+            count=self.subtype,
+            packet_type=int(RtcpPacketType.APP),
+            length_words=len(body) // 4,
+        )
+        return RtcpPacket(header=header, body=body)
+
+
+@dataclass(frozen=True)
+class FeedbackPacket:
+    """RTPFB (205) / PSFB (206) common layout (RFC 4585 §6.1)."""
+
+    packet_type: int
+    fmt: int
+    sender_ssrc: int
+    media_ssrc: int
+    fci: bytes = b""
+
+    @classmethod
+    def from_packet(cls, packet: RtcpPacket) -> "FeedbackPacket":
+        if packet.packet_type not in (RtcpPacketType.RTPFB, RtcpPacketType.PSFB):
+            raise RtcpParseError(f"packet type {packet.packet_type} is not feedback")
+        reader = ByteReader(packet.body)
+        try:
+            sender_ssrc = reader.u32()
+            media_ssrc = reader.u32()
+        except TruncatedError as exc:
+            raise RtcpParseError(str(exc)) from exc
+        return cls(
+            packet_type=packet.packet_type,
+            fmt=packet.header.count,
+            sender_ssrc=sender_ssrc,
+            media_ssrc=media_ssrc,
+            fci=reader.rest(),
+        )
+
+    def to_packet(self) -> RtcpPacket:
+        if len(self.fci) % 4:
+            raise ValueError("FCI must be a multiple of 4 bytes")
+        body = (
+            self.sender_ssrc.to_bytes(4, "big")
+            + self.media_ssrc.to_bytes(4, "big")
+            + self.fci
+        )
+        header = RtcpHeader(
+            version=RTCP_VERSION,
+            padding=False,
+            count=self.fmt,
+            packet_type=self.packet_type,
+            length_words=len(body) // 4,
+        )
+        return RtcpPacket(header=header, body=body)
+
+
+@dataclass(frozen=True)
+class XrBlock:
+    block_type: int
+    type_specific: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class XrPacket:
+    """Extended report packet (RFC 3611)."""
+
+    ssrc: int
+    blocks: List[XrBlock] = field(default_factory=list)
+
+    @classmethod
+    def from_packet(cls, packet: RtcpPacket) -> "XrPacket":
+        if packet.packet_type != RtcpPacketType.XR:
+            raise RtcpParseError(f"packet type {packet.packet_type} is not XR")
+        reader = ByteReader(packet.body)
+        try:
+            ssrc = reader.u32()
+            blocks: List[XrBlock] = []
+            while reader.remaining >= 4:
+                block_type = reader.u8()
+                type_specific = reader.u8()
+                length_words = reader.u16()
+                blocks.append(
+                    XrBlock(
+                        block_type=block_type,
+                        type_specific=type_specific,
+                        data=reader.read(length_words * 4),
+                    )
+                )
+        except TruncatedError as exc:
+            raise RtcpParseError(str(exc)) from exc
+        return cls(ssrc=ssrc, blocks=blocks)
+
+    def to_packet(self) -> RtcpPacket:
+        writer = ByteWriter()
+        writer.u32(self.ssrc)
+        for block in self.blocks:
+            if len(block.data) % 4:
+                raise ValueError("XR block data must be a multiple of 4 bytes")
+            writer.u8(block.block_type)
+            writer.u8(block.type_specific)
+            writer.u16(len(block.data) // 4)
+            writer.write(block.data)
+        body = writer.getvalue()
+        header = RtcpHeader(
+            version=RTCP_VERSION,
+            padding=False,
+            count=0,
+            packet_type=int(RtcpPacketType.XR),
+            length_words=len(body) // 4,
+        )
+        return RtcpPacket(header=header, body=body)
+
+
+def looks_like_rtcp(data: bytes) -> bool:
+    """Structural test used by the DPI candidate matcher.
+
+    Version 2, packet type in the RTCP range 192-223 (RFC 5761 §4), and a
+    declared length that fits in the buffer.
+    """
+    if len(data) < HEADER_LEN:
+        return False
+    if data[0] >> 6 != RTCP_VERSION:
+        return False
+    if not 192 <= data[1] <= 223:
+        return False
+    length = (int.from_bytes(data[2:4], "big") + 1) * 4
+    return length <= len(data)

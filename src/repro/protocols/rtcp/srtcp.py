@@ -1,0 +1,73 @@
+"""SRTCP framing helpers (RFC 3711 §3.4).
+
+An SRTCP packet is: the first RTCP header + sender SSRC in the clear, an
+encrypted remainder, then a trailer of E-flag ‖ 31-bit SRTCP index, an
+optional MKI, and an authentication tag (10 bytes for the default
+AES-CM/HMAC-SHA1-80 transform).  We never decrypt — the study only needs
+the framing, e.g. to detect Google Meet's missing authentication tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.protocols.rtcp.packets import RtcpHeader, RtcpParseError
+
+DEFAULT_AUTH_TAG_LEN = 10
+
+
+@dataclass(frozen=True)
+class SrtcpTrailer:
+    """The decoded tail of an SRTCP packet."""
+
+    encrypted: bool  # E flag
+    index: int       # 31-bit SRTCP index
+    auth_tag: bytes
+
+    @property
+    def has_auth_tag(self) -> bool:
+        return len(self.auth_tag) > 0
+
+    def build(self) -> bytes:
+        word = ((1 << 31) if self.encrypted else 0) | (self.index & 0x7FFFFFFF)
+        return word.to_bytes(4, "big") + self.auth_tag
+
+
+def split_srtcp(
+    data: bytes, auth_tag_len: int = DEFAULT_AUTH_TAG_LEN
+) -> Tuple[bytes, SrtcpTrailer]:
+    """Split an SRTCP packet into (protected portion, trailer).
+
+    ``auth_tag_len`` may be 0 for traffic that (non-compliantly) omits the
+    tag — Google Meet's relay-mode Wi-Fi behaviour in the paper.
+    """
+    trailer_len = 4 + auth_tag_len
+    if len(data) < 8 + trailer_len:
+        raise RtcpParseError("too short to carry an SRTCP trailer")
+    header = RtcpHeader.parse(data)
+    if header.version != 2:
+        raise RtcpParseError("not an RTCP header at SRTCP start")
+    split_at = len(data) - trailer_len
+    protected = data[:split_at]
+    word = int.from_bytes(data[split_at:split_at + 4], "big")
+    auth_tag = data[len(data) - auth_tag_len:] if auth_tag_len else b""
+    return protected, SrtcpTrailer(
+        encrypted=bool(word >> 31), index=word & 0x7FFFFFFF, auth_tag=auth_tag
+    )
+
+
+def guess_srtcp_trailer(data: bytes) -> Optional[SrtcpTrailer]:
+    """Best-effort SRTCP trailer detection for unknown traffic.
+
+    Tries the default 10-byte tag first, then the tagless layout.  Returns
+    None when neither yields a plausible (small, monotonic-looking) index.
+    """
+    for tag_len in (DEFAULT_AUTH_TAG_LEN, 0):
+        try:
+            _protected, trailer = split_srtcp(data, auth_tag_len=tag_len)
+        except RtcpParseError:
+            continue
+        if trailer.index < 1 << 24:  # indexes count packets; huge values are noise
+            return trailer
+    return None

@@ -1,0 +1,171 @@
+"""RTP fixed header codec (RFC 3550 §5.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.protocols.rtp.extensions import HeaderExtension
+from repro.utils.bytesview import ByteReader, ByteWriter, TruncatedError
+
+RTP_VERSION = 2
+FIXED_HEADER_LEN = 12
+
+
+class RtpParseError(ValueError):
+    """Raised when bytes cannot be parsed as an RTP packet."""
+
+
+@dataclass(frozen=True)
+class RtpPacket:
+    """A parsed RTP packet.
+
+    ``payload`` holds the media bytes after any CSRC list and header
+    extension; for SRTP traffic it is ciphertext, which is fine — the study
+    judges header structure, not media content.
+    """
+
+    payload_type: int
+    sequence_number: int
+    timestamp: int
+    ssrc: int
+    payload: bytes = b""
+    marker: bool = False
+    csrcs: List[int] = field(default_factory=list)
+    extension: Optional[HeaderExtension] = None
+    padding_length: int = 0
+    # Set by non-strict parsing when the padding bit was set but the pad
+    # count byte was impossible — surfaced to the compliance layer.
+    invalid_padding: bool = False
+
+    @property
+    def has_padding(self) -> bool:
+        return self.padding_length > 0
+
+    @classmethod
+    def parse(cls, data: bytes, strict: bool = True) -> "RtpPacket":
+        reader = ByteReader(data)
+        try:
+            first = reader.u8()
+            second = reader.u8()
+            sequence_number = reader.u16()
+            timestamp = reader.u32()
+            ssrc = reader.u32()
+        except TruncatedError as exc:
+            raise RtpParseError(str(exc)) from exc
+        version = first >> 6
+        if version != RTP_VERSION:
+            raise RtpParseError(f"RTP version {version} != 2")
+        padding = bool(first & 0x20)
+        has_extension = bool(first & 0x10)
+        csrc_count = first & 0x0F
+        marker = bool(second & 0x80)
+        payload_type = second & 0x7F
+
+        csrcs = []
+        try:
+            for _ in range(csrc_count):
+                csrcs.append(reader.u32())
+            extension = None
+            if has_extension:
+                profile = reader.u16()
+                word_length = reader.u16()
+                extension = HeaderExtension(profile=profile, data=reader.read(word_length * 4))
+        except TruncatedError as exc:
+            raise RtpParseError(str(exc)) from exc
+
+        payload = reader.rest()
+        padding_length = 0
+        invalid_padding = False
+        if padding:
+            if not payload:
+                raise RtpParseError("padding bit set but no payload bytes")
+            padding_length = payload[-1]
+            if padding_length == 0 or padding_length > len(payload):
+                if strict:
+                    raise RtpParseError(
+                        f"invalid padding length {padding_length} for "
+                        f"{len(payload)} payload bytes"
+                    )
+                padding_length = 0
+                invalid_padding = True
+            else:
+                payload = payload[:-padding_length]
+
+        return cls(
+            payload_type=payload_type,
+            sequence_number=sequence_number,
+            timestamp=timestamp,
+            ssrc=ssrc,
+            payload=payload,
+            marker=marker,
+            csrcs=csrcs,
+            extension=extension,
+            padding_length=padding_length,
+            invalid_padding=invalid_padding,
+        )
+
+    def build(self) -> bytes:
+        if len(self.csrcs) > 15:
+            raise ValueError("at most 15 CSRCs fit in the 4-bit CC field")
+        writer = ByteWriter()
+        first = (RTP_VERSION << 6) | len(self.csrcs)
+        if self.padding_length:
+            first |= 0x20
+        if self.extension is not None:
+            first |= 0x10
+        writer.u8(first)
+        writer.u8((0x80 if self.marker else 0) | (self.payload_type & 0x7F))
+        writer.u16(self.sequence_number)
+        writer.u32(self.timestamp)
+        writer.u32(self.ssrc)
+        for csrc in self.csrcs:
+            writer.u32(csrc)
+        if self.extension is not None:
+            writer.write(self.extension.build())
+        writer.write(self.payload)
+        if self.padding_length:
+            if self.padding_length < 1:
+                raise ValueError("padding length must be >= 1")
+            writer.write(bytes(self.padding_length - 1) + bytes([self.padding_length]))
+        return writer.getvalue()
+
+    @property
+    def header_length(self) -> int:
+        length = FIXED_HEADER_LEN + 4 * len(self.csrcs)
+        if self.extension is not None:
+            length += 4 + len(self.extension.data)
+        return length
+
+    @property
+    def wire_length(self) -> int:
+        return self.header_length + len(self.payload) + self.padding_length
+
+
+def looks_like_rtp(data: bytes) -> bool:
+    """Structural test used by the DPI candidate matcher.
+
+    Mirrors Peafowl's RTP pattern *minus* its payload-type restriction, as
+    the paper prescribes (§4.1.1): version must be 2 and the declared CSRC
+    list and extension block must fit in the buffer.
+    """
+    if len(data) < FIXED_HEADER_LEN:
+        return False
+    if data[0] >> 6 != RTP_VERSION:
+        return False
+    # Exclude the RTCP packet-type range so RTP/RTCP demultiplexing follows
+    # RFC 5761 §4: PT values 64-95 (with marker bit → 192-223) are RTCP.
+    if 192 <= data[1] <= 223:
+        return False
+    csrc_count = data[0] & 0x0F
+    offset = FIXED_HEADER_LEN + 4 * csrc_count
+    if offset > len(data):
+        return False
+    if data[0] & 0x10:  # extension present
+        if offset + 4 > len(data):
+            return False
+        word_length = int.from_bytes(data[offset + 2:offset + 4], "big")
+        offset += 4 + word_length * 4
+        if offset > len(data):
+            return False
+    return True

@@ -1,0 +1,58 @@
+"""RTP payload-type registry (RFC 3551 static assignments).
+
+Payload types 96-127 are dynamic; anything in 0-95 not statically assigned is
+unassigned-but-reserved.  RFC 3550 itself places no restriction on the
+7-bit value, which is why the paper's DPI removes Peafowl's 30-value
+restriction — and why the compliance layer treats *all* payload-type values
+as structurally valid while still reporting what was observed (Table 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Static assignments from RFC 3551 §6.
+STATIC_PAYLOAD_TYPES: Dict[int, str] = {
+    0: "PCMU",
+    3: "GSM",
+    4: "G723",
+    5: "DVI4/8000",
+    6: "DVI4/16000",
+    7: "LPC",
+    8: "PCMA",
+    9: "G722",
+    10: "L16/44100/2",
+    11: "L16/44100/1",
+    12: "QCELP",
+    13: "CN",
+    14: "MPA",
+    15: "G728",
+    16: "DVI4/11025",
+    17: "DVI4/22050",
+    18: "G729",
+    25: "CelB",
+    26: "JPEG",
+    28: "nv",
+    31: "H261",
+    32: "MPV",
+    33: "MP2T",
+    34: "H263",
+}
+
+DYNAMIC_RANGE = range(96, 128)
+
+#: 64-95 collide with RTCP packet types 192-223 when the marker bit is set
+#: (RFC 5761 §4) — useful context for demultiplexing heuristics.
+RTCP_CONFLICT_RANGE = range(64, 96)
+
+
+def is_dynamic_payload_type(payload_type: int) -> bool:
+    return payload_type in DYNAMIC_RANGE
+
+
+def payload_type_name(payload_type: int) -> Optional[str]:
+    if payload_type in STATIC_PAYLOAD_TYPES:
+        return STATIC_PAYLOAD_TYPES[payload_type]
+    if is_dynamic_payload_type(payload_type):
+        return f"dynamic-{payload_type}"
+    return None

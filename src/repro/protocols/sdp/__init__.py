@@ -1,0 +1,24 @@
+"""SDP session descriptions (RFC 8866) with ICE attributes (RFC 8839).
+
+The signaling plane the paper describes but does not dissect (it is
+application-specific): offers/answers exchanging media sections, payload
+type maps, and ICE candidates.  Having a real SDP codec closes the loop —
+the candidate lines here carry the same :mod:`repro.ice` candidates the
+connectivity layer checks.
+"""
+
+from repro.protocols.sdp.session import (
+    MediaDescription,
+    SdpParseError,
+    SessionDescription,
+    candidate_from_sdp,
+    candidate_to_sdp,
+)
+
+__all__ = [
+    "MediaDescription",
+    "SdpParseError",
+    "SessionDescription",
+    "candidate_from_sdp",
+    "candidate_to_sdp",
+]

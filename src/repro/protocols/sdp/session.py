@@ -1,0 +1,209 @@
+"""SDP parsing and serialization.
+
+Covers the subset WebRTC-era RTC applications exchange: session-level
+origin/name/time lines, media sections with payload-type lists, ``a=rtpmap``
+/ ``a=fmtp`` codec maps, ICE credentials, and ``a=candidate`` lines mapped
+to/from :class:`repro.ice.Candidate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ice.candidates import Candidate, CandidateType
+
+
+class SdpParseError(ValueError):
+    """Raised on malformed session descriptions."""
+
+
+_TYPE_TO_SDP = {
+    CandidateType.HOST: "host",
+    CandidateType.SERVER_REFLEXIVE: "srflx",
+    CandidateType.PEER_REFLEXIVE: "prflx",
+    CandidateType.RELAYED: "relay",
+}
+_SDP_TO_TYPE = {v: k for k, v in _TYPE_TO_SDP.items()}
+
+
+def candidate_to_sdp(candidate: Candidate) -> str:
+    """Serialize a candidate to an ``a=candidate`` attribute value."""
+    parts = [
+        candidate.foundation,
+        str(candidate.component),
+        "udp",
+        str(candidate.priority),
+        candidate.ip,
+        str(candidate.port),
+        "typ",
+        _TYPE_TO_SDP[candidate.candidate_type],
+    ]
+    if candidate.related_ip is not None:
+        parts += ["raddr", candidate.related_ip, "rport",
+                  str(candidate.related_port or 0)]
+    return " ".join(parts)
+
+
+def candidate_from_sdp(value: str) -> Candidate:
+    """Parse an ``a=candidate`` attribute value (RFC 8839 §5.1)."""
+    tokens = value.split()
+    if len(tokens) < 8 or tokens[6] != "typ":
+        raise SdpParseError(f"malformed candidate line: {value!r}")
+    if tokens[2].lower() != "udp":
+        raise SdpParseError(f"only UDP candidates supported, got {tokens[2]}")
+    try:
+        candidate_type = _SDP_TO_TYPE[tokens[7]]
+    except KeyError:
+        raise SdpParseError(f"unknown candidate type {tokens[7]!r}") from None
+    related_ip = related_port = None
+    extra = tokens[8:]
+    while len(extra) >= 2:
+        key, val = extra[0], extra[1]
+        if key == "raddr":
+            related_ip = val
+        elif key == "rport":
+            related_port = int(val)
+        extra = extra[2:]
+    return Candidate(
+        ip=tokens[4],
+        port=int(tokens[5]),
+        candidate_type=candidate_type,
+        component=int(tokens[1]),
+        related_ip=related_ip,
+        related_port=related_port,
+    )
+
+
+@dataclass
+class MediaDescription:
+    """One ``m=`` section."""
+
+    media: str                       # audio / video / application
+    port: int
+    protocol: str = "UDP/TLS/RTP/SAVPF"
+    payload_types: List[int] = field(default_factory=list)
+    rtpmap: Dict[int, str] = field(default_factory=dict)   # pt -> "opus/48000/2"
+    fmtp: Dict[int, str] = field(default_factory=dict)
+    candidates: List[Candidate] = field(default_factory=list)
+    attributes: List[Tuple[str, Optional[str]]] = field(default_factory=list)
+    connection_ip: Optional[str] = None
+
+    def codec_name(self, payload_type: int) -> Optional[str]:
+        entry = self.rtpmap.get(payload_type)
+        return entry.split("/")[0] if entry else None
+
+
+@dataclass
+class SessionDescription:
+    """A full SDP document."""
+
+    origin_username: str = "-"
+    session_id: int = 0
+    session_version: int = 0
+    origin_ip: str = "127.0.0.1"
+    session_name: str = "-"
+    ice_ufrag: Optional[str] = None
+    ice_pwd: Optional[str] = None
+    attributes: List[Tuple[str, Optional[str]]] = field(default_factory=list)
+    media: List[MediaDescription] = field(default_factory=list)
+
+    def serialize(self) -> str:
+        lines = [
+            "v=0",
+            f"o={self.origin_username} {self.session_id} "
+            f"{self.session_version} IN IP4 {self.origin_ip}",
+            f"s={self.session_name}",
+            "t=0 0",
+        ]
+        if self.ice_ufrag is not None:
+            lines.append(f"a=ice-ufrag:{self.ice_ufrag}")
+        if self.ice_pwd is not None:
+            lines.append(f"a=ice-pwd:{self.ice_pwd}")
+        for key, value in self.attributes:
+            lines.append(f"a={key}" if value is None else f"a={key}:{value}")
+        for section in self.media:
+            pts = " ".join(str(pt) for pt in section.payload_types)
+            lines.append(f"m={section.media} {section.port} {section.protocol} {pts}")
+            if section.connection_ip:
+                lines.append(f"c=IN IP4 {section.connection_ip}")
+            for pt, mapping in section.rtpmap.items():
+                lines.append(f"a=rtpmap:{pt} {mapping}")
+            for pt, params in section.fmtp.items():
+                lines.append(f"a=fmtp:{pt} {params}")
+            for candidate in section.candidates:
+                lines.append(f"a=candidate:{candidate_to_sdp(candidate)}")
+            for key, value in section.attributes:
+                lines.append(f"a={key}" if value is None else f"a={key}:{value}")
+        return "\r\n".join(lines) + "\r\n"
+
+    @classmethod
+    def parse(cls, text: str) -> "SessionDescription":
+        session = cls()
+        current: Optional[MediaDescription] = None
+        for raw_line in text.replace("\r\n", "\n").split("\n"):
+            line = raw_line.strip()
+            if not line:
+                continue
+            if len(line) < 2 or line[1] != "=":
+                raise SdpParseError(f"malformed SDP line {line!r}")
+            kind, value = line[0], line[2:]
+            if kind == "v":
+                if value != "0":
+                    raise SdpParseError(f"unsupported SDP version {value}")
+            elif kind == "o":
+                fields = value.split()
+                if len(fields) != 6:
+                    raise SdpParseError(f"malformed origin line {value!r}")
+                session.origin_username = fields[0]
+                session.session_id = int(fields[1])
+                session.session_version = int(fields[2])
+                session.origin_ip = fields[5]
+            elif kind == "s":
+                session.session_name = value
+            elif kind == "m":
+                fields = value.split()
+                if len(fields) < 3:
+                    raise SdpParseError(f"malformed media line {value!r}")
+                current = MediaDescription(
+                    media=fields[0],
+                    port=int(fields[1]),
+                    protocol=fields[2],
+                    payload_types=[int(pt) for pt in fields[3:]],
+                )
+                session.media.append(current)
+            elif kind == "c" and current is not None:
+                current.connection_ip = value.split()[-1]
+            elif kind == "a":
+                key, _, attr_value = value.partition(":")
+                _dispatch_attribute(session, current, key,
+                                    attr_value if _ else None)
+            # b=, t=, etc. are accepted and ignored.
+        return session
+
+
+def _dispatch_attribute(
+    session: SessionDescription,
+    current: Optional[MediaDescription],
+    key: str,
+    value: Optional[str],
+) -> None:
+    if key == "ice-ufrag" and value is not None:
+        session.ice_ufrag = value
+        return
+    if key == "ice-pwd" and value is not None:
+        session.ice_pwd = value
+        return
+    if current is None:
+        session.attributes.append((key, value))
+        return
+    if key == "rtpmap" and value:
+        pt_str, _, mapping = value.partition(" ")
+        current.rtpmap[int(pt_str)] = mapping
+    elif key == "fmtp" and value:
+        pt_str, _, params = value.partition(" ")
+        current.fmtp[int(pt_str)] = params
+    elif key == "candidate" and value:
+        current.candidates.append(candidate_from_sdp(value))
+    else:
+        current.attributes.append((key, value))

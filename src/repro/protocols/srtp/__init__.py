@@ -1,0 +1,25 @@
+"""SRTP/SRTCP (RFC 3711): key derivation and packet protection.
+
+A complete secure-RTP substrate: the AES-CM key-derivation function, and
+sessions that protect/unprotect RTP and RTCP packets with AES-CM encryption
+and HMAC-SHA1-80 authentication.  The Google Meet simulator's SRTCP framing
+follows this format; this module makes the framing *real* — packets
+protected here decrypt and authenticate back to their plaintext.
+"""
+
+from repro.protocols.srtp.kdf import KeyDerivationLabel, derive_key
+from repro.protocols.srtp.session import (
+    AuthenticationError,
+    ReplayError,
+    SrtcpCryptoContext,
+    SrtpCryptoContext,
+)
+
+__all__ = [
+    "KeyDerivationLabel",
+    "derive_key",
+    "AuthenticationError",
+    "ReplayError",
+    "SrtcpCryptoContext",
+    "SrtpCryptoContext",
+]

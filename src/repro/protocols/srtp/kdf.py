@@ -1,0 +1,41 @@
+"""AES-CM key derivation (RFC 3711 §4.3)."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.crypto.aes import aes_ctr_keystream
+
+
+class KeyDerivationLabel(enum.IntEnum):
+    RTP_ENCRYPTION = 0x00
+    RTP_AUTH = 0x01
+    RTP_SALT = 0x02
+    RTCP_ENCRYPTION = 0x03
+    RTCP_AUTH = 0x04
+    RTCP_SALT = 0x05
+
+
+def derive_key(
+    master_key: bytes,
+    master_salt: bytes,
+    label: int,
+    length: int,
+    index: int = 0,
+    key_derivation_rate: int = 0,
+) -> bytes:
+    """Derive a session key of *length* bytes (RFC 3711 §4.3.1).
+
+    ``key_id = label || (index DIV kdr)`` as a 7-byte quantity; the PRF
+    input block is ``(key_id XOR master_salt) * 2^16``.
+    """
+    if len(master_salt) != 14:
+        raise ValueError("the master salt is 112 bits (14 bytes)")
+    if key_derivation_rate:
+        derivation_index = index // key_derivation_rate
+    else:
+        derivation_index = 0
+    key_id = (label << 48) | derivation_index
+    x = int.from_bytes(master_salt, "big") ^ key_id
+    initial_block = x << 16
+    return aes_ctr_keystream(master_key, initial_block, length)

@@ -1,0 +1,176 @@
+"""SRTP/SRTCP packet protection contexts (RFC 3711 §3).
+
+Default crypto suite: AES_CM_128_HMAC_SHA1_80.  One context protects a
+single direction; RTP and RTCP use separate contexts because their derived
+keys and index spaces differ.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+from typing import Optional, Set, Tuple
+
+from repro.crypto.aes import aes_ctr_keystream, xor_bytes
+from repro.protocols.srtp.kdf import KeyDerivationLabel, derive_key
+
+DEFAULT_AUTH_TAG_LEN = 10  # HMAC-SHA1-80
+
+
+class AuthenticationError(ValueError):
+    """Raised when an authentication tag does not verify."""
+
+
+class ReplayError(ValueError):
+    """Raised when a packet index was already seen."""
+
+
+def _rtp_header_length(packet: bytes) -> int:
+    """Byte length of the RTP header incl. CSRCs and extension block."""
+    if len(packet) < 12:
+        raise ValueError("truncated RTP packet")
+    csrc_count = packet[0] & 0x0F
+    length = 12 + 4 * csrc_count
+    if packet[0] & 0x10:  # extension
+        if len(packet) < length + 4:
+            raise ValueError("truncated RTP extension")
+        ext_words = int.from_bytes(packet[length + 2:length + 4], "big")
+        length += 4 + 4 * ext_words
+    if length > len(packet):
+        raise ValueError("RTP header overruns packet")
+    return length
+
+
+def _keystream_for(session_key: bytes, session_salt: bytes,
+                   ssrc: int, index: int, length: int) -> bytes:
+    """AES-CM IV construction (RFC 3711 §4.1.1)."""
+    iv = (
+        (int.from_bytes(session_salt, "big") << 16)
+        ^ (ssrc << 64)
+        ^ (index << 16)
+    )
+    return aes_ctr_keystream(session_key, iv, length)
+
+
+class SrtpCryptoContext:
+    """Protect/unprotect RTP packets for one stream direction."""
+
+    def __init__(
+        self,
+        master_key: bytes,
+        master_salt: bytes,
+        auth_tag_len: int = DEFAULT_AUTH_TAG_LEN,
+    ):
+        self._auth_tag_len = auth_tag_len
+        self._key = derive_key(master_key, master_salt,
+                               KeyDerivationLabel.RTP_ENCRYPTION, 16)
+        self._salt = derive_key(master_key, master_salt,
+                                KeyDerivationLabel.RTP_SALT, 14)
+        self._auth_key = derive_key(master_key, master_salt,
+                                    KeyDerivationLabel.RTP_AUTH, 20)
+        self._seen: Set[Tuple[int, int]] = set()
+
+    def _index(self, packet: bytes, roc: int) -> Tuple[int, int]:
+        seq = int.from_bytes(packet[2:4], "big")
+        return seq, (roc << 16) | seq
+
+    def protect(self, packet: bytes, roc: int = 0) -> bytes:
+        """Encrypt the payload and append the authentication tag."""
+        header_len = _rtp_header_length(packet)
+        ssrc = int.from_bytes(packet[8:12], "big")
+        _seq, index = self._index(packet, roc)
+        keystream = _keystream_for(self._key, self._salt, ssrc, index,
+                                   len(packet) - header_len)
+        protected = packet[:header_len] + xor_bytes(packet[header_len:], keystream)
+        tag = self._auth_tag(protected, roc)
+        return protected + tag
+
+    def unprotect(self, packet: bytes, roc: int = 0) -> bytes:
+        """Verify the tag, reject replays, and decrypt the payload."""
+        if len(packet) < 12 + self._auth_tag_len:
+            raise ValueError("packet shorter than header plus tag")
+        body, tag = packet[:-self._auth_tag_len], packet[-self._auth_tag_len:]
+        expected = self._auth_tag(body, roc)
+        if not hmac.compare_digest(tag, expected):
+            raise AuthenticationError("SRTP authentication tag mismatch")
+        ssrc = int.from_bytes(body[8:12], "big")
+        seq, index = self._index(body, roc)
+        if (ssrc, index) in self._seen:
+            raise ReplayError(f"replayed packet index {index}")
+        self._seen.add((ssrc, index))
+        header_len = _rtp_header_length(body)
+        keystream = _keystream_for(self._key, self._salt, ssrc, index,
+                                   len(body) - header_len)
+        return body[:header_len] + xor_bytes(body[header_len:], keystream)
+
+    def _auth_tag(self, protected: bytes, roc: int) -> bytes:
+        mac = hmac.new(self._auth_key, protected + roc.to_bytes(4, "big"),
+                       hashlib.sha1)
+        return mac.digest()[: self._auth_tag_len]
+
+
+class SrtcpCryptoContext:
+    """Protect/unprotect RTCP packets (RFC 3711 §3.4).
+
+    SRTCP carries its own explicit 31-bit index with an E flag; the whole
+    packet after the first 8 bytes is encrypted.
+    """
+
+    def __init__(
+        self,
+        master_key: bytes,
+        master_salt: bytes,
+        auth_tag_len: int = DEFAULT_AUTH_TAG_LEN,
+    ):
+        self._auth_tag_len = auth_tag_len
+        self._key = derive_key(master_key, master_salt,
+                               KeyDerivationLabel.RTCP_ENCRYPTION, 16)
+        self._salt = derive_key(master_key, master_salt,
+                                KeyDerivationLabel.RTCP_SALT, 14)
+        self._auth_key = derive_key(master_key, master_salt,
+                                    KeyDerivationLabel.RTCP_AUTH, 20)
+        self._next_index = 1
+        self._seen: Set[int] = set()
+
+    def protect(self, packet: bytes, index: Optional[int] = None) -> bytes:
+        """Encrypt, append E‖index and the authentication tag."""
+        if len(packet) < 8:
+            raise ValueError("RTCP packet shorter than 8 bytes")
+        if index is None:
+            index = self._next_index
+            self._next_index += 1
+        if not 0 <= index < 1 << 31:
+            raise ValueError("SRTCP index is 31 bits")
+        ssrc = int.from_bytes(packet[4:8], "big")
+        keystream = _keystream_for(self._key, self._salt, ssrc, index,
+                                   len(packet) - 8)
+        protected = packet[:8] + xor_bytes(packet[8:], keystream)
+        index_word = ((1 << 31) | index).to_bytes(4, "big")
+        tag = hmac.new(self._auth_key, protected + index_word,
+                       hashlib.sha1).digest()[: self._auth_tag_len]
+        return protected + index_word + tag
+
+    def unprotect(self, packet: bytes) -> Tuple[bytes, int]:
+        """Verify and decrypt; returns (plaintext RTCP, index)."""
+        minimum = 8 + 4 + self._auth_tag_len
+        if len(packet) < minimum:
+            raise ValueError("SRTCP packet too short")
+        tag = packet[-self._auth_tag_len:]
+        index_word = packet[-self._auth_tag_len - 4:-self._auth_tag_len]
+        protected = packet[: -self._auth_tag_len - 4]
+        expected = hmac.new(self._auth_key, protected + index_word,
+                            hashlib.sha1).digest()[: self._auth_tag_len]
+        if not hmac.compare_digest(tag, expected):
+            raise AuthenticationError("SRTCP authentication tag mismatch")
+        word = int.from_bytes(index_word, "big")
+        encrypted = bool(word >> 31)
+        index = word & 0x7FFFFFFF
+        if index in self._seen:
+            raise ReplayError(f"replayed SRTCP index {index}")
+        self._seen.add(index)
+        if not encrypted:
+            return protected, index
+        ssrc = int.from_bytes(protected[4:8], "big")
+        keystream = _keystream_for(self._key, self._salt, ssrc, index,
+                                   len(protected) - 8)
+        return protected[:8] + xor_bytes(protected[8:], keystream), index

@@ -1,0 +1,58 @@
+"""STUN/TURN wire format (RFC 3489, 5389, 8489, 8656).
+
+TURN reuses the STUN message format, so the paper treats the pair jointly;
+this package does too.  ChannelData framing (RFC 8656 §12.4) is included
+because it shares TURN's data plane and shows up in several applications.
+"""
+
+from repro.protocols.stun.attributes import (
+    AddressValue,
+    ErrorCodeValue,
+    StunAttribute,
+    decode_address,
+    decode_xor_address,
+    encode_address,
+    encode_xor_address,
+)
+from repro.protocols.stun.constants import (
+    MAGIC_COOKIE,
+    AttributeType,
+    MessageClass,
+    StunMethod,
+    attribute_name,
+    is_comprehension_required,
+    message_class,
+    message_method,
+    message_type,
+    message_type_name,
+)
+from repro.protocols.stun.message import (
+    ChannelData,
+    StunMessage,
+    StunParseError,
+    looks_like_stun,
+)
+
+__all__ = [
+    "AddressValue",
+    "ErrorCodeValue",
+    "StunAttribute",
+    "decode_address",
+    "decode_xor_address",
+    "encode_address",
+    "encode_xor_address",
+    "MAGIC_COOKIE",
+    "AttributeType",
+    "MessageClass",
+    "StunMethod",
+    "attribute_name",
+    "is_comprehension_required",
+    "message_class",
+    "message_method",
+    "message_type",
+    "message_type_name",
+    "ChannelData",
+    "StunMessage",
+    "StunParseError",
+    "looks_like_stun",
+]

@@ -1,0 +1,223 @@
+"""STUN attribute TLV codec and typed value helpers."""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.protocols.stun.constants import (
+    MAGIC_COOKIE,
+    AddressFamily,
+    AttributeType,
+    attribute_name,
+)
+from repro.utils.bytesview import ByteReader, ByteWriter, TruncatedError
+
+
+@dataclass(frozen=True)
+class StunAttribute:
+    """One TLV-encoded attribute: 2-byte type, 2-byte length, padded value."""
+
+    attr_type: int
+    value: bytes
+
+    @property
+    def name(self) -> str:
+        return attribute_name(self.attr_type) or f"UNKNOWN-0x{self.attr_type:04X}"
+
+    @property
+    def padded_length(self) -> int:
+        return (len(self.value) + 3) & ~3
+
+    def build(self) -> bytes:
+        writer = ByteWriter()
+        writer.u16(self.attr_type)
+        writer.u16(len(self.value))
+        writer.write(self.value)
+        writer.pad_to_multiple(4)
+        return writer.getvalue()
+
+
+def parse_attributes(data: bytes, strict: bool = True) -> List[StunAttribute]:
+    """Walk the attribute region as a sequence of TLVs.
+
+    With ``strict=False`` a trailing truncated attribute is dropped instead of
+    raising, which the DPI candidate matcher uses when probing arbitrary byte
+    windows.
+    """
+    reader = ByteReader(data)
+    attributes: List[StunAttribute] = []
+    while reader.remaining >= 4:
+        attr_type = reader.u16()
+        length = reader.u16()
+        padded = (length + 3) & ~3
+        if padded > reader.remaining:
+            if strict:
+                raise TruncatedError(
+                    f"attribute 0x{attr_type:04x} declares {length} bytes, "
+                    f"{reader.remaining} available"
+                )
+            break
+        value = reader.read(length)
+        reader.skip(padded - length)
+        attributes.append(StunAttribute(attr_type, value))
+    if strict and reader.remaining:
+        raise TruncatedError(f"{reader.remaining} stray bytes after last attribute")
+    return attributes
+
+
+@dataclass(frozen=True)
+class AddressValue:
+    """Decoded (XOR-)MAPPED-ADDRESS style value."""
+
+    family: int
+    port: int
+    ip: str
+
+    @property
+    def family_valid(self) -> bool:
+        return self.family in (AddressFamily.IPV4, AddressFamily.IPV6)
+
+
+def decode_address(value: bytes) -> AddressValue:
+    """Decode a plain address attribute value (RFC 8489 §14.1)."""
+    if len(value) not in (8, 20):
+        raise ValueError(f"address attribute must be 8 or 20 bytes, got {len(value)}")
+    _reserved, family, port = struct.unpack("!BBH", value[:4])
+    raw_ip = value[4:]
+    if family == AddressFamily.IPV4 and len(raw_ip) == 4:
+        ip = str(ipaddress.IPv4Address(raw_ip))
+    elif family == AddressFamily.IPV6 and len(raw_ip) == 16:
+        ip = str(ipaddress.IPv6Address(raw_ip))
+    else:
+        # Non-standard family: surface raw bytes so compliance can flag it.
+        ip = raw_ip.hex()
+    return AddressValue(family=family, port=port, ip=ip)
+
+
+def encode_address(ip: str, port: int, family: Optional[int] = None) -> bytes:
+    addr = ipaddress.ip_address(ip)
+    if family is None:
+        family = AddressFamily.IPV4 if addr.version == 4 else AddressFamily.IPV6
+    return struct.pack("!BBH", 0, family, port) + addr.packed
+
+
+def decode_xor_address(value: bytes, transaction_id: bytes) -> AddressValue:
+    """Decode an XOR-* address attribute value (RFC 8489 §14.2)."""
+    if len(value) not in (8, 20):
+        raise ValueError(f"xor address attribute must be 8 or 20 bytes, got {len(value)}")
+    _reserved, family, xport = struct.unpack("!BBH", value[:4])
+    port = xport ^ (MAGIC_COOKIE >> 16)
+    raw_ip = value[4:]
+    if family == AddressFamily.IPV4 and len(raw_ip) == 4:
+        xored = int.from_bytes(raw_ip, "big") ^ MAGIC_COOKIE
+        ip = str(ipaddress.IPv4Address(xored))
+    elif family == AddressFamily.IPV6 and len(raw_ip) == 16:
+        key = MAGIC_COOKIE.to_bytes(4, "big") + transaction_id
+        ip = str(ipaddress.IPv6Address(bytes(a ^ b for a, b in zip(raw_ip, key))))
+    else:
+        ip = raw_ip.hex()
+    return AddressValue(family=family, port=port, ip=ip)
+
+
+def encode_xor_address(
+    ip: str, port: int, transaction_id: bytes, family: Optional[int] = None
+) -> bytes:
+    addr = ipaddress.ip_address(ip)
+    if family is None:
+        family = AddressFamily.IPV4 if addr.version == 4 else AddressFamily.IPV6
+    xport = port ^ (MAGIC_COOKIE >> 16)
+    if addr.version == 4:
+        xip = (int(addr) ^ MAGIC_COOKIE).to_bytes(4, "big")
+    else:
+        key = MAGIC_COOKIE.to_bytes(4, "big") + transaction_id
+        xip = bytes(a ^ b for a, b in zip(addr.packed, key))
+    return struct.pack("!BBH", 0, family, xport) + xip
+
+
+@dataclass(frozen=True)
+class ErrorCodeValue:
+    """Decoded ERROR-CODE value (RFC 8489 §14.8)."""
+
+    code: int
+    reason: str
+
+    @property
+    def error_class(self) -> int:
+        return self.code // 100
+
+    @property
+    def number(self) -> int:
+        return self.code % 100
+
+
+def decode_error_code(value: bytes) -> ErrorCodeValue:
+    if len(value) < 4:
+        raise ValueError("ERROR-CODE value shorter than 4 bytes")
+    _reserved, err_class, number = struct.unpack("!HBB", value[:4])
+    reason = value[4:].decode("utf-8", errors="replace")
+    return ErrorCodeValue(code=(err_class & 0x07) * 100 + number, reason=reason)
+
+
+def encode_error_code(code: int, reason: str = "") -> bytes:
+    return struct.pack("!HBB", 0, code // 100, code % 100) + reason.encode("utf-8")
+
+
+def make(attr_type: int, value: bytes) -> StunAttribute:
+    """Convenience constructor mirroring :class:`StunAttribute`."""
+    return StunAttribute(attr_type, value)
+
+
+def channel_number_value(channel: int) -> bytes:
+    """CHANNEL-NUMBER attribute value: channel + 2-byte RFFU (RFC 8656 §18.1)."""
+    return struct.pack("!HH", channel, 0)
+
+
+def lifetime_value(seconds: int) -> bytes:
+    return struct.pack("!I", seconds)
+
+
+def requested_transport_value(protocol: int = 17) -> bytes:
+    """REQUESTED-TRANSPORT value: protocol number + 3 RFFU bytes."""
+    return struct.pack("!B3x", protocol)
+
+
+def fingerprint_value(message_so_far: bytes) -> bytes:
+    """FINGERPRINT value: CRC-32 of the message XORed with 0x5354554e."""
+    import zlib
+
+    return struct.pack("!I", (zlib.crc32(message_so_far) & 0xFFFFFFFF) ^ 0x5354554E)
+
+
+#: Maximum value lengths for variable-size attributes (RFC 8489 §14).
+ATTRIBUTE_MAX_LENGTHS = {
+    int(AttributeType.USERNAME): 513,
+    int(AttributeType.REALM): 763,
+    int(AttributeType.NONCE): 763,
+    int(AttributeType.SOFTWARE): 763,
+    int(AttributeType.ERROR_CODE): 4 + 763,
+    int(AttributeType.USERHASH): 32,
+}
+
+ATTRIBUTE_FIXED_LENGTHS = {
+    int(AttributeType.CHANNEL_NUMBER): 4,
+    int(AttributeType.LIFETIME): 4,
+    int(AttributeType.REQUESTED_TRANSPORT): 4,
+    int(AttributeType.EVEN_PORT): 1,
+    int(AttributeType.REQUESTED_ADDRESS_FAMILY): 4,
+    int(AttributeType.DONT_FRAGMENT): 0,
+    int(AttributeType.RESERVATION_TOKEN): 8,
+    int(AttributeType.PRIORITY): 4,
+    int(AttributeType.USE_CANDIDATE): 0,
+    int(AttributeType.FINGERPRINT): 4,
+    int(AttributeType.MESSAGE_INTEGRITY): 20,
+    int(AttributeType.MESSAGE_INTEGRITY_SHA256): 32,
+    int(AttributeType.ICE_CONTROLLED): 8,
+    int(AttributeType.ICE_CONTROLLING): 8,
+    int(AttributeType.RESPONSE_PORT): 4,
+    int(AttributeType.CONNECTION_ID): 4,
+    int(AttributeType.CHANGE_REQUEST): 4,
+    int(AttributeType.CACHE_TIMEOUT): 4,
+}

@@ -1,0 +1,89 @@
+"""STUN MESSAGE-INTEGRITY computation and verification (RFC 8489 §14.5).
+
+Short-term credentials key on the password directly; long-term credentials
+key on ``MD5(username ":" realm ":" password)``.  The HMAC-SHA1 covers the
+message up to (but excluding) the MESSAGE-INTEGRITY attribute, with the
+header length field already counting it — the same adjust-then-hash dance
+as FINGERPRINT.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Optional
+
+from repro.protocols.stun.attributes import StunAttribute
+from repro.protocols.stun.constants import AttributeType
+from repro.protocols.stun.message import StunMessage
+
+_MI = int(AttributeType.MESSAGE_INTEGRITY)
+_FP = int(AttributeType.FINGERPRINT)
+
+
+def short_term_key(password: str) -> bytes:
+    """Short-term credential key (RFC 8489 §9.1.1): the password itself."""
+    return password.encode("utf-8")
+
+
+def long_term_key(username: str, realm: str, password: str) -> bytes:
+    """Long-term credential key (RFC 8489 §9.2.2)."""
+    material = f"{username}:{realm}:{password}".encode("utf-8")
+    return hashlib.md5(material).digest()
+
+
+def add_message_integrity(message: StunMessage, key: bytes) -> bytes:
+    """Serialize *message* with a correctly computed MESSAGE-INTEGRITY.
+
+    Any placeholder MESSAGE-INTEGRITY/FINGERPRINT attributes already on the
+    message are dropped first; callers wanting FINGERPRINT too should wrap
+    the result with :func:`repro.protocols.stun.message.build_with_fingerprint`
+    semantics (MI first, FINGERPRINT last).
+    """
+    attributes = [
+        a for a in message.attributes if a.attr_type not in (_MI, _FP)
+    ]
+    with_placeholder = StunMessage(
+        msg_type=message.msg_type,
+        transaction_id=message.transaction_id,
+        attributes=attributes + [StunAttribute(_MI, bytes(20))],
+        classic=message.classic,
+    )
+    raw = bytearray(with_placeholder.build())
+    # HMAC input: everything before the MESSAGE-INTEGRITY attribute, with
+    # the length field as serialized (already counts the 24-byte MI TLV).
+    digest = hmac.new(key, bytes(raw[:-24]), hashlib.sha1).digest()
+    raw[-20:] = digest
+    return bytes(raw)
+
+
+def verify_message_integrity(raw: bytes, key: bytes) -> bool:
+    """Check the MESSAGE-INTEGRITY of a serialized message.
+
+    Follows RFC 8489 §14.5: attributes after MESSAGE-INTEGRITY other than
+    FINGERPRINT are ignored, and the length field is rewritten as if the
+    message ended at the MI attribute before hashing.
+    """
+    try:
+        message = StunMessage.parse(raw, strict=False)
+    except Exception:
+        return False
+    offset = 20 if not message.classic else 20
+    mi_offset: Optional[int] = None
+    position = offset
+    for attribute in message.attributes:
+        if attribute.attr_type == _MI:
+            mi_offset = position
+            break
+        position += 4 + attribute.padded_length
+    if mi_offset is None:
+        return False
+    mi_value = raw[mi_offset + 4:mi_offset + 24]
+    if len(mi_value) != 20:
+        return False
+    # Rewrite the length field to end right after the MI attribute.
+    adjusted = bytearray(raw[:mi_offset])
+    covered_length = (mi_offset + 24) - 20
+    adjusted[2:4] = covered_length.to_bytes(2, "big")
+    digest = hmac.new(key, bytes(adjusted), hashlib.sha1).digest()
+    return hmac.compare_digest(digest, mi_value)

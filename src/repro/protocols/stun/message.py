@@ -1,0 +1,214 @@
+"""STUN/TURN message parse/build, including classic RFC 3489 mode.
+
+A modern (RFC 5389/8489) message carries the 0x2112A442 magic cookie in
+bytes 4-8; a classic (RFC 3489) message instead has a 16-byte transaction ID
+spanning bytes 4-20.  The parser records which flavour it saw so the
+compliance layer can evaluate the message against the right specification —
+the paper counts a message compliant if it adheres to *any* published RFC
+version (footnote 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.protocols.stun.attributes import StunAttribute, parse_attributes
+from repro.protocols.stun.constants import (
+    CHANNEL_NUMBER_MAX,
+    CHANNEL_NUMBER_MIN,
+    MAGIC_COOKIE,
+    MessageClass,
+    message_class,
+    message_method,
+    message_type_name,
+)
+from repro.utils.bytesview import ByteReader, ByteWriter, TruncatedError
+
+HEADER_LEN = 20
+
+
+class StunParseError(ValueError):
+    """Raised when bytes cannot be parsed as a STUN message."""
+
+
+@dataclass(frozen=True)
+class StunMessage:
+    """A parsed STUN/TURN message."""
+
+    msg_type: int
+    transaction_id: bytes  # 12 bytes (modern) or 16 bytes (classic)
+    attributes: List[StunAttribute] = field(default_factory=list)
+    classic: bool = False  # True when parsed/built in RFC 3489 framing
+
+    @property
+    def method(self) -> int:
+        return message_method(self.msg_type)
+
+    @property
+    def msg_class(self) -> MessageClass:
+        return message_class(self.msg_type)
+
+    @property
+    def type_name(self) -> Optional[str]:
+        return message_type_name(self.msg_type)
+
+    def attribute(self, attr_type: int) -> Optional[StunAttribute]:
+        """First attribute of the given type, or None."""
+        for attr in self.attributes:
+            if attr.attr_type == attr_type:
+                return attr
+        return None
+
+    def attribute_types(self) -> List[int]:
+        return [attr.attr_type for attr in self.attributes]
+
+    @property
+    def body_length(self) -> int:
+        return sum(4 + attr.padded_length for attr in self.attributes)
+
+    @classmethod
+    def parse(cls, data: bytes, strict: bool = True) -> "StunMessage":
+        """Parse a STUN message from *data* (which must contain exactly one).
+
+        Accepts both modern and classic framing.  ``strict=False`` tolerates
+        trailing garbage after the declared length.
+        """
+        reader = ByteReader(data)
+        try:
+            msg_type = reader.u16()
+            length = reader.u16()
+            cookie_or_txid = reader.read(4)
+            txid_rest = reader.read(12)
+        except TruncatedError as exc:
+            raise StunParseError(str(exc)) from exc
+        if msg_type & 0xC000:
+            raise StunParseError(f"top bits of message type set: 0x{msg_type:04x}")
+        if length % 4:
+            raise StunParseError(f"length {length} not a multiple of 4")
+        if length > reader.remaining:
+            raise StunParseError(
+                f"declared length {length} exceeds {reader.remaining} available bytes"
+            )
+        if not strict and length < reader.remaining:
+            pass  # tolerated: DPI truncates to the declared length
+        elif strict and length != reader.remaining:
+            raise StunParseError(
+                f"declared length {length} != {reader.remaining} body bytes"
+            )
+        classic = int.from_bytes(cookie_or_txid, "big") != MAGIC_COOKIE
+        transaction_id = (cookie_or_txid + txid_rest) if classic else txid_rest
+        body = reader.read(length)
+        try:
+            attributes = parse_attributes(body, strict=True)
+        except TruncatedError as exc:
+            raise StunParseError(str(exc)) from exc
+        return cls(
+            msg_type=msg_type,
+            transaction_id=transaction_id,
+            attributes=attributes,
+            classic=classic,
+        )
+
+    def build(self) -> bytes:
+        writer = ByteWriter()
+        writer.u16(self.msg_type)
+        writer.u16(self.body_length)
+        if self.classic:
+            if len(self.transaction_id) != 16:
+                raise ValueError("classic STUN needs a 16-byte transaction ID")
+            writer.write(self.transaction_id)
+        else:
+            if len(self.transaction_id) != 12:
+                raise ValueError("modern STUN needs a 12-byte transaction ID")
+            writer.u32(MAGIC_COOKIE)
+            writer.write(self.transaction_id)
+        for attr in self.attributes:
+            writer.write(attr.build())
+        return writer.getvalue()
+
+    @property
+    def wire_length(self) -> int:
+        return HEADER_LEN + self.body_length
+
+
+@dataclass(frozen=True)
+class ChannelData:
+    """TURN ChannelData framing (RFC 8656 §12.4)."""
+
+    channel: int
+    data: bytes
+
+    HEADER_LEN = 4
+
+    @property
+    def channel_valid(self) -> bool:
+        return CHANNEL_NUMBER_MIN <= self.channel <= CHANNEL_NUMBER_MAX
+
+    @classmethod
+    def parse(cls, data: bytes, strict: bool = True) -> "ChannelData":
+        reader = ByteReader(data)
+        try:
+            channel = reader.u16()
+            length = reader.u16()
+        except TruncatedError as exc:
+            raise StunParseError(str(exc)) from exc
+        if not 0x4000 <= channel <= 0x7FFF:
+            # 0x4000-0x4FFF valid, 0x5000-0x7FFF reserved but unambiguous.
+            raise StunParseError(f"channel 0x{channel:04x} outside ChannelData range")
+        if length > reader.remaining:
+            raise StunParseError("ChannelData length exceeds available bytes")
+        if strict and length != reader.remaining:
+            # Over UDP no padding is used, so the frame should be exact.
+            raise StunParseError("trailing bytes after ChannelData payload")
+        return cls(channel=channel, data=reader.read(length))
+
+    def build(self) -> bytes:
+        writer = ByteWriter()
+        writer.u16(self.channel)
+        writer.u16(len(self.data))
+        writer.write(self.data)
+        return writer.getvalue()
+
+    @property
+    def wire_length(self) -> int:
+        return self.HEADER_LEN + len(self.data)
+
+
+def build_with_fingerprint(message: StunMessage) -> bytes:
+    """Serialize *message*, appending a correctly computed FINGERPRINT.
+
+    Per RFC 8489 §14.7 the CRC covers the message up to (but excluding) the
+    FINGERPRINT attribute, with the header length field already counting it.
+    """
+    from repro.protocols.stun.attributes import StunAttribute, fingerprint_value
+    from repro.protocols.stun.constants import AttributeType
+
+    with_placeholder = StunMessage(
+        msg_type=message.msg_type,
+        transaction_id=message.transaction_id,
+        attributes=message.attributes + [StunAttribute(int(AttributeType.FINGERPRINT), bytes(4))],
+        classic=message.classic,
+    )
+    raw = bytearray(with_placeholder.build())
+    raw[-4:] = fingerprint_value(bytes(raw[:-8]))
+    return bytes(raw)
+
+
+def looks_like_stun(data: bytes) -> bool:
+    """Cheap structural test used by the DPI candidate matcher.
+
+    Requires only the invariants every published STUN version shares: two
+    zero top bits and a 4-byte-aligned length that fits in the buffer.  The
+    magic cookie is deliberately *not* required, so classic RFC 3489 traffic
+    (e.g. Zoom's) is still surfaced as a candidate.
+    """
+    if len(data) < HEADER_LEN:
+        return False
+    msg_type = int.from_bytes(data[0:2], "big")
+    if msg_type & 0xC000:
+        return False
+    length = int.from_bytes(data[2:4], "big")
+    if length % 4:
+        return False
+    return HEADER_LEN + length <= len(data)

@@ -1,0 +1,21 @@
+"""TLS record parsing — just enough to extract SNI from ClientHello.
+
+The stage-2 traffic filter (paper §3.2.2) classifies encrypted TCP streams
+by the Server Name Indication sent in the clear during the handshake.
+"""
+
+from repro.protocols.tls.client_hello import (
+    ClientHello,
+    TlsParseError,
+    build_client_hello,
+    extract_sni,
+    parse_client_hello,
+)
+
+__all__ = [
+    "ClientHello",
+    "TlsParseError",
+    "build_client_hello",
+    "extract_sni",
+    "parse_client_hello",
+]

@@ -1,0 +1,70 @@
+"""Call-timeline model: the annotated pre-call / call / post-call phases."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Phase(enum.Enum):
+    PRE_CALL = "pre_call"
+    CALL = "call"
+    POST_CALL = "post_call"
+
+
+@dataclass(frozen=True)
+class CallWindow:
+    """The experiment timeline (paper §3.1.2).
+
+    ``margin`` is the ±2 s slack the timespan filter applies around the call
+    window to absorb timing offsets and delayed delivery (§3.2.1).
+    """
+
+    capture_start: float
+    call_start: float
+    call_end: float
+    capture_end: float
+    margin: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.capture_start <= self.call_start <= self.call_end <= self.capture_end:
+            raise ValueError("timeline boundaries out of order")
+
+    @property
+    def call_duration(self) -> float:
+        return self.call_end - self.call_start
+
+    @property
+    def extended_start(self) -> float:
+        return self.call_start - self.margin
+
+    @property
+    def extended_end(self) -> float:
+        return self.call_end + self.margin
+
+    def phase_of(self, timestamp: float) -> Phase:
+        if timestamp < self.call_start:
+            return Phase.PRE_CALL
+        if timestamp <= self.call_end:
+            return Phase.CALL
+        return Phase.POST_CALL
+
+    def encloses(self, first_ts: float, last_ts: float) -> bool:
+        """True when [first_ts, last_ts] fits inside the extended call window."""
+        return first_ts >= self.extended_start and last_ts <= self.extended_end
+
+    @classmethod
+    def standard(
+        cls,
+        call_start: float = 60.0,
+        call_duration: float = 300.0,
+        pre_call: float = 60.0,
+        post_call: float = 60.0,
+    ) -> "CallWindow":
+        """The paper's standard timeline: 60 s pre, 5 min call, 60 s post."""
+        return cls(
+            capture_start=call_start - pre_call,
+            call_start=call_start,
+            call_end=call_start + call_duration,
+            capture_end=call_start + call_duration + post_call,
+        )

@@ -1,0 +1,13 @@
+"""Shared low-level helpers: deterministic RNG, hexdump, byte cursors."""
+
+from repro.utils.bytesview import ByteReader, ByteWriter, TruncatedError
+from repro.utils.hexdump import hexdump
+from repro.utils.rand import DeterministicRandom
+
+__all__ = [
+    "ByteReader",
+    "ByteWriter",
+    "TruncatedError",
+    "hexdump",
+    "DeterministicRandom",
+]

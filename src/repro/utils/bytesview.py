@@ -1,0 +1,156 @@
+"""Byte-level cursor primitives for protocol parsing and building.
+
+All protocol codecs in this library are built on :class:`ByteReader` and
+:class:`ByteWriter`.  They centralize bounds checking so individual parsers
+raise a uniform :class:`TruncatedError` instead of ad-hoc ``struct.error`` or
+``IndexError`` leaking out of the parse path.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+class TruncatedError(ValueError):
+    """Raised when a parser runs past the end of the available bytes."""
+
+
+class ByteReader:
+    """A forward-only cursor over an immutable byte buffer.
+
+    The reader never copies the underlying buffer for peeks; slices are only
+    materialized when value bytes are actually consumed.
+    """
+
+    __slots__ = ("_data", "_pos", "_end")
+
+    def __init__(self, data: bytes, start: int = 0, end: int | None = None):
+        if end is None:
+            end = len(data)
+        if not 0 <= start <= end <= len(data):
+            raise ValueError(f"invalid window [{start}:{end}] for {len(data)} bytes")
+        self._data = data
+        self._pos = start
+        self._end = end
+
+    @property
+    def pos(self) -> int:
+        """Absolute offset of the cursor within the original buffer."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bytes left in the window."""
+        return self._end - self._pos
+
+    def at_end(self) -> bool:
+        return self._pos >= self._end
+
+    def _require(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("negative read length")
+        if self._pos + n > self._end:
+            raise TruncatedError(
+                f"need {n} bytes at offset {self._pos}, only {self.remaining} left"
+            )
+
+    def read(self, n: int) -> bytes:
+        self._require(n)
+        out = self._data[self._pos:self._pos + n]
+        self._pos += n
+        return out
+
+    def peek(self, n: int) -> bytes:
+        self._require(n)
+        return self._data[self._pos:self._pos + n]
+
+    def skip(self, n: int) -> None:
+        self._require(n)
+        self._pos += n
+
+    def u8(self) -> int:
+        self._require(1)
+        value = self._data[self._pos]
+        self._pos += 1
+        return value
+
+    def u16(self) -> int:
+        self._require(2)
+        value = struct.unpack_from("!H", self._data, self._pos)[0]
+        self._pos += 2
+        return value
+
+    def u24(self) -> int:
+        self._require(3)
+        hi, lo = struct.unpack_from("!BH", self._data, self._pos)
+        self._pos += 3
+        return (hi << 16) | lo
+
+    def u32(self) -> int:
+        self._require(4)
+        value = struct.unpack_from("!I", self._data, self._pos)[0]
+        self._pos += 4
+        return value
+
+    def u64(self) -> int:
+        self._require(8)
+        value = struct.unpack_from("!Q", self._data, self._pos)[0]
+        self._pos += 8
+        return value
+
+    def rest(self) -> bytes:
+        """Consume and return every remaining byte in the window."""
+        out = self._data[self._pos:self._end]
+        self._pos = self._end
+        return out
+
+    def subreader(self, n: int) -> "ByteReader":
+        """Return a reader over the next *n* bytes and advance past them."""
+        self._require(n)
+        sub = ByteReader(self._data, self._pos, self._pos + n)
+        self._pos += n
+        return sub
+
+
+class ByteWriter:
+    """An append-only builder that mirrors :class:`ByteReader`."""
+
+    __slots__ = ("_chunks", "_length")
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def write(self, data: bytes) -> "ByteWriter":
+        self._chunks.append(bytes(data))
+        self._length += len(data)
+        return self
+
+    def u8(self, value: int) -> "ByteWriter":
+        return self.write(struct.pack("!B", value & 0xFF))
+
+    def u16(self, value: int) -> "ByteWriter":
+        return self.write(struct.pack("!H", value & 0xFFFF))
+
+    def u24(self, value: int) -> "ByteWriter":
+        value &= 0xFFFFFF
+        return self.write(struct.pack("!BH", value >> 16, value & 0xFFFF))
+
+    def u32(self, value: int) -> "ByteWriter":
+        return self.write(struct.pack("!I", value & 0xFFFFFFFF))
+
+    def u64(self, value: int) -> "ByteWriter":
+        return self.write(struct.pack("!Q", value & 0xFFFFFFFFFFFFFFFF))
+
+    def pad_to_multiple(self, multiple: int, fill: int = 0) -> "ByteWriter":
+        """Append *fill* bytes until the length is a multiple of *multiple*."""
+        remainder = self._length % multiple
+        if remainder:
+            self.write(bytes([fill]) * (multiple - remainder))
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)

@@ -1,0 +1,26 @@
+"""Hexdump formatting used by debugging helpers and example scripts."""
+
+from __future__ import annotations
+
+
+def hexdump(data: bytes, width: int = 16, offset: int = 0) -> str:
+    """Render *data* in the classic offset / hex / ASCII three-column layout.
+
+    >>> print(hexdump(b"STUN!"))
+    00000000  53 54 55 4e 21                                    |STUN!|
+    """
+    lines = []
+    for start in range(0, len(data), width):
+        chunk = data[start:start + width]
+        hex_part = " ".join(f"{b:02x}" for b in chunk)
+        # Two spaces between the 8-byte halves, matching xxd/hexdump -C.
+        if len(chunk) > 8:
+            hex_part = (
+                " ".join(f"{b:02x}" for b in chunk[:8])
+                + "  "
+                + " ".join(f"{b:02x}" for b in chunk[8:])
+            )
+        ascii_part = "".join(chr(b) if 0x20 <= b < 0x7F else "." for b in chunk)
+        pad = width * 3 + 1
+        lines.append(f"{offset + start:08x}  {hex_part:<{pad}} |{ascii_part}|")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Shared fixtures.
+
+Simulated traces and pipeline outputs are expensive, so anything reused
+across test modules is session-scoped and keyed by (app, network).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import CallConfig, NetworkCondition, get_simulator
+from repro.core import ComplianceChecker
+from repro.dpi import DpiEngine
+from repro.filtering import TwoStageFilter
+
+TEST_DURATION = 15.0
+TEST_SCALE = 0.3
+
+
+@pytest.fixture(scope="session")
+def trace_cache():
+    cache = {}
+
+    def get(app: str, network: NetworkCondition, seed: int = 1, **overrides):
+        key = (app, network, seed, tuple(sorted(overrides.items())))
+        if key not in cache:
+            config = CallConfig(
+                network=network,
+                seed=seed,
+                call_duration=overrides.pop("call_duration", TEST_DURATION),
+                media_scale=overrides.pop("media_scale", TEST_SCALE),
+                **overrides,
+            )
+            cache[key] = get_simulator(app).simulate(config)
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def pipeline_cache(trace_cache):
+    """(app, network) -> (trace, filter_result, dpi_result, verdicts)."""
+    cache = {}
+
+    def get(app: str, network: NetworkCondition, seed: int = 1):
+        key = (app, network, seed)
+        if key not in cache:
+            trace = trace_cache(app, network, seed)
+            filter_result = TwoStageFilter(trace.window).apply(trace.records)
+            dpi = DpiEngine().analyze_records(filter_result.kept_records)
+            verdicts = ComplianceChecker().check(dpi.messages())
+            cache[key] = (trace, filter_result, dpi, verdicts)
+        return cache[key]
+
+    return get

@@ -1,0 +1,130 @@
+"""Unit and property tests for the ByteReader/ByteWriter primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bytesview import ByteReader, ByteWriter, TruncatedError
+
+
+class TestByteReader:
+    def test_read_sequential(self):
+        reader = ByteReader(b"abcdef")
+        assert reader.read(2) == b"ab"
+        assert reader.read(3) == b"cde"
+        assert reader.remaining == 1
+
+    def test_read_past_end_raises(self):
+        reader = ByteReader(b"ab")
+        with pytest.raises(TruncatedError):
+            reader.read(3)
+
+    def test_read_negative_raises(self):
+        with pytest.raises(ValueError):
+            ByteReader(b"ab").read(-1)
+
+    def test_peek_does_not_advance(self):
+        reader = ByteReader(b"abcd")
+        assert reader.peek(2) == b"ab"
+        assert reader.pos == 0
+        assert reader.read(2) == b"ab"
+
+    def test_skip(self):
+        reader = ByteReader(b"abcd")
+        reader.skip(3)
+        assert reader.read(1) == b"d"
+
+    def test_u8_u16_u24_u32_u64(self):
+        data = bytes([0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                      0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C,
+                      0x0D, 0x0E, 0x0F, 0x10, 0x11, 0x12])
+        reader = ByteReader(data)
+        assert reader.u8() == 0x01
+        assert reader.u16() == 0x0203
+        assert reader.u24() == 0x040506
+        assert reader.u32() == 0x0708090A
+        assert reader.u64() == 0x0B0C0D0E0F101112
+
+    def test_rest(self):
+        reader = ByteReader(b"abcdef")
+        reader.skip(4)
+        assert reader.rest() == b"ef"
+        assert reader.at_end()
+
+    def test_subreader_window(self):
+        reader = ByteReader(b"abcdef")
+        sub = reader.subreader(3)
+        assert sub.rest() == b"abc"
+        assert reader.read(3) == b"def"
+
+    def test_subreader_bounds(self):
+        reader = ByteReader(b"ab")
+        with pytest.raises(TruncatedError):
+            reader.subreader(5)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            ByteReader(b"abc", start=2, end=1)
+
+    def test_truncated_error_is_value_error(self):
+        assert issubclass(TruncatedError, ValueError)
+
+
+class TestByteWriter:
+    def test_lengths_tracked(self):
+        writer = ByteWriter()
+        writer.u8(1).u16(2).u32(3)
+        assert len(writer) == 7
+        assert len(writer.getvalue()) == 7
+
+    def test_pad_to_multiple(self):
+        writer = ByteWriter()
+        writer.write(b"abc")
+        writer.pad_to_multiple(4)
+        assert writer.getvalue() == b"abc\x00"
+
+    def test_pad_already_aligned(self):
+        writer = ByteWriter()
+        writer.write(b"abcd")
+        writer.pad_to_multiple(4)
+        assert writer.getvalue() == b"abcd"
+
+    def test_pad_custom_fill(self):
+        writer = ByteWriter()
+        writer.u8(0xFF)
+        writer.pad_to_multiple(4, fill=0xAA)
+        assert writer.getvalue() == b"\xff\xaa\xaa\xaa"
+
+    def test_values_masked(self):
+        writer = ByteWriter()
+        writer.u8(0x1FF)
+        assert writer.getvalue() == b"\xff"
+
+
+class TestRoundTrips:
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_u16_round_trip(self, value):
+        raw = ByteWriter().u16(value).getvalue()
+        assert ByteReader(raw).u16() == value
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFF))
+    def test_u24_round_trip(self, value):
+        raw = ByteWriter().u24(value).getvalue()
+        assert ByteReader(raw).u24() == value
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_u32_round_trip(self, value):
+        raw = ByteWriter().u32(value).getvalue()
+        assert ByteReader(raw).u32() == value
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_u64_round_trip(self, value):
+        raw = ByteWriter().u64(value).getvalue()
+        assert ByteReader(raw).u64() == value
+
+    @given(st.lists(st.binary(max_size=20), max_size=10))
+    def test_write_concatenates(self, chunks):
+        writer = ByteWriter()
+        for chunk in chunks:
+            writer.write(chunk)
+        assert writer.getvalue() == b"".join(chunks)

@@ -1,0 +1,121 @@
+"""Tests for the case-study detectors (§5.2, §5.3)."""
+
+import pytest
+
+from repro.apps import NetworkCondition
+from repro.experiments.case_studies import (
+    detect_call_end_0800,
+    detect_direction_byte,
+    detect_dual_rtp,
+    detect_extension_abuse,
+    detect_facetime_beacons,
+    detect_facetime_headers,
+    detect_meta_burst,
+    detect_srtcp_tags,
+    detect_ssrc_zero,
+    detect_zoom_filler,
+    observed_rtp_ssrcs,
+)
+
+
+class TestZoomCaseStudies:
+    def test_filler_detected(self, pipeline_cache):
+        _trace, _f, dpi, _v = pipeline_cache("zoom", NetworkCondition.WIFI_RELAY)
+        report = detect_zoom_filler(dpi.analyses)
+        assert report.filler_count > 0
+        assert 0.3 < report.filler_share <= 1.0
+        assert report.shares_media_stream
+        assert report.peak_rate_pps > 10
+
+    def test_dual_rtp_detected(self, pipeline_cache):
+        _trace, _f, dpi, _v = pipeline_cache("zoom", NetworkCondition.WIFI_RELAY)
+        report = detect_dual_rtp(dpi.analyses)
+        if report.dual_datagrams:  # probabilistic at small scale
+            assert report.all_first_short
+            assert report.all_same_ssrc_timestamp
+            assert report.rate < 0.02
+
+    def test_ssrcs_fixed_across_calls(self, pipeline_cache):
+        _t, _f, dpi_a, _v = pipeline_cache("zoom", NetworkCondition.WIFI_RELAY, seed=1)
+        ssrcs_a = observed_rtp_ssrcs(dpi_a.messages())
+        from repro.apps.zoom import INBOUND_SSRCS, OUTBOUND_SSRCS
+        expected = set(OUTBOUND_SSRCS[NetworkCondition.WIFI_RELAY]) | set(INBOUND_SSRCS)
+        assert ssrcs_a <= expected
+
+
+class TestDiscordCaseStudies:
+    def test_ssrc_zero_rate(self, pipeline_cache):
+        _t, _f, dpi, _v = pipeline_cache("discord", NetworkCondition.WIFI_RELAY)
+        report = detect_ssrc_zero(dpi.messages())
+        assert report.total_205 > 0
+        assert 0.05 < report.rate < 0.6  # target ~25%
+
+    def test_direction_byte(self, pipeline_cache):
+        _t, _f, dpi, _v = pipeline_cache("discord", NetworkCondition.WIFI_RELAY)
+        report = detect_direction_byte(dpi.messages())
+        assert report.perfectly_correlated
+
+    def test_extension_abuse(self, pipeline_cache):
+        _t, _f, dpi, _v = pipeline_cache("discord", NetworkCondition.WIFI_RELAY)
+        report = detect_extension_abuse(dpi.messages())
+        assert 0.01 < report.id_zero_rate < 0.15          # target 4.91%
+        assert 0.005 < report.undefined_profile_rate < 0.1  # target 2.58%
+        assert report.undefined_profile_payload_types == {120}
+
+
+class TestFaceTimeCaseStudies:
+    def test_beacons_cellular_only(self, pipeline_cache):
+        _t, _f, dpi_cell, _v = pipeline_cache("facetime", NetworkCondition.CELLULAR)
+        cellular = detect_facetime_beacons(dpi_cell.analyses)
+        assert cellular.beacon_count > 0
+        assert cellular.all_36_bytes
+        assert cellular.counters_monotonic
+        assert abs(cellular.median_interval - 0.05) < 0.01
+
+        _t, _f, dpi_wifi, _v = pipeline_cache("facetime", NetworkCondition.WIFI_P2P)
+        wifi = detect_facetime_beacons(dpi_wifi.analyses)
+        assert wifi.beacon_count == 0
+
+    def test_relay_headers(self, pipeline_cache):
+        _t, _f, dpi, _v = pipeline_cache("facetime", NetworkCondition.WIFI_RELAY)
+        report = detect_facetime_headers(dpi.analyses)
+        assert report.share > 0.7           # target 89.2%
+        assert report.all_start_0x6000
+        assert 8 <= report.length_range[0] and report.length_range[1] <= 19
+
+    def test_p2p_headers_rare(self, pipeline_cache):
+        _t, _f, dpi, _v = pipeline_cache("facetime", NetworkCondition.WIFI_P2P)
+        report = detect_facetime_headers(dpi.analyses)
+        assert report.headered < 50
+
+
+class TestMetaCaseStudies:
+    @pytest.mark.parametrize("app,count", [("whatsapp", 4), ("messenger", 6)])
+    def test_call_end_0800(self, app, count, pipeline_cache):
+        trace, _f, dpi, _v = pipeline_cache(app, NetworkCondition.WIFI_RELAY)
+        report = detect_call_end_0800(dpi.messages(), trace.window.call_end)
+        assert report.count == count
+        assert report.near_call_end
+        assert report.carry_relayed_address
+
+    @pytest.mark.parametrize("app", ["whatsapp", "messenger"])
+    def test_burst(self, app, pipeline_cache):
+        _t, _f, dpi, _v = pipeline_cache(app, NetworkCondition.WIFI_RELAY)
+        report = detect_meta_burst(dpi.messages())
+        assert report.pairs == 16
+        assert report.burst_span < 0.01
+        assert report.request_sizes == frozenset({500})
+        assert report.response_sizes == frozenset({40})
+        assert report.txids_paired
+
+
+class TestMeetCaseStudies:
+    def test_srtcp_tags_by_network(self, pipeline_cache):
+        _t, _f, dpi, _v = pipeline_cache("meet", NetworkCondition.WIFI_RELAY)
+        relay = detect_srtcp_tags(dpi.messages())
+        assert relay.tagless_share > 0.7
+
+        _t, _f, dpi, _v = pipeline_cache("meet", NetworkCondition.CELLULAR)
+        cellular = detect_srtcp_tags(dpi.messages())
+        assert cellular.tagless_share == 0.0
+        assert cellular.tagged > 0

@@ -1,0 +1,58 @@
+"""Tests for the application-fingerprinting classifier."""
+
+import pytest
+
+from repro.analysis.classifier import classify_application
+from repro.apps import APP_NAMES, NetworkCondition
+
+
+class TestClassifier:
+    @pytest.mark.parametrize("app", APP_NAMES)
+    @pytest.mark.parametrize("network", list(NetworkCondition))
+    def test_identifies_every_matrix_cell(self, app, network, pipeline_cache):
+        _trace, _filter, dpi, _verdicts = pipeline_cache(app, network)
+        scores = classify_application(dpi.analyses)
+        assert scores.best == app, (
+            f"{app}/{network.value} classified as {scores.best}: {scores.scores}"
+        )
+
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_confident_on_relay_traffic(self, app, pipeline_cache):
+        _trace, _filter, dpi, _verdicts = pipeline_cache(
+            app, NetworkCondition.WIFI_RELAY
+        )
+        scores = classify_application(dpi.analyses)
+        assert scores.confident, scores.scores
+
+    def test_evidence_recorded(self, pipeline_cache):
+        _trace, _filter, dpi, _verdicts = pipeline_cache(
+            "zoom", NetworkCondition.WIFI_RELAY
+        )
+        scores = classify_application(dpi.analyses)
+        assert scores.evidence["zoom"]
+        assert any("header" in reason for reason in scores.evidence["zoom"])
+
+    def test_empty_trace_is_unclassified(self):
+        scores = classify_application([])
+        assert scores.best is None
+        assert not scores.confident
+
+    def test_generic_standard_traffic_unclassified(self):
+        """Fully standards-compliant traffic carries no fingerprint."""
+        from repro.dpi import DpiEngine
+        from repro.packets.packet import PacketRecord
+        from repro.protocols.rtp.header import RtpPacket
+
+        records = [
+            PacketRecord(
+                timestamp=float(i), src_ip="1.1.1.1", src_port=1,
+                dst_ip="2.2.2.2", dst_port=2, transport="UDP",
+                payload=RtpPacket(payload_type=96, sequence_number=i,
+                                  timestamp=i * 160, ssrc=0x42,
+                                  payload=bytes(60)).build(),
+            )
+            for i in range(30)
+        ]
+        result = DpiEngine().analyze_records(records)
+        scores = classify_application(result.analyses)
+        assert not scores.confident

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_args(self):
+        args = build_parser().parse_args(
+            ["run", "--app", "zoom", "--network", "cellular"]
+        )
+        assert args.app == "zoom"
+        assert args.network.value == "cellular"
+
+    def test_bad_network_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "zoom", "--network", "5g"])
+
+    def test_bad_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "skype"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        code = main(["run", "--app", "discord", "--network", "wifi_relay",
+                     "--duration", "6", "--scale", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Volume compliance" in out
+        assert "discord" in out
+
+    def test_synthesize_then_pcap(self, tmp_path, capsys):
+        pcap = tmp_path / "call.pcap"
+        assert main(["synthesize", "--app", "whatsapp", "--network", "wifi_p2p",
+                     "--duration", "6", "--scale", "0.2", "--out", str(pcap)]) == 0
+        assert pcap.stat().st_size > 1000
+        capsys.readouterr()
+        assert main(["pcap", str(pcap)]) == 0
+        out = capsys.readouterr().out
+        assert "Datagram classes" in out
+
+    def test_pcap_empty_file(self, tmp_path, capsys):
+        from repro.packets.pcap import write_pcap
+        empty = tmp_path / "empty.pcap"
+        write_pcap(empty, [])
+        assert main(["pcap", str(empty)]) == 1

@@ -1,0 +1,51 @@
+"""Tests for the report/dataset/interop CLI subcommands."""
+
+import json
+
+from repro.cli import main
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "--app", "discord", "--duration", "6",
+                     "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "# Experiment report — discord" in out
+        assert "Traffic filtering" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--app", "whatsapp", "--duration", "6",
+                     "--scale", "0.2", "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "# Experiment report — whatsapp" in text
+        assert "wrote report" in capsys.readouterr().out
+
+
+class TestDatasetCommand:
+    def test_dataset_build(self, tmp_path, capsys):
+        root = tmp_path / "ds"
+        assert main(["dataset", "--root", str(root), "--apps", "discord",
+                     "--duration", "5", "--scale", "0.2"]) == 0
+        manifest = json.loads((root / "manifest.json").read_text())
+        assert len(manifest["entries"]) == 3  # one per network condition
+        for entry in manifest["entries"]:
+            assert (root / entry["pcap"]).exists()
+
+    def test_dataset_reanalyzable(self, tmp_path):
+        from repro.core import ComplianceChecker
+        from repro.dpi import DpiEngine
+        from repro.experiments.dataset import load_dataset
+        from repro.filtering import TwoStageFilter
+
+        root = tmp_path / "ds"
+        main(["dataset", "--root", str(root), "--apps", "zoom",
+              "--duration", "5", "--scale", "0.2"])
+        dataset = load_dataset(root)
+        entry = dataset.entry("zoom", "wifi_relay")
+        records = dataset.load_records(entry)
+        kept = TwoStageFilter(entry.window).apply(records).kept_records
+        verdicts = ComplianceChecker().check(
+            DpiEngine().analyze_records(kept).messages()
+        )
+        assert verdicts

@@ -1,0 +1,124 @@
+"""Tests for the codec traffic models."""
+
+import pytest
+
+from repro.apps.codec import (
+    MediaPacket,
+    OpusTalkspurtModel,
+    VideoGopModel,
+    schedule_to_rtp,
+)
+from repro.utils.rand import DeterministicRandom
+
+
+class TestOpusModel:
+    def _schedule(self, seed=1, duration=30.0):
+        return OpusTalkspurtModel(DeterministicRandom(seed)).schedule(duration)
+
+    def test_deterministic(self):
+        assert self._schedule(seed=5) == self._schedule(seed=5)
+
+    def test_offsets_monotonic_and_bounded(self):
+        schedule = self._schedule()
+        offsets = [p.offset for p in schedule]
+        assert offsets == sorted(offsets)
+        assert offsets[0] >= 0.0
+        assert offsets[-1] < 30.0
+
+    def test_contains_talk_and_dtx(self):
+        schedule = self._schedule()
+        dtx = [p for p in schedule if p.size == 8]
+        talk = [p for p in schedule if p.size >= 60]
+        assert dtx and talk
+
+    def test_markers_start_talkspurts(self):
+        schedule = self._schedule()
+        markers = [p for p in schedule if p.marker]
+        assert markers
+        # A marker frame is always a voice frame, never DTX.
+        assert all(p.size >= 60 for p in markers)
+
+    def test_rate_below_continuous_voice(self):
+        schedule = self._schedule(duration=60.0)
+        # Continuous 20 ms voice would be 3000 packets; DTX must save a lot.
+        assert 800 < len(schedule) < 2800
+
+
+class TestVideoGopModel:
+    def _schedule(self, seed=1, duration=10.0, **kwargs):
+        return VideoGopModel(DeterministicRandom(seed), **kwargs).schedule(duration)
+
+    def test_deterministic(self):
+        assert self._schedule(seed=3) == self._schedule(seed=3)
+
+    def test_keyframes_fragment_into_bursts(self):
+        schedule = self._schedule()
+        by_offset = {}
+        for packet in schedule:
+            by_offset.setdefault(packet.offset, []).append(packet)
+        fragments = sorted(len(v) for v in by_offset.values())
+        assert fragments[-1] > fragments[0]  # keyframes span more packets
+
+    def test_marker_ends_each_frame(self):
+        schedule = self._schedule()
+        by_offset = {}
+        for packet in schedule:
+            by_offset.setdefault(packet.offset, []).append(packet)
+        for frame in by_offset.values():
+            assert frame[-1].marker
+            assert all(not p.marker for p in frame[:-1])
+
+    def test_bitrate_near_target(self):
+        target = 800_000
+        schedule = self._schedule(duration=20.0, target_bps=target)
+        total_bits = 8 * sum(p.size for p in schedule)
+        measured = total_bits / 20.0
+        assert 0.5 * target < measured < 1.6 * target
+
+    def test_mtu_respected(self):
+        schedule = self._schedule(mtu_payload=900)
+        assert max(p.size for p in schedule) <= 900
+
+
+class TestScheduleToRtp:
+    def test_valid_rtp_with_shared_frame_timestamps(self):
+        from repro.protocols.rtp.header import RtpPacket
+        rng = DeterministicRandom(2)
+        schedule = VideoGopModel(rng).schedule(2.0)
+        wire = schedule_to_rtp(schedule, ssrc=0x77, payload_type=96,
+                               clock_rate=90000, rng=rng)
+        assert len(wire) == len(schedule)
+        parsed = [RtpPacket.parse(raw) for _t, raw in wire]
+        # Sequence numbers are consecutive mod 2^16.
+        for a, b in zip(parsed, parsed[1:]):
+            assert (b.sequence_number - a.sequence_number) & 0xFFFF == 1
+        # Packets of one frame share the RTP timestamp.
+        by_offset = {}
+        for (t, _), packet in zip(wire, parsed):
+            by_offset.setdefault(t, set()).add(packet.timestamp)
+        assert all(len(ts) == 1 for ts in by_offset.values())
+
+    def test_pipeline_accepts_codec_traffic(self):
+        """Model output survives DPI + compliance + quality analytics."""
+        from repro.analysis import analyze_rtp_quality
+        from repro.core import ComplianceChecker
+        from repro.dpi import DpiEngine
+        from repro.packets.packet import PacketRecord
+
+        rng = DeterministicRandom(9)
+        schedule = OpusTalkspurtModel(rng).schedule(10.0)
+        wire = schedule_to_rtp(schedule, ssrc=0xAA, payload_type=111,
+                               clock_rate=48000, rng=rng)
+        records = [
+            PacketRecord(timestamp=t, src_ip="10.0.0.1", src_port=5002,
+                         dst_ip="20.0.0.2", dst_port=5004, transport="UDP",
+                         payload=raw)
+            for t, raw in wire
+        ]
+        result = DpiEngine().analyze_records(records)
+        assert len(result.messages()) == len(records)
+        verdicts = ComplianceChecker().check(result.messages())
+        assert all(v.compliant for v in verdicts)
+        quality = list(analyze_rtp_quality(result.messages(),
+                                           clock_rate=48000).values())[0]
+        assert quality.lost == 0

@@ -1,0 +1,134 @@
+"""Tests for the dataset builder and markdown report generator."""
+
+import pytest
+
+from repro.apps import CallConfig, NetworkCondition, get_simulator
+from repro.core import ComplianceChecker, ComplianceSummary
+from repro.dpi import DpiEngine
+from repro.experiments import ExperimentConfig, run_experiment, run_matrix
+from repro.experiments.dataset import (
+    build_dataset,
+    load_dataset,
+    save_manifest,
+    save_trace,
+)
+from repro.experiments.report import (
+    aggregate_report,
+    criteria_report,
+    matrix_report,
+    summary_report,
+    violation_inventory,
+)
+from repro.filtering import TwoStageFilter
+
+
+@pytest.fixture(scope="module")
+def small_dataset(tmp_path_factory):
+    root = tmp_path_factory.mktemp("dataset")
+    return build_dataset(
+        root,
+        apps=("discord",),
+        networks=(NetworkCondition.WIFI_RELAY,),
+        call_duration=8.0,
+        media_scale=0.25,
+    )
+
+
+class TestDataset:
+    def test_build_creates_pcaps_and_manifest(self, small_dataset):
+        assert (small_dataset.root / "manifest.json").exists()
+        entry = small_dataset.entry("discord", "wifi_relay")
+        assert (small_dataset.root / entry.pcap).exists()
+        assert entry.packet_count > 100
+
+    def test_reload_round_trip(self, small_dataset):
+        reloaded = load_dataset(small_dataset.root)
+        entry = reloaded.entry("discord", "wifi_relay")
+        original = small_dataset.entry("discord", "wifi_relay")
+        assert entry.packet_count == original.packet_count
+        assert entry.window.call_start == original.window.call_start
+
+    def test_labels_survive(self, small_dataset):
+        reloaded = load_dataset(small_dataset.root)
+        entry = reloaded.entry("discord", "wifi_relay")
+        records = reloaded.load_records(entry)
+        labelled = [r for r in records if r.truth is not None]
+        assert len(labelled) > len(records) * 0.8
+        assert any(r.truth.detail == "rtcp" for r in labelled)
+
+    def test_analysis_from_disk_matches_in_memory(self, small_dataset):
+        """The public-dataset consumer path: pcap -> filter -> DPI -> verdicts."""
+        reloaded = load_dataset(small_dataset.root)
+        entry = reloaded.entry("discord", "wifi_relay")
+        records = reloaded.load_records(entry)
+        kept = TwoStageFilter(entry.window).apply(records).kept_records
+        verdicts = ComplianceChecker().check(DpiEngine().analyze_records(kept).messages())
+        summary = ComplianceSummary.from_verdicts("discord", verdicts)
+        assert summary.type_ratio() == (0, 9)  # Discord's signature row
+
+    def test_missing_entry_raises(self, small_dataset):
+        with pytest.raises(KeyError):
+            small_dataset.entry("zoom", "wifi_relay")
+
+    def test_save_trace_standalone(self, tmp_path):
+        trace = get_simulator("whatsapp").simulate(
+            CallConfig(network=NetworkCondition.WIFI_P2P, seed=5,
+                       call_duration=5.0, media_scale=0.2)
+        )
+        entry = save_trace(tmp_path, trace)
+        assert entry.packet_count == len(trace.records)
+
+    def test_corrupt_label_count_detected(self, small_dataset, tmp_path):
+        import dataclasses
+        reloaded = load_dataset(small_dataset.root)
+        entry = reloaded.entry("discord", "wifi_relay")
+        broken = dataclasses.replace(entry, labels=entry.labels[:5])
+        with pytest.raises(ValueError):
+            reloaded.load_records(broken)
+
+
+@pytest.fixture(scope="module")
+def aggregate():
+    return run_experiment(
+        "discord", NetworkCondition.WIFI_RELAY,
+        ExperimentConfig(call_duration=8.0, media_scale=0.25),
+    )
+
+
+class TestReport:
+    def test_summary_report_structure(self, aggregate):
+        text = summary_report(aggregate.summary)
+        assert "# Compliance report — discord" in text
+        assert "Volume compliance" in text
+        assert "**non-compliant**" in text
+        assert "| rtcp | 200 |" in text
+
+    def test_aggregate_report_sections(self, aggregate):
+        text = aggregate_report(aggregate)
+        assert "## Traffic filtering" in text
+        assert "## Datagram classes" in text
+        assert "stage-1 removed" in text
+
+    def test_matrix_report(self):
+        matrix = run_matrix(
+            apps=("discord",),
+            networks=(NetworkCondition.WIFI_RELAY,),
+            config=ExperimentConfig(call_duration=6.0, media_scale=0.2),
+        )
+        text = matrix_report(matrix)
+        assert "matrix report" in text
+        assert "| discord |" in text
+
+    def test_criteria_report(self, aggregate):
+        verdicts = []  # build from a fresh run to get verdict objects
+        trace = get_simulator("discord").simulate(
+            CallConfig(network=NetworkCondition.WIFI_RELAY, seed=0,
+                       call_duration=6.0, media_scale=0.2)
+        )
+        kept = TwoStageFilter(trace.window).apply(trace.records).kept_records
+        verdicts = ComplianceChecker().check(DpiEngine().analyze_records(kept).messages())
+        inventory = violation_inventory(verdicts)
+        assert any(inventory.values())
+        text = criteria_report(verdicts)
+        assert "Criterion 5" in text
+        assert "undefined-trailing-bytes" in text

@@ -1,0 +1,96 @@
+"""Tests for the text dissector and the dissect CLI command."""
+
+import pytest
+
+from repro.analysis.dissect import dissect_datagram, dissect_records
+from repro.cli import main
+from repro.dpi import DpiEngine
+from repro.packets.packet import PacketRecord
+from repro.protocols.rtp.extensions import build_one_byte_extension
+from repro.protocols.rtp.header import RtpPacket
+from repro.protocols.stun.attributes import StunAttribute
+from repro.protocols.stun.message import StunMessage
+
+
+def analyzed(payload):
+    record = PacketRecord(timestamp=1.5, src_ip="10.0.0.1", src_port=5000,
+                          dst_ip="20.0.0.2", dst_port=3478, transport="UDP",
+                          payload=payload)
+    result = DpiEngine().analyze_records([record])
+    return result.analyses[0]
+
+
+class TestDissect:
+    def test_stun_fields_shown(self):
+        message = StunMessage(
+            msg_type=0x0001, transaction_id=bytes(range(12)),
+            attributes=[StunAttribute(0x8022, b"agent"),
+                        StunAttribute(0x4003, b"\xff")],
+        )
+        text = dissect_datagram(analyzed(message.build()))
+        assert "0x0001 (Binding Request)" in text
+        assert "SOFTWARE" in text
+        assert "0x4003 (UNDEFINED)" in text
+        assert "000102030405060708090a0b" in text
+
+    def test_proprietary_header_hexdumped(self):
+        rtp_records = [
+            PacketRecord(
+                timestamp=float(i), src_ip="1.1.1.1", src_port=1,
+                dst_ip="2.2.2.2", dst_port=2, transport="UDP",
+                payload=b"\xAB" * 16 + RtpPacket(
+                    payload_type=96, sequence_number=i, timestamp=i * 160,
+                    ssrc=0x42, payload=bytes(30)).build(),
+            )
+            for i in range(5)
+        ]
+        result = DpiEngine().analyze_records(rtp_records)
+        text = dissect_datagram(result.analyses[0])
+        assert "Proprietary header (16 bytes)" in text
+        assert "ab ab ab" in text
+        assert "offset 16" in text
+
+    def test_rtp_extension_elements_shown(self):
+        rtp_records = [
+            PacketRecord(
+                timestamp=float(i), src_ip="1.1.1.1", src_port=1,
+                dst_ip="2.2.2.2", dst_port=2, transport="UDP",
+                payload=RtpPacket(
+                    payload_type=96, sequence_number=i, timestamp=0,
+                    ssrc=0x42, payload=b"x",
+                    extension=build_one_byte_extension([(3, b"\x41\x42")]),
+                ).build(),
+            )
+            for i in range(5)
+        ]
+        result = DpiEngine().analyze_records(rtp_records)
+        text = dissect_datagram(result.analyses[0])
+        assert "profile=0xBEDE" in text
+        assert "element id=3" in text
+
+    def test_unrecognized_payload(self):
+        text = dissect_datagram(analyzed(b"\xde\xad\xbe\xef" * 10))
+        assert "No recognizable protocol message" in text
+        assert "fully_proprietary" in text
+
+    def test_dissect_records_with_verdicts(self):
+        message = StunMessage(msg_type=0x0801, transaction_id=bytes(12))
+        record = PacketRecord(timestamp=1.0, src_ip="1.1.1.1", src_port=1,
+                              dst_ip="2.2.2.2", dst_port=2, transport="UDP",
+                              payload=message.build())
+        text = dissect_records([record])
+        assert "NON-COMPLIANT" in text
+        assert "undefined-message-type" in text
+
+    def test_cli_dissect(self, tmp_path, capsys):
+        from repro.packets.pcap import write_pcap
+        message = StunMessage(msg_type=0x0001, transaction_id=bytes(12))
+        record = PacketRecord(timestamp=1.0, src_ip="1.1.1.1", src_port=1,
+                              dst_ip="2.2.2.2", dst_port=2, transport="UDP",
+                              payload=message.build())
+        path = tmp_path / "one.pcap"
+        write_pcap(path, [record])
+        assert main(["dissect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Binding Request" in out
+        assert "COMPLIANT" in out

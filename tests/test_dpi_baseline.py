@@ -1,0 +1,101 @@
+"""Tests for the conventional-DPI baseline and the engine comparison."""
+
+import pytest
+
+from repro.apps import CallConfig, NetworkCondition, get_simulator
+from repro.dpi import DpiEngine, Protocol
+from repro.dpi.baseline import BaselineDpi, PEAFOWL_PAYLOAD_TYPES, compare_engines
+from repro.filtering import TwoStageFilter
+from repro.packets.packet import PacketRecord
+from repro.protocols.rtp.header import RtpPacket
+from repro.protocols.stun.attributes import StunAttribute
+from repro.protocols.stun.message import StunMessage
+
+
+def udp(payload, t=1.0):
+    return PacketRecord(timestamp=t, src_ip="10.0.0.1", src_port=1,
+                        dst_ip="20.0.0.2", dst_port=2, transport="UDP",
+                        payload=payload)
+
+
+class TestBaselineLimitations:
+    """Each test is one of the paper's stated conventional-DPI failures."""
+
+    def test_misses_messages_behind_proprietary_headers(self):
+        rtp = RtpPacket(payload_type=0, sequence_number=1, timestamp=2,
+                        ssrc=3, payload=bytes(40)).build()
+        wrapped = udp(b"\x04\x64" + bytes(22) + rtp)
+        assert not BaselineDpi().analyze_records([wrapped]).messages()
+
+    def test_rejects_undefined_stun_types(self):
+        message = StunMessage(msg_type=0x0801, transaction_id=bytes(12),
+                              attributes=[StunAttribute(0x4003, b"\xff")])
+        assert not BaselineDpi().analyze_records([udp(message.build())]).messages()
+
+    def test_rejects_undefined_attributes(self):
+        message = StunMessage(msg_type=0x0001, transaction_id=bytes(12),
+                              attributes=[StunAttribute(0x8007, bytes(4))])
+        assert not BaselineDpi().analyze_records([udp(message.build())]).messages()
+
+    def test_rejects_classic_stun(self):
+        message = StunMessage(msg_type=0x0001, transaction_id=bytes(16),
+                              classic=True)
+        assert not BaselineDpi().analyze_records([udp(message.build())]).messages()
+
+    def test_restricts_rtp_payload_types(self):
+        dynamic = RtpPacket(payload_type=111, sequence_number=1, timestamp=2,
+                            ssrc=3, payload=bytes(40)).build()
+        static = RtpPacket(payload_type=0, sequence_number=1, timestamp=2,
+                           ssrc=3, payload=bytes(40)).build()
+        baseline = BaselineDpi()
+        assert not baseline.analyze_records([udp(dynamic)]).messages()
+        found = baseline.analyze_records([udp(static)]).messages()
+        assert found and found[0].protocol is Protocol.RTP
+
+    def test_accepts_fully_standard_traffic(self):
+        message = StunMessage(msg_type=0x0001, transaction_id=bytes(12))
+        found = BaselineDpi().analyze_records([udp(message.build())]).messages()
+        assert found and found[0].message.msg_type == 0x0001
+
+    def test_accepts_plain_rtcp(self):
+        from repro.protocols.rtcp.packets import ReceiverReport
+        raw = ReceiverReport(ssrc=1).to_packet().build()
+        found = BaselineDpi().analyze_records([udp(raw)]).messages()
+        assert found and found[0].protocol is Protocol.RTCP
+
+    def test_rejects_rtcp_with_trailer(self):
+        from repro.protocols.rtcp.packets import ReceiverReport
+        raw = ReceiverReport(ssrc=1).to_packet().build() + b"\x00\x01\x80"
+        assert not BaselineDpi().analyze_records([udp(raw)]).messages()
+
+    def test_peafowl_set_is_static_assignments(self):
+        assert 0 in PEAFOWL_PAYLOAD_TYPES
+        assert 34 in PEAFOWL_PAYLOAD_TYPES
+        assert 96 not in PEAFOWL_PAYLOAD_TYPES
+
+
+class TestComparison:
+    @pytest.mark.parametrize("app,min_gain", [
+        ("zoom", 0.95),       # everything behind proprietary headers
+        ("facetime", 0.5),    # undefined PTs + relay headers
+        ("discord", 0.5),     # dynamic payload types invisible to Peafowl
+    ])
+    def test_custom_engine_dominates(self, app, min_gain):
+        trace = get_simulator(app).simulate(
+            CallConfig(network=NetworkCondition.WIFI_RELAY, seed=2,
+                       call_duration=8.0, media_scale=0.25)
+        )
+        kept = TwoStageFilter(trace.window).apply(trace.records).kept_records
+        comparison = compare_engines(kept)
+        assert comparison.custom_messages > comparison.baseline_messages
+        assert comparison.message_recall_gain >= min_gain
+
+    def test_gap_zero_for_fully_standard_traffic(self):
+        messages = [
+            StunMessage(msg_type=0x0001, transaction_id=bytes([i] * 12)).build()
+            for i in range(10)
+        ]
+        records = [udp(m, t=float(i)) for i, m in enumerate(messages)]
+        comparison = compare_engines(records)
+        assert comparison.custom_messages == comparison.baseline_messages == 10
+        assert comparison.message_recall_gain == 0.0

@@ -1,0 +1,162 @@
+"""Tests for stage-one candidate matchers."""
+
+from repro.dpi.candidates import (
+    quic_candidates,
+    rtcp_candidates,
+    rtp_candidates,
+    stun_candidates,
+)
+from repro.dpi.messages import Protocol
+from repro.protocols.rtcp.packets import ReceiverReport, SdesChunk, SdesItem, SdesPacket
+from repro.protocols.rtp.header import RtpPacket
+from repro.protocols.stun.attributes import StunAttribute
+from repro.protocols.stun.message import ChannelData, StunMessage
+
+
+def stun_bytes(msg_type=0x0001, attrs=(), classic=False, txid=None):
+    if txid is None:
+        txid = bytes(16 if classic else 12)
+    return StunMessage(msg_type=msg_type, transaction_id=txid,
+                       attributes=list(attrs), classic=classic).build()
+
+
+def rtp_bytes(**overrides):
+    defaults = dict(payload_type=96, sequence_number=10, timestamp=20,
+                    ssrc=0xABCD, payload=b"media-payload")
+    defaults.update(overrides)
+    return RtpPacket(**defaults).build()
+
+
+class TestStunCandidates:
+    def test_modern_at_offset_zero(self):
+        found = stun_candidates(stun_bytes(), max_offset=200)
+        assert any(c.offset == 0 and not c.classic_stun for c in found)
+
+    def test_modern_behind_proprietary_header(self):
+        payload = b"\xAA" * 24 + stun_bytes()
+        found = stun_candidates(payload, max_offset=200)
+        assert any(c.offset == 24 for c in found)
+
+    def test_offset_limit_respected(self):
+        payload = b"\xAA" * 50 + stun_bytes()
+        assert not stun_candidates(payload, max_offset=20)
+        assert stun_candidates(payload, max_offset=60)
+
+    def test_classic_only_at_offset_zero(self):
+        classic = stun_bytes(classic=True)
+        assert any(c.classic_stun for c in stun_candidates(classic, 200))
+        shifted = b"\xAA" * 8 + classic
+        assert not any(c.classic_stun for c in stun_candidates(shifted, 200))
+
+    def test_classic_requires_exact_fit(self):
+        classic = stun_bytes(classic=True) + b"\x00" * 4
+        assert not any(c.classic_stun for c in stun_candidates(classic, 200))
+
+    def test_channeldata_valid_range(self):
+        frame = ChannelData(channel=0x4ABC, data=b"x" * 10).build()
+        found = stun_candidates(frame, 200)
+        assert any(isinstance(c.message, ChannelData) for c in found)
+
+    def test_channeldata_0x6000_not_matched(self):
+        # FaceTime's proprietary 0x6000 prefix must NOT parse as ChannelData.
+        frame = b"\x60\x00\x00\x0ahelloworld"
+        assert not any(
+            isinstance(c.message, ChannelData) for c in stun_candidates(frame, 200)
+        )
+
+    def test_channeldata_padding_becomes_trailer(self):
+        frame = ChannelData(channel=0x4001, data=b"abc").build() + b"\x00\x00"
+        found = [c for c in stun_candidates(frame, 200)
+                 if isinstance(c.message, ChannelData)]
+        assert found and found[0].trailer == b"\x00\x00"
+
+    def test_channeldata_excessive_slack_rejected(self):
+        frame = ChannelData(channel=0x4001, data=b"abc").build() + b"\x00" * 8
+        assert not any(
+            isinstance(c.message, ChannelData) for c in stun_candidates(frame, 200)
+        )
+
+    def test_random_bytes_no_modern_match(self):
+        import random
+        rng = random.Random(1)
+        for _ in range(50):
+            payload = bytes(rng.getrandbits(8) for _ in range(120))
+            assert not any(
+                not c.classic_stun and not isinstance(c.message, ChannelData)
+                for c in stun_candidates(payload, 200)
+            )
+
+
+class TestRtpCandidates:
+    def test_at_offset_zero(self):
+        found = rtp_candidates(rtp_bytes(), 200)
+        assert found[0].offset == 0
+        assert found[0].rtp_ssrc == 0xABCD
+        assert found[0].rtp_seq == 10
+
+    def test_behind_header(self):
+        payload = b"\x00" * 19 + rtp_bytes()
+        found = rtp_candidates(payload, 200)
+        assert any(c.offset == 19 for c in found)
+
+    def test_offset_limit(self):
+        payload = b"\x00" * 30 + rtp_bytes()
+        assert not any(c.offset == 30 for c in rtp_candidates(payload, 10))
+
+    def test_lazy_parse(self):
+        found = rtp_candidates(rtp_bytes(), 200)
+        assert found[0].message is None  # parsed only on acceptance
+
+
+class TestRtcpCandidates:
+    def test_compound_split(self):
+        raw = (ReceiverReport(ssrc=1).to_packet().build()
+               + SdesPacket(chunks=[SdesChunk(1, [SdesItem(1, b"c")])]).to_packet().build())
+        found = rtcp_candidates(raw, 200)
+        types = sorted(c.message.packet_type for c in found if c.offset in (0, 8))
+        assert 201 in types and 202 in types
+
+    def test_anchor_propagates(self):
+        raw = (ReceiverReport(ssrc=1).to_packet().build()
+               + SdesPacket(chunks=[SdesChunk(1, [SdesItem(1, b"c")])]).to_packet().build())
+        found = rtcp_candidates(raw, 200)
+        zero_anchor = [c for c in found if c.anchor == 0]
+        assert len(zero_anchor) >= 2
+
+    def test_trailer_attached_to_last(self):
+        raw = ReceiverReport(ssrc=1).to_packet().build() + b"\x00\x07\x80"
+        found = [c for c in rtcp_candidates(raw, 200) if c.offset == 0]
+        assert found[0].trailer == b"\x00\x07\x80"
+
+    def test_excessive_leftover_rejected(self):
+        raw = ReceiverReport(ssrc=1).to_packet().build() + bytes(30)
+        assert not any(c.offset == 0 for c in rtcp_candidates(raw, 200))
+
+
+class TestQuicCandidates:
+    def _initial(self):
+        import struct
+        from repro.protocols.quic.varint import encode_varint
+        out = bytes([0xC1]) + struct.pack("!I", 1)
+        out += bytes([8]) + b"\x01" * 8 + bytes([8]) + b"\x02" * 8
+        out += encode_varint(0) + encode_varint(30) + bytes(30)
+        return out
+
+    def test_long_header_found(self):
+        found = quic_candidates(self._initial(), 200)
+        assert found and found[0].message.is_long
+
+    def test_coalesced_found(self):
+        raw = self._initial() + self._initial()
+        found = quic_candidates(raw, 200)
+        assert len([c for c in found if c.message.is_long]) == 2
+
+    def test_short_header_tentative_at_zero(self):
+        raw = bytes([0x41]) + b"\x01" * 8 + bytes(30)
+        found = quic_candidates(raw, 200)
+        assert any(not c.message.is_long for c in found)
+
+    def test_unknown_version_ignored(self):
+        raw = bytearray(self._initial())
+        raw[1:5] = (0xDEAD).to_bytes(4, "big")
+        assert not any(c.message.is_long for c in quic_candidates(bytes(raw), 200))

@@ -1,0 +1,137 @@
+"""End-to-end tests asserting the paper's headline findings hold in shape.
+
+These run the full pipeline per app (shared via the session cache) and check
+the qualitative claims of §5: which protocols/applications are compliant,
+the type-level table rows, and the orderings in Figures 4-5.
+"""
+
+import pytest
+
+from repro.apps import APP_NAMES, NetworkCondition
+from repro.core import ComplianceSummary
+from repro.core.metrics import merge_type_entries
+
+
+@pytest.fixture(scope="module")
+def summaries(pipeline_cache):
+    result = {}
+    for app in APP_NAMES:
+        merged = None
+        for network in NetworkCondition:
+            _trace, _filter, _dpi, verdicts = pipeline_cache(app, network)
+            summary = ComplianceSummary.from_verdicts(app, verdicts)
+            if merged is None:
+                merged = summary
+            else:
+                from repro.experiments.runner import merge_summaries
+                merged = merge_summaries(merged, summary)
+        result[app] = merged
+    return result
+
+
+class TestPaperFindings:
+    def test_no_app_fully_compliant(self, summaries):
+        """Finding 2: no application follows every specification."""
+        for app, summary in summaries.items():
+            compliant, total = summary.type_ratio()
+            assert compliant < total, app
+
+    def test_quic_fully_compliant(self, summaries):
+        """Q1: QUIC is 100% compliant (FaceTime only)."""
+        quic = summaries["facetime"].volume_by_protocol.get("quic")
+        assert quic is not None and quic.ratio == 1.0
+
+    def test_protocol_volume_ordering(self, summaries):
+        """Q1: RTP > RTCP > STUN by volume-compliance... with the caveat
+        that STUN's exact rank depends on Meet's weight; at minimum RTP must
+        beat RTCP and QUIC must beat everything."""
+        totals = {}
+        for summary in summaries.values():
+            for protocol, volume in summary.volume_by_protocol.items():
+                compliant, total = totals.get(protocol, (0, 0))
+                totals[protocol] = (compliant + volume.compliant, total + volume.total)
+        ratio = {p: c / t for p, (c, t) in totals.items() if t}
+        assert ratio["quic"] == 1.0
+        assert ratio["rtp"] > ratio["rtcp"]
+
+    def test_facetime_least_compliant_by_volume(self, summaries):
+        ratios = {app: s.volume.ratio for app, s in summaries.items()}
+        assert min(ratios, key=ratios.get) == "facetime"
+        assert ratios["facetime"] < 0.05
+
+    def test_zoom_whatsapp_high_volume_compliance(self, summaries):
+        assert summaries["zoom"].volume.ratio > 0.99
+        assert summaries["whatsapp"].volume.ratio > 0.95
+
+    def test_discord_all_types_non_compliant(self, summaries):
+        """Q2: every Discord message type violates something."""
+        compliant, total = summaries["discord"].type_ratio()
+        assert compliant == 0
+        assert total == 9
+
+    def test_whatsapp_table3_row(self, summaries):
+        summary = summaries["whatsapp"]
+        assert summary.type_ratio("stun_turn") == (1, 10)
+        assert summary.type_ratio("rtp") == (5, 5)
+        assert summary.type_ratio("rtcp") == (4, 4)
+
+    def test_messenger_table3_row(self, summaries):
+        summary = summaries["messenger"]
+        assert summary.type_ratio("stun_turn") == (11, 18)
+        assert summary.type_ratio("rtp") == (5, 5)
+        assert summary.type_ratio("rtcp") == (4, 4)
+
+    def test_facetime_table3_row(self, summaries):
+        summary = summaries["facetime"]
+        assert summary.type_ratio("stun_turn") == (0, 4)
+        assert summary.type_ratio("rtp") == (0, 5)
+        assert summary.type_ratio("quic")[0] == summary.type_ratio("quic")[1] > 0
+
+    def test_meet_table3_row(self, summaries):
+        summary = summaries["meet"]
+        assert summary.type_ratio("stun_turn") == (15, 16)
+        rtp_compliant, rtp_total = summary.type_ratio("rtp")
+        assert rtp_compliant == rtp_total > 0
+        assert summary.type_ratio("rtcp") == (0, 7)
+
+    def test_zoom_table3_row(self, summaries):
+        summary = summaries["zoom"]
+        assert summary.type_ratio("stun_turn") == (0, 2)
+        rtp_compliant, rtp_total = summary.type_ratio("rtp")
+        assert rtp_compliant == rtp_total > 0
+        assert summary.type_ratio("rtcp") == (2, 2)
+
+    def test_table5_rows(self, summaries):
+        facetime_rtp = set(summaries["facetime"].observed_types("rtp"))
+        assert facetime_rtp == {"100", "104", "108", "13", "20"}
+        whatsapp_rtp = set(summaries["whatsapp"].observed_types("rtp"))
+        assert whatsapp_rtp == {"97", "103", "105", "106", "120"}
+        messenger_rtp = set(summaries["messenger"].observed_types("rtp"))
+        assert messenger_rtp == {"97", "98", "101", "126", "127"}
+
+    def test_table4_key_types(self, summaries):
+        whatsapp = summaries["whatsapp"].observed_types("stun_turn")
+        assert {"0x0800", "0x0801", "0x0802", "0x0803", "0x0804", "0x0805"} <= set(whatsapp)
+        assert whatsapp["0x0001"].compliant
+        meet = summaries["meet"].observed_types("stun_turn")
+        assert meet["0x0200"].compliant and meet["0x0300"].compliant
+        assert not meet["0x0003"].compliant
+        assert meet["ChannelData"].compliant
+
+    def test_table6_rows(self, summaries):
+        meet_rtcp = summaries["meet"].observed_types("rtcp")
+        assert set(meet_rtcp) == {"200", "201", "202", "204", "205", "206", "207"}
+        assert all(not e.compliant for e in meet_rtcp.values())
+        zoom_rtcp = summaries["zoom"].observed_types("rtcp")
+        assert set(zoom_rtcp) == {"200", "202"}
+        assert all(e.compliant for e in zoom_rtcp.values())
+
+    def test_stun_least_compliant_by_types(self, summaries):
+        """Figure 5: STUN/TURN and RTCP show the worst type-level compliance."""
+        all_summaries = list(summaries.values())
+        ratios = {}
+        for protocol in ("stun_turn", "rtp", "rtcp"):
+            compliant, total = merge_type_entries(all_summaries, protocol)
+            ratios[protocol] = compliant / total
+        assert ratios["rtp"] > ratios["stun_turn"]
+        assert ratios["rtp"] > ratios["rtcp"]

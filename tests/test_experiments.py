@@ -1,0 +1,128 @@
+"""Tests for the experiment runner and table/figure generators."""
+
+import pytest
+
+from repro.apps import NetworkCondition
+from repro.dpi.messages import DatagramClass
+from repro.experiments import ExperimentConfig, run_experiment, run_matrix
+from repro.experiments.figures import figure3, figure4, figure5, render_ratio_series
+from repro.experiments.tables import (
+    render_observed_types,
+    render_table1,
+    render_table2,
+    render_table3,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+CONFIG = ExperimentConfig(call_duration=10.0, media_scale=0.25, seed=4)
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    return run_matrix(
+        apps=("whatsapp", "discord"),
+        networks=(NetworkCondition.WIFI_RELAY, NetworkCondition.CELLULAR),
+        config=CONFIG,
+    )
+
+
+class TestRunExperiment:
+    def test_aggregate_consistency(self):
+        aggregate = run_experiment("zoom", NetworkCondition.WIFI_RELAY, CONFIG)
+        assert aggregate.app == "zoom"
+        assert aggregate.raw.udp_packets > 0
+        assert aggregate.kept.udp_packets <= aggregate.raw.udp_packets
+        assert aggregate.summary is not None
+        assert sum(aggregate.class_counts.values()) == aggregate.kept.udp_packets
+
+    def test_distribution_sums_to_one(self):
+        aggregate = run_experiment("meet", NetworkCondition.WIFI_RELAY, CONFIG)
+        shares = aggregate.message_distribution()
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+    def test_merge(self):
+        a = run_experiment("discord", NetworkCondition.WIFI_RELAY, CONFIG)
+        b = run_experiment("discord", NetworkCondition.CELLULAR, CONFIG)
+        total_before = a.summary.volume.total + b.summary.volume.total
+        a.merge(b)
+        assert a.summary.volume.total == total_before
+
+    def test_max_offset_respected(self):
+        shallow = ExperimentConfig(call_duration=10.0, media_scale=0.25,
+                                   seed=4, max_offset=0)
+        aggregate = run_experiment("zoom", NetworkCondition.WIFI_RELAY, shallow)
+        # Zoom hides everything behind 24+ byte headers; offset 0 finds none.
+        assert aggregate.class_counts[DatagramClass.PROPRIETARY_HEADER] == 0
+
+
+class TestTables:
+    def test_table1_accounting(self, small_matrix):
+        rows = table1(small_matrix)
+        assert {row.app for row in rows} == {"whatsapp", "discord"}
+        for row in rows:
+            assert row.raw_udp[1] == (
+                row.stage1_udp[1] + row.stage2_udp[1] + row.rtc_udp[1]
+            )
+        text = render_table1(rows)
+        assert "whatsapp" in text and "Raw UDP" in text
+
+    def test_table2_rows(self, small_matrix):
+        distribution = table2(small_matrix)
+        assert "rtp" in distribution["discord"]
+        assert "stun_turn" not in distribution["discord"]  # Discord has none
+        text = render_table2(distribution)
+        assert "N/A" in text  # Discord's STUN column
+
+    def test_table3_totals(self, small_matrix):
+        table = table3(small_matrix)
+        compliant, total = table["discord"]["all"]
+        assert compliant == 0 and total == 9
+        assert "All Apps" in table
+        text = render_table3(table)
+        assert "0/9" in text
+
+    def test_table4_stun_types(self, small_matrix):
+        types = table4(small_matrix)
+        assert "discord" not in types  # no STUN at all
+        assert "0x0001" in types["whatsapp"]["compliant"]
+        assert "0x0801" in types["whatsapp"]["non_compliant"]
+        text = render_observed_types(types, "Table 4")
+        assert "whatsapp" in text
+
+    def test_table5_rtp_types(self, small_matrix):
+        types = table5(small_matrix)
+        assert set(types["discord"]["non_compliant"]) == {"96", "101", "102", "120"}
+        assert types["whatsapp"]["non_compliant"] == []
+
+    def test_table6_rtcp_types(self, small_matrix):
+        types = table6(small_matrix)
+        assert set(types["discord"]["non_compliant"]) == {"200", "201", "204",
+                                                          "205", "206"}
+        assert "200" in types["whatsapp"]["compliant"]
+
+
+class TestFigures:
+    def test_figure3_shares(self, small_matrix):
+        shares = figure3(small_matrix)
+        for app in ("whatsapp", "discord"):
+            assert abs(sum(shares[app].values()) - 1.0) < 1e-9
+        assert shares["whatsapp"]["standard"] > 0.9
+
+    def test_figure4_orderings(self, small_matrix):
+        fig = figure4(small_matrix)
+        assert fig["by_app"]["whatsapp"] > fig["by_app"]["discord"]
+        assert fig["by_protocol"]["rtp"] > fig["by_protocol"]["rtcp"]
+
+    def test_figure5_type_ratios(self, small_matrix):
+        fig = figure5(small_matrix)
+        assert fig["by_app"]["discord"] == 0.0
+        assert 0 < fig["by_app"]["whatsapp"] < 1
+
+    def test_render_ratio_series(self):
+        text = render_ratio_series({"x": 0.5}, "T")
+        assert "50.00%" in text

@@ -1,0 +1,212 @@
+"""Tests for the typed RTCP feedback codecs and RTP quality analytics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_rtp_quality
+from repro.dpi.messages import ExtractedMessage, Protocol
+from repro.packets.packet import PacketRecord
+from repro.protocols.rtcp.feedback import (
+    FullIntraRequest,
+    GenericNack,
+    NackEntry,
+    PictureLossIndication,
+    Remb,
+    TwccFeedbackHeader,
+)
+from repro.protocols.rtcp.packets import FeedbackPacket, RtcpParseError
+from repro.protocols.rtp.header import RtpPacket
+
+
+class TestGenericNack:
+    def test_round_trip(self):
+        nack = GenericNack(sender_ssrc=1, media_ssrc=2,
+                           entries=[NackEntry(pid=100, blp=0b101)])
+        parsed = GenericNack.from_feedback(nack.to_feedback())
+        assert parsed == nack
+
+    def test_lost_sequence_numbers(self):
+        entry = NackEntry(pid=100, blp=0b101)
+        assert entry.lost_sequence_numbers() == [100, 101, 103]
+
+    def test_for_lost_packs_ranges(self):
+        nack = GenericNack.for_lost(1, 2, [100, 101, 103, 300])
+        assert len(nack.entries) == 2
+        recovered = sorted(
+            seq for entry in nack.entries
+            for seq in entry.lost_sequence_numbers()
+        )
+        assert recovered == [100, 101, 103, 300]
+
+    def test_for_lost_wraparound(self):
+        nack = GenericNack.for_lost(1, 2, [65534, 65535])
+        all_lost = [s for e in nack.entries for s in e.lost_sequence_numbers()]
+        assert 65534 in all_lost and 65535 in all_lost
+
+    def test_misaligned_fci_rejected(self):
+        feedback = FeedbackPacket(packet_type=205, fmt=1, sender_ssrc=1,
+                                  media_ssrc=2, fci=b"\x00" * 4)
+        object.__setattr__(feedback, "fci", b"\x00" * 5)
+        with pytest.raises(RtcpParseError):
+            GenericNack.from_feedback(feedback)
+
+    def test_wrong_fmt_rejected(self):
+        feedback = FeedbackPacket(packet_type=205, fmt=15, sender_ssrc=1,
+                                  media_ssrc=2)
+        with pytest.raises(RtcpParseError):
+            GenericNack.from_feedback(feedback)
+
+
+class TestPli:
+    def test_round_trip(self):
+        pli = PictureLossIndication(sender_ssrc=7, media_ssrc=8)
+        assert PictureLossIndication.from_feedback(pli.to_feedback()) == pli
+
+    def test_nonempty_fci_rejected(self):
+        feedback = FeedbackPacket(packet_type=206, fmt=1, sender_ssrc=1,
+                                  media_ssrc=2, fci=b"\x00" * 4)
+        with pytest.raises(RtcpParseError):
+            PictureLossIndication.from_feedback(feedback)
+
+
+class TestFir:
+    def test_round_trip(self):
+        fir = FullIntraRequest(sender_ssrc=1, media_ssrc=0,
+                               entries=[(0xAA, 3), (0xBB, 4)])
+        assert FullIntraRequest.from_feedback(fir.to_feedback()) == fir
+
+
+class TestRemb:
+    @pytest.mark.parametrize("bitrate", [1000, 250_000, 2_500_000, 40_000_000])
+    def test_round_trip_bitrates(self, bitrate):
+        remb = Remb(sender_ssrc=5, bitrate_bps=bitrate, media_ssrcs=[9, 10])
+        parsed = Remb.from_feedback(remb.to_feedback())
+        # Mantissa truncation loses at most the shifted-out low bits.
+        assert parsed.bitrate_bps <= bitrate
+        assert parsed.bitrate_bps > bitrate * 0.99
+        assert parsed.media_ssrcs == [9, 10]
+
+    def test_bad_magic_rejected(self):
+        feedback = FeedbackPacket(packet_type=206, fmt=15, sender_ssrc=1,
+                                  media_ssrc=0, fci=b"XEMB" + bytes(4))
+        with pytest.raises(RtcpParseError):
+            Remb.from_feedback(feedback)
+
+    @given(st.integers(1, (1 << 18) - 1))
+    def test_exact_for_small_bitrates(self, bitrate):
+        remb = Remb(sender_ssrc=1, bitrate_bps=bitrate)
+        assert Remb.from_feedback(remb.to_feedback()).bitrate_bps == bitrate
+
+
+class TestTwcc:
+    def test_round_trip_header(self):
+        twcc = TwccFeedbackHeader(
+            sender_ssrc=1, media_ssrc=2, base_sequence=500,
+            packet_status_count=10, reference_time=7000, feedback_count=3,
+            chunks_and_deltas=b"\x20\x0a\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a",
+        )
+        parsed = TwccFeedbackHeader.from_feedback(twcc.to_feedback())
+        assert parsed.base_sequence == 500
+        assert parsed.packet_status_count == 10
+        assert parsed.reference_time == 7000
+        assert parsed.feedback_count == 3
+
+
+def rtp_message(seq, ts, arrival, ssrc=0xAB, payload=b"x" * 100):
+    packet = RtpPacket(payload_type=96, sequence_number=seq, timestamp=ts,
+                       ssrc=ssrc, payload=payload)
+    raw = packet.build()
+    record = PacketRecord(timestamp=arrival, src_ip="1.1.1.1", src_port=1,
+                          dst_ip="2.2.2.2", dst_port=2, transport="UDP",
+                          payload=raw)
+    return ExtractedMessage(protocol=Protocol.RTP, offset=0, length=len(raw),
+                            message=packet, record=record)
+
+
+class TestQuality:
+    def test_clean_stream(self):
+        messages = [
+            rtp_message(seq=i, ts=i * 1800, arrival=i * 0.02)
+            for i in range(50)
+        ]
+        quality = list(analyze_rtp_quality(messages).values())[0]
+        assert quality.packets == 50
+        assert quality.lost == 0
+        assert quality.reordered == 0
+        assert quality.loss_rate == 0.0
+        assert quality.jitter_seconds < 1e-9  # perfectly paced
+
+    def test_loss_detected(self):
+        messages = [
+            rtp_message(seq=i, ts=i * 1800, arrival=i * 0.02)
+            for i in range(50) if i % 10 != 3  # drop 5 packets
+        ]
+        quality = list(analyze_rtp_quality(messages).values())[0]
+        assert quality.lost == 5
+        assert abs(quality.loss_rate - 5 / 50) < 1e-9
+
+    def test_reordering_detected(self):
+        order = [0, 1, 3, 2, 4, 6, 5, 7]
+        messages = [
+            rtp_message(seq=seq, ts=seq * 1800, arrival=i * 0.02)
+            for i, seq in enumerate(order)
+        ]
+        quality = list(analyze_rtp_quality(messages).values())[0]
+        assert quality.reordered == 2
+        assert quality.lost == 0
+
+    def test_duplicates_detected(self):
+        messages = [rtp_message(seq=s, ts=s * 1800, arrival=i * 0.02)
+                    for i, s in enumerate([0, 1, 1, 2])]
+        quality = list(analyze_rtp_quality(messages).values())[0]
+        assert quality.duplicate == 1
+        assert quality.lost == 0
+
+    def test_sequence_wraparound_handled(self):
+        seqs = [65533, 65534, 65535, 0, 1, 2]
+        messages = [rtp_message(seq=s, ts=i * 1800, arrival=i * 0.02)
+                    for i, s in enumerate(seqs)]
+        quality = list(analyze_rtp_quality(messages).values())[0]
+        assert quality.lost == 0
+        assert quality.expected == 6
+
+    def test_jitter_from_bursty_arrival(self):
+        messages = [
+            rtp_message(seq=i, ts=i * 1800,
+                        arrival=i * 0.02 + (0.01 if i % 2 else 0.0))
+            for i in range(100)
+        ]
+        quality = list(analyze_rtp_quality(messages).values())[0]
+        assert quality.jitter_seconds > 0.001
+
+    def test_bitrate(self):
+        messages = [
+            rtp_message(seq=i, ts=i * 1800, arrival=i * 0.01,
+                        payload=b"z" * 500)
+            for i in range(101)
+        ]
+        quality = list(analyze_rtp_quality(messages).values())[0]
+        # 100 intervals of 10 ms = 1 s window; ~101*500 bytes.
+        assert 350_000 < quality.bitrate_bps < 450_000
+
+    def test_streams_separated_by_ssrc(self):
+        messages = [rtp_message(seq=i, ts=0, arrival=i * 0.02, ssrc=1)
+                    for i in range(5)]
+        messages += [rtp_message(seq=i, ts=0, arrival=i * 0.02, ssrc=2)
+                     for i in range(7)]
+        result = analyze_rtp_quality(messages)
+        assert len(result) == 2
+        packets = sorted(q.packets for q in result.values())
+        assert packets == [5, 7]
+
+    def test_end_to_end_on_simulated_traffic(self, pipeline_cache):
+        from repro.apps import NetworkCondition
+        _trace, _filter, dpi, _verdicts = pipeline_cache(
+            "whatsapp", NetworkCondition.WIFI_P2P
+        )
+        result = analyze_rtp_quality(dpi.messages())
+        assert result
+        for quality in result.values():
+            assert quality.loss_rate < 0.01  # the simulator does not drop
+            assert quality.packet_rate > 1

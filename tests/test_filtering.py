@@ -1,0 +1,199 @@
+"""Tests for the two-stage unrelated-traffic filter."""
+
+import pytest
+
+from repro.filtering import (
+    DEFAULT_EXCLUDED_PORTS,
+    LocalIpFilter,
+    PortFilter,
+    SniFilter,
+    ThreeTupleFilter,
+    TimespanFilter,
+    TwoStageFilter,
+)
+from repro.packets.packet import PacketRecord
+from repro.protocols.tls.client_hello import build_client_hello
+from repro.streams.flow import group_streams
+from repro.streams.timeline import CallWindow
+
+WINDOW = CallWindow(capture_start=0, call_start=60, call_end=360, capture_end=420)
+
+
+def record(t, src=("10.0.0.9", 40000), dst=("93.184.216.34", 443),
+           transport="UDP", payload=b"x"):
+    return PacketRecord(
+        timestamp=t, src_ip=src[0], src_port=src[1],
+        dst_ip=dst[0], dst_port=dst[1], transport=transport, payload=payload,
+    )
+
+
+def one_stream(records):
+    streams = group_streams(records)
+    assert len(streams) == 1
+    return next(iter(streams.values()))
+
+
+class TestTimespanFilter:
+    def test_keeps_enclosed(self):
+        stream = one_stream([record(61.0), record(359.0)])
+        assert TimespanFilter(WINDOW).keeps(stream)
+
+    def test_removes_pre_call_start(self):
+        stream = one_stream([record(10.0), record(100.0)])
+        assert not TimespanFilter(WINDOW).keeps(stream)
+
+    def test_removes_post_call_end(self):
+        stream = one_stream([record(100.0), record(400.0)])
+        assert not TimespanFilter(WINDOW).keeps(stream)
+
+    def test_removes_spanning(self):
+        stream = one_stream([record(10.0), record(400.0)])
+        assert not TimespanFilter(WINDOW).keeps(stream)
+
+    def test_margin_tolerance(self):
+        stream = one_stream([record(58.5), record(361.5)])
+        assert TimespanFilter(WINDOW).keeps(stream)
+
+    def test_split(self):
+        good = [record(100.0)]
+        bad = [record(10.0, dst=("1.1.1.1", 53))]
+        kept, removed = TimespanFilter(WINDOW).split(group_streams(good + bad).values())
+        assert len(kept) == 1 and len(removed) == 1
+
+
+class TestThreeTupleFilter:
+    def test_rebinding_detected(self):
+        # Same destination 3-tuple outside and inside the window with
+        # different source ports: the in-window stream must be removed.
+        outside = record(10.0, src=("10.0.0.9", 40001), dst=("17.5.7.9", 5223),
+                         transport="TCP")
+        inside = record(100.0, src=("10.0.0.9", 40002), dst=("17.5.7.9", 5223),
+                        transport="TCP")
+        filt = ThreeTupleFilter([outside, inside], WINDOW)
+        assert not filt.keeps(one_stream([inside]))
+
+    def test_unrelated_stream_kept(self):
+        outside = record(10.0, dst=("17.5.7.9", 5223), transport="TCP")
+        inside = record(100.0, dst=("99.99.99.99", 3478))
+        filt = ThreeTupleFilter([outside, inside], WINDOW)
+        assert filt.keeps(one_stream([inside]))
+
+    def test_transport_distinguishes(self):
+        outside = record(10.0, dst=("17.5.7.9", 443), transport="TCP")
+        inside = record(100.0, dst=("17.5.7.9", 443), transport="UDP")
+        filt = ThreeTupleFilter([outside, inside], WINDOW)
+        assert filt.keeps(one_stream([inside]))
+
+
+class TestSniFilter:
+    def _tls_stream(self, domain):
+        hello = build_client_hello(domain)
+        return one_stream([record(100.0, transport="TCP", payload=hello)])
+
+    def test_blocklisted_removed(self):
+        filt = SniFilter({"oauth2.googleapis.com"})
+        assert not filt.keeps(self._tls_stream("oauth2.googleapis.com"))
+
+    def test_other_domain_kept(self):
+        filt = SniFilter({"oauth2.googleapis.com"})
+        assert filt.keeps(self._tls_stream("turn.example.net"))
+
+    def test_udp_ignored(self):
+        filt = SniFilter({"oauth2.googleapis.com"})
+        stream = one_stream([record(100.0)])
+        assert filt.keeps(stream)
+
+    def test_non_tls_tcp_kept(self):
+        filt = SniFilter({"x.y"})
+        stream = one_stream([record(100.0, transport="TCP", payload=b"GET /")])
+        assert filt.keeps(stream)
+
+
+class TestLocalIpFilter:
+    def test_precall_local_pair_removed(self):
+        precall = record(10.0, src=("192.168.1.5", 5353), dst=("224.0.0.251", 5353))
+        incall = record(100.0, src=("192.168.1.5", 5353), dst=("224.0.0.251", 5353))
+        filt = LocalIpFilter([precall, incall], WINDOW)
+        assert not filt.keeps(one_stream([incall]))
+
+    def test_p2p_media_preserved(self):
+        # Two private endpoints whose pair never appears pre-call: legit P2P.
+        media = record(100.0, src=("192.168.1.5", 50000), dst=("192.168.1.7", 50001))
+        filt = LocalIpFilter([media], WINDOW)
+        assert filt.keeps(one_stream([media]))
+
+    def test_public_pair_ignored(self):
+        # Note: documentation ranges (203.0.113.0/24 etc.) count as private
+        # in modern Python, so use an unambiguous global address.
+        precall = record(10.0, src=("52.10.20.30", 40000))
+        incall = record(100.0, src=("52.10.20.30", 40000))
+        filt = LocalIpFilter([precall, incall], WINDOW)
+        assert filt.keeps(one_stream([incall]))
+
+
+class TestPortFilter:
+    @pytest.mark.parametrize("port", sorted(DEFAULT_EXCLUDED_PORTS))
+    def test_excluded_ports_removed(self, port):
+        stream = one_stream([record(100.0, dst=("1.2.3.4", port))])
+        assert not PortFilter().keeps(stream)
+
+    def test_media_port_kept(self):
+        stream = one_stream([record(100.0, dst=("1.2.3.4", 3478))])
+        assert PortFilter().keeps(stream)
+
+    def test_custom_port_set(self):
+        stream = one_stream([record(100.0, dst=("1.2.3.4", 9999))])
+        assert not PortFilter({9999}).keeps(stream)
+
+
+class TestTwoStageFilter:
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(ValueError):
+            TwoStageFilter(WINDOW, enabled_heuristics=("bogus",))
+
+    def test_accounting_consistent(self, trace_cache):
+        from repro.apps import NetworkCondition
+
+        trace = trace_cache("whatsapp", NetworkCondition.WIFI_RELAY)
+        result = TwoStageFilter(trace.window).apply(trace.records)
+        assert (
+            result.raw.udp_packets
+            == result.stage1_removed.udp_packets
+            + result.stage2_removed.udp_packets
+            + result.kept.udp_packets
+        )
+        assert (
+            result.raw.tcp_packets
+            == result.stage1_removed.tcp_packets
+            + result.stage2_removed.tcp_packets
+            + result.kept.tcp_packets
+        )
+
+    def test_full_pipeline_quality(self, pipeline_cache):
+        from repro.apps import NetworkCondition
+
+        _trace, result, _dpi, _verdicts = pipeline_cache(
+            "whatsapp", NetworkCondition.WIFI_RELAY
+        )
+        assert result.evaluation.precision > 0.95
+        assert result.evaluation.recall > 0.97
+
+    def test_disabling_heuristics_leaks_background(self, trace_cache):
+        from repro.apps import NetworkCondition
+
+        trace = trace_cache("meet", NetworkCondition.WIFI_P2P)
+        full = TwoStageFilter(trace.window).apply(trace.records)
+        partial = TwoStageFilter(trace.window, enabled_heuristics=()).apply(trace.records)
+        assert partial.evaluation.kept_non_rtc >= full.evaluation.kept_non_rtc
+        assert partial.kept.udp_packets + partial.kept.tcp_packets >= (
+            full.kept.udp_packets + full.kept.tcp_packets
+        )
+
+    def test_kept_records_sorted(self, pipeline_cache):
+        from repro.apps import NetworkCondition
+
+        _trace, result, _dpi, _verdicts = pipeline_cache(
+            "whatsapp", NetworkCondition.WIFI_RELAY
+        )
+        kept = result.kept_records
+        assert all(a.timestamp <= b.timestamp for a, b in zip(kept, kept[1:]))

@@ -1,0 +1,71 @@
+"""Tests for the group-call extension (the paper's declared future work)."""
+
+import pytest
+
+from repro.apps import CallConfig, NetworkCondition, get_simulator
+from repro.dpi import DpiEngine
+from repro.experiments.case_studies import observed_rtp_ssrcs
+from repro.filtering import TwoStageFilter
+
+SFU_APPS = ("zoom", "meet", "discord")
+P2P_APPS = ("facetime", "whatsapp", "messenger")
+
+
+def analyze(app, participants):
+    trace = get_simulator(app).simulate(
+        CallConfig(network=NetworkCondition.WIFI_RELAY, seed=8,
+                   call_duration=8.0, media_scale=0.25,
+                   participants=participants)
+    )
+    kept = TwoStageFilter(trace.window).apply(trace.records).kept_records
+    return trace, DpiEngine().analyze_records(kept)
+
+
+class TestGroupCalls:
+    def test_participants_validated(self):
+        with pytest.raises(ValueError):
+            CallConfig(network=NetworkCondition.WIFI_RELAY, participants=1)
+
+    @pytest.mark.parametrize("app,extra_visible", [
+        # Two extra parties add an audio+video pair each — except Meet,
+        # whose relay audio rides inside ChannelData and is therefore not
+        # counted as RTP by the DPI (only the video streams surface).
+        ("zoom", 4), ("discord", 4), ("meet", 2),
+    ])
+    def test_extra_participants_add_inbound_streams(self, app, extra_visible):
+        _t2, dpi2 = analyze(app, participants=2)
+        _t4, dpi4 = analyze(app, participants=4)
+        ssrcs2 = observed_rtp_ssrcs(dpi2.messages())
+        ssrcs4 = observed_rtp_ssrcs(dpi4.messages())
+        assert len(ssrcs4) == len(ssrcs2) + extra_visible
+
+    @pytest.mark.parametrize("app", SFU_APPS)
+    def test_group_traffic_volume_scales(self, app):
+        _t2, dpi2 = analyze(app, participants=2)
+        _t5, dpi5 = analyze(app, participants=5)
+        assert len(dpi5.analyses) > len(dpi2.analyses) * 1.5
+
+    @pytest.mark.parametrize("app", P2P_APPS)
+    def test_p2p_apps_reject_groups(self, app):
+        with pytest.raises(ValueError, match="group calls"):
+            get_simulator(app).simulate(
+                CallConfig(network=NetworkCondition.WIFI_RELAY, participants=3)
+            )
+
+    def test_zoom_group_ssrcs_stay_deterministic(self):
+        _trace, dpi = analyze("zoom", participants=3)
+        from repro.apps.zoom import INBOUND_SSRCS, OUTBOUND_SSRCS
+        expected = (
+            set(OUTBOUND_SSRCS[NetworkCondition.WIFI_RELAY])
+            | set(INBOUND_SSRCS)
+            | {INBOUND_SSRCS[0] + 2, INBOUND_SSRCS[1] + 2}
+        )
+        assert observed_rtp_ssrcs(dpi.messages()) <= expected
+
+    def test_group_call_compliance_unchanged(self):
+        """Extra participants change volume, not per-message verdicts."""
+        from repro.core import ComplianceChecker, ComplianceSummary
+        _trace, dpi = analyze("discord", participants=4)
+        verdicts = ComplianceChecker().check(dpi.messages())
+        summary = ComplianceSummary.from_verdicts("discord", verdicts)
+        assert summary.type_ratio() == (0, 9)

@@ -1,0 +1,178 @@
+"""Tests for the ICE substrate (RFC 8445)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ice import (
+    Candidate,
+    CandidatePair,
+    CandidateType,
+    Checklist,
+    CheckState,
+    NatBehaviour,
+    SimulatedNetwork,
+    candidate_priority,
+    pair_priority,
+    run_ice,
+)
+
+
+class TestPriorities:
+    def test_type_ordering(self):
+        host = candidate_priority(CandidateType.HOST)
+        srflx = candidate_priority(CandidateType.SERVER_REFLEXIVE)
+        relay = candidate_priority(CandidateType.RELAYED)
+        assert host > srflx > relay
+
+    def test_component_discriminates(self):
+        rtp = candidate_priority(CandidateType.HOST, component=1)
+        rtcp = candidate_priority(CandidateType.HOST, component=2)
+        assert rtp == rtcp + 1
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            candidate_priority(CandidateType.HOST, component=0)
+        with pytest.raises(ValueError):
+            candidate_priority(CandidateType.HOST, local_preference=70000)
+
+    @given(st.integers(1, 2**31 - 1), st.integers(1, 2**31 - 1))
+    def test_pair_priority_symmetry(self, g, d):
+        """Both agents must order pairs identically (modulo the tie bit)."""
+        a = pair_priority(g, d)
+        b = pair_priority(d, g)
+        assert abs(a - b) <= 1
+
+    def test_pair_priority_formula(self):
+        assert pair_priority(5, 3) == (3 << 32) + 10 + 1
+        assert pair_priority(3, 5) == (3 << 32) + 10
+
+
+class TestCandidates:
+    def test_foundation_shared_by_same_type_and_base(self):
+        a = Candidate(ip="1.2.3.4", port=1000, candidate_type=CandidateType.HOST)
+        b = Candidate(ip="1.2.3.4", port=2000, candidate_type=CandidateType.HOST)
+        c = Candidate(ip="1.2.3.4", port=1000,
+                      candidate_type=CandidateType.RELAYED)
+        assert a.foundation == b.foundation
+        assert a.foundation != c.foundation
+
+
+def gather(ip_suffix: int):
+    return [
+        Candidate(ip=f"192.168.1.{ip_suffix}", port=50000,
+                  candidate_type=CandidateType.HOST),
+        Candidate(ip=f"203.0.113.{ip_suffix}", port=40000,
+                  candidate_type=CandidateType.SERVER_REFLEXIVE,
+                  related_ip=f"192.168.1.{ip_suffix}", related_port=50000),
+        Candidate(ip=f"198.18.0.{ip_suffix}", port=30000,
+                  candidate_type=CandidateType.RELAYED,
+                  related_ip=f"203.0.113.{ip_suffix}", related_port=40000),
+    ]
+
+
+class TestChecklist:
+    def test_pairs_sorted_by_priority(self):
+        checklist = Checklist.form(gather(1), gather(2), controlling=True)
+        priorities = [pair.priority for pair in checklist.pairs]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_host_host_pair_first(self):
+        checklist = Checklist.form(gather(1), gather(2), controlling=True)
+        top = checklist.pairs[0]
+        assert top.local.candidate_type is CandidateType.HOST
+        assert top.remote.candidate_type is CandidateType.HOST
+
+    def test_initial_unfreezing_one_per_foundation(self):
+        checklist = Checklist.form(gather(1), gather(2), controlling=True)
+        waiting = [p for p in checklist.pairs if p.state is CheckState.WAITING]
+        foundations = {p.foundation for p in waiting}
+        assert len(waiting) == len(foundations)
+
+    def test_next_pair_unfreezes_when_empty(self):
+        checklist = Checklist.form(gather(1), gather(2), controlling=True)
+        seen = set()
+        while True:
+            pair = checklist.next_pair()
+            if pair is None:
+                break
+            assert id(pair) not in seen
+            seen.add(id(pair))
+            pair.state = CheckState.FAILED
+        assert checklist.exhausted
+
+    def test_nominate_prefers_best(self):
+        checklist = Checklist.form(gather(1), gather(2), controlling=True)
+        # Mark a relay pair and a host pair succeeded; host must win.
+        relay_pair = next(p for p in checklist.pairs if p.uses_relay)
+        host_pair = checklist.pairs[0]
+        relay_pair.state = CheckState.SUCCEEDED
+        host_pair.state = CheckState.SUCCEEDED
+        nominated = checklist.nominate()
+        assert nominated is host_pair
+        assert nominated.nominated
+
+    def test_nominate_none_without_success(self):
+        checklist = Checklist.form(gather(1), gather(2), controlling=True)
+        assert checklist.nominate() is None
+
+
+class TestIceRun:
+    def test_open_network_yields_p2p(self):
+        outcome = run_ice(SimulatedNetwork(NatBehaviour.ENDPOINT_INDEPENDENT,
+                                           NatBehaviour.ENDPOINT_INDEPENDENT))
+        assert outcome.connected
+        assert outcome.mode == "p2p"
+
+    def test_blocked_network_falls_back_to_relay(self):
+        """The paper's Wi-Fi-relay configuration: hole punching disabled."""
+        outcome = run_ice(SimulatedNetwork(NatBehaviour.BLOCKED,
+                                           NatBehaviour.ENDPOINT_INDEPENDENT))
+        assert outcome.connected
+        assert outcome.mode == "relay"
+        assert outcome.failed > 0  # direct checks were tried and failed
+
+    def test_relay_pairs_always_succeed(self):
+        outcome = run_ice(SimulatedNetwork(NatBehaviour.BLOCKED,
+                                           NatBehaviour.BLOCKED))
+        assert outcome.mode == "relay"
+
+    def test_checks_are_valid_stun(self):
+        from repro.protocols.stun.message import StunMessage
+        network = SimulatedNetwork(NatBehaviour.ENDPOINT_INDEPENDENT,
+                                   NatBehaviour.ENDPOINT_INDEPENDENT)
+        outcome = run_ice(network, seed=7)
+        assert outcome.checks_sent > 0
+
+    def test_check_messages_pass_compliance(self):
+        """The substrate's own connectivity checks must be compliant."""
+        from repro.core import ComplianceChecker
+        from repro.dpi import DpiEngine
+        from repro.ice.agent import IceAgent
+        from repro.ice.checklist import Checklist
+        from repro.packets.packet import PacketRecord
+        from repro.utils.rand import DeterministicRandom
+
+        rng = DeterministicRandom("compliance")
+        agent = IceAgent(name="x", host_ip="192.168.1.5",
+                         public_ip="203.0.113.5", relay_ip="198.18.0.5",
+                         controlling=True, rng=rng)
+        checklist = Checklist.form(agent.gather(), gather(9), controlling=True)
+        records = []
+        for i, pair in enumerate(checklist.pairs[:5]):
+            records.append(PacketRecord(
+                timestamp=float(i), src_ip="192.168.1.5", src_port=50000,
+                dst_ip="192.168.1.9", dst_port=50001, transport="UDP",
+                payload=agent.build_check(pair),
+            ))
+        result = DpiEngine().analyze_records(records)
+        verdicts = ComplianceChecker().check(result.messages())
+        assert verdicts and all(v.compliant for v in verdicts)
+
+    def test_deterministic(self):
+        network = SimulatedNetwork(NatBehaviour.BLOCKED,
+                                   NatBehaviour.ENDPOINT_INDEPENDENT)
+        a = run_ice(network, seed=3)
+        b = run_ice(network, seed=3)
+        assert a.mode == b.mode
+        assert a.checks_sent == b.checks_sent

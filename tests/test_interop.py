@@ -1,0 +1,70 @@
+"""Tests for the interoperability-gap analysis."""
+
+import pytest
+
+from repro.apps import APP_NAMES, NetworkCondition
+from repro.experiments.interop import (
+    InteropGap,
+    compute_interop_gap,
+    render_gap_table,
+)
+
+
+@pytest.fixture(scope="module")
+def gaps(pipeline_cache):
+    out = {}
+    for app in APP_NAMES:
+        verdicts = []
+        analyses = []
+        for network in NetworkCondition:
+            _trace, _filter, dpi, vs = pipeline_cache(app, network)
+            verdicts.extend(vs)
+            analyses.extend(dpi.analyses)
+        out[app] = compute_interop_gap(app, verdicts, analyses)
+    return out
+
+
+class TestInteropGap:
+    def test_whatsapp_custom_message_types(self, gaps):
+        gap = gaps["whatsapp"]
+        assert gap.undefined_message_types == frozenset(
+            {"0x0800", "0x0801", "0x0802", "0x0803", "0x0804", "0x0805"}
+        )
+
+    def test_zoom_needs_framing_and_custom_protocol(self, gaps):
+        gap = gaps["zoom"]
+        assert gap.needs_custom_framing
+        assert gap.needs_custom_protocol
+        assert gap.proprietary_header_share > 0.6
+
+    def test_meet_is_cheapest_to_interoperate_with(self, gaps):
+        scores = {app: gap.effort_score for app, gap in gaps.items()}
+        assert min(scores, key=scores.get) == "meet"
+
+    def test_every_app_has_nonzero_effort(self, gaps):
+        """Finding 2 restated: nobody interoperates for free."""
+        for app, gap in gaps.items():
+            assert gap.effort_score > 0, app
+
+    def test_workload_items_nonempty(self, gaps):
+        for gap in gaps.values():
+            assert gap.workload_items()
+
+    def test_zero_gap_app(self):
+        gap = InteropGap(
+            app="ideal",
+            undefined_message_types=frozenset(),
+            undefined_attribute_messages=0,
+            semantic_deviation_messages=0,
+            proprietary_header_share=0.0,
+            fully_proprietary_share=0.0,
+        )
+        assert gap.effort_score == 0
+        assert gap.workload_items() == ["none — interoperates with a stock RFC stack"]
+
+    def test_render_table(self, gaps):
+        text = render_gap_table(list(gaps.values()))
+        assert "zoom" in text
+        assert "score" in text
+        # Sorted by descending effort: zoom must come before meet.
+        assert text.index("zoom") < text.index("meet")

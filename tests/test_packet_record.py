@@ -1,0 +1,67 @@
+"""Tests for the PacketRecord analysis model."""
+
+import pytest
+
+from repro.packets.packet import (
+    Direction,
+    PacketRecord,
+    TrafficCategory,
+    Truth,
+)
+
+
+def make_record(**overrides):
+    defaults = dict(
+        timestamp=1.0,
+        src_ip="10.0.0.1",
+        src_port=5000,
+        dst_ip="8.8.8.8",
+        dst_port=443,
+        transport="UDP",
+        payload=b"x",
+    )
+    defaults.update(overrides)
+    return PacketRecord(**defaults)
+
+
+class TestPacketRecord:
+    def test_five_tuple(self):
+        record = make_record()
+        assert record.five_tuple == ("10.0.0.1", 5000, "8.8.8.8", 443, "UDP")
+
+    def test_flow_key_symmetric(self):
+        forward = make_record()
+        backward = make_record(
+            src_ip="8.8.8.8", src_port=443, dst_ip="10.0.0.1", dst_port=5000
+        )
+        assert forward.flow_key == backward.flow_key
+
+    def test_flow_key_distinguishes_transport(self):
+        assert make_record().flow_key != make_record(transport="TCP").flow_key
+
+    def test_dst_three_tuple(self):
+        assert make_record().dst_three_tuple == ("8.8.8.8", 443, "UDP")
+
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(transport="SCTP")
+
+    def test_reply_swaps_endpoints(self):
+        record = make_record(direction=Direction.OUTBOUND)
+        reply = record.reply(2.0, b"resp")
+        assert reply.src_ip == record.dst_ip
+        assert reply.dst_port == record.src_port
+        assert reply.direction is Direction.INBOUND
+        assert reply.flow_key == record.flow_key
+
+    def test_direction_flip(self):
+        assert Direction.OUTBOUND.flipped() is Direction.INBOUND
+        assert Direction.INBOUND.flipped() is Direction.OUTBOUND
+
+
+class TestTruth:
+    def test_rtc_categories(self):
+        assert Truth(TrafficCategory.RTC_MEDIA).is_rtc
+        assert Truth(TrafficCategory.RTC_CONTROL).is_rtc
+        assert not Truth(TrafficCategory.BACKGROUND).is_rtc
+        assert not Truth(TrafficCategory.SIGNALING).is_rtc

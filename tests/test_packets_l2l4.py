@@ -1,0 +1,213 @@
+"""Tests for the L2-L4 codecs: Ethernet, IPv4/IPv6, UDP/TCP, checksums."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packets.checksum import internet_checksum, tcp_checksum, udp_checksum
+from repro.packets.ethernet import EthernetFrame, EtherType, format_mac, parse_mac
+from repro.packets.ip import IPv4Header, IPv6Header, is_link_local, is_private_address
+from repro.packets.transport import TcpSegment, UdpDatagram
+from repro.utils.bytesview import TruncatedError
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_udp_checksum_never_zero(self):
+        raw = UdpDatagram(1, 2, b"x").build()
+        assert udp_checksum("1.2.3.4", "5.6.7.8", raw) != 0
+
+    def test_mixed_families_rejected(self):
+        with pytest.raises(ValueError):
+            udp_checksum("1.2.3.4", "fd00::1", b"\x00" * 8)
+
+    def test_verification_round_trip(self):
+        # A datagram built with a checksum verifies to zero when re-summed
+        # including the checksum field over the pseudo-header.
+        raw = UdpDatagram(5000, 53, b"query").build("10.0.0.1", "10.0.0.2")
+        import ipaddress
+        import struct
+        pseudo = (
+            ipaddress.ip_address("10.0.0.1").packed
+            + ipaddress.ip_address("10.0.0.2").packed
+            + struct.pack("!BBH", 0, 17, len(raw))
+        )
+        assert internet_checksum(pseudo + raw) == 0
+
+
+class TestEthernet:
+    def test_round_trip(self):
+        frame = EthernetFrame("aa:bb:cc:dd:ee:ff", "11:22:33:44:55:66",
+                              int(EtherType.IPV4), b"payload")
+        parsed = EthernetFrame.parse(frame.build())
+        assert parsed == frame
+
+    def test_vlan_tags_skipped(self):
+        inner = EthernetFrame("aa:bb:cc:dd:ee:ff", "11:22:33:44:55:66",
+                              int(EtherType.IPV4), b"ip").build()
+        # Splice a VLAN tag in: ethertype 0x8100, TCI 0x0064, then 0x0800.
+        tagged = inner[:12] + b"\x81\x00\x00\x64" + inner[12:]
+        parsed = EthernetFrame.parse(tagged)
+        assert parsed.ethertype == EtherType.IPV4
+        assert parsed.payload == b"ip"
+
+    def test_truncated_raises(self):
+        with pytest.raises(TruncatedError):
+            EthernetFrame.parse(b"\x00" * 10)
+
+    def test_mac_helpers(self):
+        assert parse_mac("01:02:03:04:05:06") == bytes(range(1, 7))
+        assert format_mac(bytes(range(1, 7))) == "01:02:03:04:05:06"
+
+    def test_bad_mac_rejected(self):
+        with pytest.raises(ValueError):
+            parse_mac("01:02:03")
+        with pytest.raises(ValueError):
+            format_mac(b"\x00")
+
+
+class TestIPv4:
+    def test_round_trip(self):
+        header = IPv4Header(src_ip="192.168.1.1", dst_ip="8.8.8.8",
+                            proto=17, payload=b"data", ttl=55)
+        parsed = IPv4Header.parse(header.build())
+        assert parsed.src_ip == "192.168.1.1"
+        assert parsed.dst_ip == "8.8.8.8"
+        assert parsed.proto == 17
+        assert parsed.payload == b"data"
+        assert parsed.ttl == 55
+
+    def test_checksum_valid(self):
+        raw = IPv4Header(src_ip="1.1.1.1", dst_ip="2.2.2.2",
+                         proto=6, payload=b"").build()
+        assert internet_checksum(raw[:20]) == 0
+
+    def test_wrong_version_rejected(self):
+        raw = bytearray(IPv4Header(src_ip="1.1.1.1", dst_ip="2.2.2.2",
+                                   proto=6, payload=b"").build())
+        raw[0] = (6 << 4) | 5
+        with pytest.raises(ValueError):
+            IPv4Header.parse(bytes(raw))
+
+    def test_total_length_truncation_detected(self):
+        raw = bytearray(IPv4Header(src_ip="1.1.1.1", dst_ip="2.2.2.2",
+                                   proto=6, payload=b"abcd").build())
+        raw[2:4] = (100).to_bytes(2, "big")
+        with pytest.raises(TruncatedError):
+            IPv4Header.parse(bytes(raw))
+
+    def test_options_must_be_aligned(self):
+        header = IPv4Header(src_ip="1.1.1.1", dst_ip="2.2.2.2",
+                            proto=6, payload=b"", options=b"\x01")
+        with pytest.raises(ValueError):
+            header.build()
+
+    def test_trailing_link_padding_ignored(self):
+        raw = IPv4Header(src_ip="1.1.1.1", dst_ip="2.2.2.2",
+                         proto=17, payload=b"xy").build() + b"\x00" * 6
+        assert IPv4Header.parse(raw).payload == b"xy"
+
+
+class TestIPv6:
+    def test_round_trip(self):
+        header = IPv6Header(src_ip="fd00::1", dst_ip="2001:db8::2",
+                            proto=17, payload=b"six", hop_limit=12)
+        parsed = IPv6Header.parse(header.build())
+        assert parsed.src_ip == "fd00::1"
+        assert parsed.dst_ip == "2001:db8::2"
+        assert parsed.payload == b"six"
+        assert parsed.hop_limit == 12
+
+    def test_flow_label_preserved(self):
+        header = IPv6Header(src_ip="::1", dst_ip="::2", proto=6,
+                            payload=b"", flow_label=0xABCDE, traffic_class=7)
+        parsed = IPv6Header.parse(header.build())
+        assert parsed.flow_label == 0xABCDE
+        assert parsed.traffic_class == 7
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError):
+            IPv6Header.parse(bytes(40))
+
+    def test_payload_length_enforced(self):
+        raw = bytearray(IPv6Header(src_ip="::1", dst_ip="::2",
+                                   proto=17, payload=b"ab").build())
+        raw[4:6] = (50).to_bytes(2, "big")
+        with pytest.raises(TruncatedError):
+            IPv6Header.parse(bytes(raw))
+
+    def test_address_scope_helpers(self):
+        assert is_private_address("192.168.0.1")
+        assert is_private_address("10.1.2.3")
+        assert is_private_address("fd00::5")
+        assert is_link_local("fe80::1")
+        assert not is_private_address("8.8.8.8")
+
+
+class TestUdp:
+    def test_round_trip(self):
+        raw = UdpDatagram(5000, 443, b"hello").build()
+        parsed = UdpDatagram.parse(raw)
+        assert parsed == UdpDatagram(5000, 443, b"hello")
+
+    def test_length_field_respected(self):
+        raw = UdpDatagram(1, 2, b"abcdef").build() + b"\x99\x99"
+        assert UdpDatagram.parse(raw).payload == b"abcdef"
+
+    def test_bad_length_rejected(self):
+        raw = bytearray(UdpDatagram(1, 2, b"ab").build())
+        raw[4:6] = (100).to_bytes(2, "big")
+        with pytest.raises(TruncatedError):
+            UdpDatagram.parse(bytes(raw))
+
+    @given(st.binary(max_size=200), st.integers(0, 65535), st.integers(0, 65535))
+    def test_property_round_trip(self, payload, sport, dport):
+        parsed = UdpDatagram.parse(UdpDatagram(sport, dport, payload).build())
+        assert (parsed.src_port, parsed.dst_port, parsed.payload) == (
+            sport, dport, payload
+        )
+
+
+class TestTcp:
+    def test_round_trip(self):
+        segment = TcpSegment(src_port=80, dst_port=50000, seq=1000, ack=2000,
+                             flags=0x18, payload=b"http")
+        parsed = TcpSegment.parse(segment.build())
+        assert parsed.src_port == 80
+        assert parsed.seq == 1000
+        assert parsed.flags == 0x18
+        assert parsed.payload == b"http"
+
+    def test_options_round_trip(self):
+        segment = TcpSegment(src_port=1, dst_port=2, seq=0, ack=0, flags=0x02,
+                             payload=b"", options=b"\x02\x04\x05\xb4")
+        parsed = TcpSegment.parse(segment.build())
+        assert parsed.options == b"\x02\x04\x05\xb4"
+
+    def test_misaligned_options_rejected(self):
+        segment = TcpSegment(src_port=1, dst_port=2, seq=0, ack=0, flags=0,
+                             payload=b"", options=b"\x01")
+        with pytest.raises(ValueError):
+            segment.build()
+
+    def test_checksum_computed_with_ips(self):
+        raw = TcpSegment(src_port=1, dst_port=2, seq=0, ack=0, flags=0x10,
+                         payload=b"x").build("10.0.0.1", "10.0.0.2")
+        assert raw[16:18] != b"\x00\x00"
+
+    def test_bad_data_offset_rejected(self):
+        raw = bytearray(TcpSegment(src_port=1, dst_port=2, seq=0, ack=0,
+                                   flags=0, payload=b"").build())
+        raw[12] = 0x10  # data offset 1 word < minimum 5
+        with pytest.raises(TruncatedError):
+            TcpSegment.parse(bytes(raw))

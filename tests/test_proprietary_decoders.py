@@ -1,0 +1,185 @@
+"""Tests for the proprietary-header decoders and sequential-txid rule."""
+
+import pytest
+
+from repro.apps import CallConfig, NetworkCondition, get_simulator
+from repro.core.stun_rules import StunSessionContext, check_stun
+from repro.core.verdict import Criterion
+from repro.dpi import DpiEngine
+from repro.dpi.messages import ExtractedMessage, Protocol
+from repro.dpi.proprietary import (
+    FaceTimeHeader,
+    MediaIdReport,
+    ZoomSfuHeader,
+    detect_zoom_media_ids,
+    summarize_zoom_headers,
+)
+from repro.filtering import TwoStageFilter
+from repro.packets.packet import PacketRecord
+from repro.protocols.stun.message import StunMessage
+
+
+@pytest.fixture(scope="module")
+def zoom_dpi():
+    trace = get_simulator("zoom").simulate(
+        CallConfig(network=NetworkCondition.CELLULAR, seed=4,
+                   call_duration=12.0, media_scale=0.3)
+    )
+    kept = TwoStageFilter(trace.window).apply(trace.records).kept_records
+    return DpiEngine().analyze_records(kept)
+
+
+class TestZoomHeader:
+    def test_parse_fields(self):
+        header = (
+            bytes([0x04, 0x64]) + (0xAABBCCDD).to_bytes(4, "big")  # dir + media id
+            + bytes(8)                                              # session tag
+            + (17).to_bytes(2, "big")                               # seq
+            + bytes([15, 0x00]) + (120).to_bytes(2, "big")          # media section
+            + bytes(4)                                              # ts
+        )
+        parsed = ZoomSfuHeader.parse(header)
+        assert parsed.media_id == 0xAABBCCDD
+        assert parsed.sequence == 17
+        assert parsed.media_type == 15
+        assert not parsed.wrapped
+        assert not parsed.to_server
+        assert parsed.effective_type == 15
+
+    def test_wrapper_nested_type(self):
+        header = (
+            bytes([0x01, 0x64]) + bytes(4) + bytes(8) + bytes(2)
+            + bytes([7, 0x00]) + bytes(2) + bytes(4)        # wrapper section
+            + bytes([16, 0x00]) + bytes(2) + bytes(4)       # nested media section
+        )
+        parsed = ZoomSfuHeader.parse(header)
+        assert parsed.wrapped
+        assert parsed.inner_type == 16
+        assert parsed.effective_type == 16
+        assert parsed.to_server
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            ZoomSfuHeader.parse(bytes([0xFF]) + bytes(23))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            ZoomSfuHeader.parse(bytes(10))
+
+    def test_on_real_trace(self, zoom_dpi):
+        summary = summarize_zoom_headers(zoom_dpi.analyses)
+        assert summary.total > 500
+        assert 0.01 < summary.wrapper_share < 0.2        # paper: 6.9%
+        assert summary.direction_consistent               # 0x00/0x04 semantics
+        assert 15 in summary.by_effective_type            # audio
+        assert 16 in summary.by_effective_type            # video
+        assert 33 in summary.by_effective_type            # RTCP
+
+    def test_media_id_constant_per_stream(self, zoom_dpi):
+        report = detect_zoom_media_ids(zoom_dpi.analyses)
+        assert report.ids_per_stream
+        assert report.constant_per_stream                 # §5.3 finding
+
+
+class TestFaceTimeHeader:
+    def test_parse_and_consistency(self):
+        inner_len = 100
+        header = b"\x60\x00" + (6 + inner_len).to_bytes(2, "big") + bytes(6)
+        parsed = FaceTimeHeader.parse(header)
+        assert parsed.consistent_with(100)
+        assert not parsed.consistent_with(99)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            FaceTimeHeader.parse(b"\x61\x00" + bytes(10))
+
+    def test_on_real_trace(self):
+        trace = get_simulator("facetime").simulate(
+            CallConfig(network=NetworkCondition.WIFI_RELAY, seed=4,
+                       call_duration=10.0, media_scale=0.3)
+        )
+        kept = TwoStageFilter(trace.window).apply(trace.records).kept_records
+        dpi = DpiEngine().analyze_records(kept)
+        checked = 0
+        for analysis in dpi.analyses:
+            header = analysis.proprietary_header
+            if not header.startswith(b"\x60\x00"):
+                continue
+            parsed = FaceTimeHeader.parse(header)
+            message_length = sum(
+                m.length + len(m.trailer) for m in analysis.messages
+            )
+            assert parsed.consistent_with(message_length)
+            checked += 1
+        assert checked > 100
+
+
+def extract_stun(message, t, stream_port=50000):
+    raw = message.build()
+    record = PacketRecord(timestamp=t, src_ip="10.0.0.1", src_port=stream_port,
+                          dst_ip="20.0.0.2", dst_port=3478, transport="UDP",
+                          payload=raw)
+    return ExtractedMessage(protocol=Protocol.STUN_TURN, offset=0,
+                            length=len(raw), message=message, record=record)
+
+
+class TestSequentialTxidRule:
+    def test_incrementing_txids_flagged(self):
+        messages = [
+            extract_stun(
+                StunMessage(msg_type=0x0001,
+                            transaction_id=(1000 + i).to_bytes(12, "big")),
+                t=float(i),
+            )
+            for i in range(8)
+        ]
+        # Answer each so the retransmission rule stays quiet.
+        messages += [
+            extract_stun(
+                StunMessage(msg_type=0x0101,
+                            transaction_id=(1000 + i).to_bytes(12, "big")),
+                t=float(i) + 0.1,
+            )
+            for i in range(8)
+        ]
+        context = StunSessionContext(messages)
+        violations = check_stun(messages[3], context)
+        assert violations[0].code == "sequential-transaction-id"
+        assert violations[0].criterion is Criterion.HEADER_FIELDS
+
+    def test_random_txids_not_flagged(self):
+        import random
+        rng = random.Random(1)
+        messages = [
+            extract_stun(
+                StunMessage(msg_type=0x0001,
+                            transaction_id=bytes(rng.randrange(256)
+                                                 for _ in range(12))),
+                t=float(i),
+            )
+            for i in range(20)
+        ]
+        context = StunSessionContext(messages)
+        assert not context.sequential_txids
+
+    def test_short_run_not_flagged(self):
+        messages = [
+            extract_stun(
+                StunMessage(msg_type=0x0001,
+                            transaction_id=(500 + i).to_bytes(12, "big")),
+                t=float(i),
+            )
+            for i in range(3)
+        ]
+        context = StunSessionContext(messages)
+        assert not context.sequential_txids
+
+    def test_simulated_apps_unaffected(self, pipeline_cache):
+        """No simulator emits sequential IDs; the rule must stay silent."""
+        from repro.apps import NetworkCondition
+        for app in ("whatsapp", "messenger", "meet"):
+            _t, _f, _d, verdicts = pipeline_cache(app, NetworkCondition.WIFI_RELAY)
+            assert not any(
+                v.first_violation and v.first_violation.code == "sequential-transaction-id"
+                for v in verdicts
+            )

@@ -1,0 +1,168 @@
+"""Tests for QUIC varints and v1 header parsing."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocols.quic.header import (
+    QUIC_V1,
+    LongHeaderType,
+    QuicParseError,
+    looks_like_quic,
+    parse_datagram,
+    parse_one,
+)
+from repro.protocols.quic.varint import decode_varint, encode_varint
+from repro.utils.bytesview import TruncatedError
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value,encoded", [
+        (0, b"\x00"),
+        (63, b"\x3f"),
+        (64, b"\x40\x40"),
+        (15293, b"\x7b\xbd"),       # RFC 9000 appendix A example
+        (494878333, b"\x9d\x7f\x3e\x7d"),
+        (151288809941952652, b"\xc2\x19\x7c\x5e\xff\x14\xe8\x8c"),
+    ])
+    def test_rfc_examples(self, value, encoded):
+        assert encode_varint(value) == encoded
+        assert decode_varint(encoded) == (value, len(encoded))
+
+    def test_decode_at_offset(self):
+        assert decode_varint(b"\xff\x3f", offset=1) == (63, 1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(TruncatedError):
+            decode_varint(b"\x40")
+        with pytest.raises(TruncatedError):
+            decode_varint(b"")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(1 << 62)
+
+    @given(st.integers(0, (1 << 62) - 1))
+    def test_property_round_trip(self, value):
+        encoded = encode_varint(value)
+        assert decode_varint(encoded) == (value, len(encoded))
+
+
+def initial_packet(dcid=b"\x01" * 8, scid=b"\x02" * 8, token=b"", payload_len=40):
+    out = bytes([0xC1]) + struct.pack("!I", QUIC_V1)
+    out += bytes([len(dcid)]) + dcid + bytes([len(scid)]) + scid
+    out += encode_varint(len(token)) + token
+    out += encode_varint(payload_len) + bytes(payload_len)
+    return out
+
+
+def handshake_packet(dcid=b"\x01" * 8, scid=b"\x02" * 8, payload_len=30):
+    out = bytes([0xE1]) + struct.pack("!I", QUIC_V1)
+    out += bytes([len(dcid)]) + dcid + bytes([len(scid)]) + scid
+    out += encode_varint(payload_len) + bytes(payload_len)
+    return out
+
+
+class TestLongHeaders:
+    def test_initial(self):
+        header = parse_one(initial_packet(token=b"tok"))
+        assert header.is_long
+        assert header.long_type is LongHeaderType.INITIAL
+        assert header.token == b"tok"
+        assert header.dcid == b"\x01" * 8
+        assert header.scid == b"\x02" * 8
+        assert header.payload_length == 40
+
+    def test_handshake(self):
+        header = parse_one(handshake_packet())
+        assert header.long_type is LongHeaderType.HANDSHAKE
+
+    def test_zero_rtt(self):
+        raw = bytearray(handshake_packet())
+        raw[0] = 0xD1
+        assert parse_one(bytes(raw)).long_type is LongHeaderType.ZERO_RTT
+
+    def test_retry(self):
+        out = bytes([0xF0]) + struct.pack("!I", QUIC_V1)
+        out += bytes([4]) + b"\x01" * 4 + bytes([4]) + b"\x02" * 4
+        out += b"retry-token-bytes" + bytes(16)
+        header = parse_one(out)
+        assert header.long_type is LongHeaderType.RETRY
+        assert header.token == b"retry-token-bytes"
+
+    def test_version_negotiation(self):
+        out = bytes([0x80]) + struct.pack("!I", 0)
+        out += bytes([8]) + b"\x01" * 8 + bytes([8]) + b"\x02" * 8
+        out += struct.pack("!I", QUIC_V1)
+        header = parse_one(out)
+        assert header.is_version_negotiation
+
+    def test_empty_vn_list_rejected(self):
+        out = bytes([0x80]) + struct.pack("!I", 0)
+        out += bytes([8]) + b"\x01" * 8 + bytes([8]) + b"\x02" * 8
+        with pytest.raises(QuicParseError):
+            parse_one(out)
+
+    def test_fixed_bit_clear_rejected(self):
+        raw = bytearray(initial_packet())
+        raw[0] = 0x80 | 0x01  # form bit set, fixed bit clear
+        with pytest.raises(QuicParseError):
+            parse_one(bytes(raw))
+
+    def test_oversized_cid_rejected(self):
+        out = bytes([0xC1]) + struct.pack("!I", QUIC_V1) + bytes([21]) + bytes(21)
+        with pytest.raises(QuicParseError):
+            parse_one(out + bytes(10))
+
+    def test_length_overrun_rejected(self):
+        raw = initial_packet(payload_len=40)[:-20]
+        with pytest.raises(QuicParseError):
+            parse_one(raw)
+
+    def test_unknown_version_not_quic(self):
+        raw = bytearray(initial_packet())
+        raw[1:5] = struct.pack("!I", 0x12345678)
+        assert not looks_like_quic(bytes(raw))
+
+
+class TestShortHeader:
+    def test_parse_with_known_dcid_len(self):
+        raw = bytes([0x41]) + b"\x09" * 8 + bytes(30)
+        header = parse_one(raw, short_dcid_len=8)
+        assert not header.is_long
+        assert header.dcid == b"\x09" * 8
+        assert header.wire_length == len(raw)
+
+    def test_tiny_short_packet_rejected(self):
+        with pytest.raises(QuicParseError):
+            parse_one(bytes([0x41]) + bytes(8), short_dcid_len=8)
+
+    def test_fixed_bit_clear_rejected(self):
+        with pytest.raises(QuicParseError):
+            parse_one(bytes([0x01]) + bytes(40), short_dcid_len=8)
+
+
+class TestCoalesced:
+    def test_two_long_packets(self):
+        raw = initial_packet(payload_len=20) + handshake_packet(payload_len=25)
+        headers = parse_datagram(raw)
+        assert [h.long_type for h in headers] == [
+            LongHeaderType.INITIAL, LongHeaderType.HANDSHAKE,
+        ]
+
+    def test_long_then_short(self):
+        raw = handshake_packet(payload_len=20) + bytes([0x41]) + b"\x01" * 8 + bytes(30)
+        headers = parse_datagram(raw, short_dcid_len=8)
+        assert headers[0].is_long
+        assert not headers[1].is_long
+
+    def test_wire_lengths_partition_datagram(self):
+        raw = initial_packet(payload_len=20) + handshake_packet(payload_len=25)
+        headers = parse_datagram(raw)
+        assert sum(h.wire_length for h in headers) == len(raw)

@@ -1,0 +1,231 @@
+"""Tests for the RTCP codec, compound parsing, and SRTCP framing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocols.rtcp.constants import RtcpPacketType, is_known_rtcp_type
+from repro.protocols.rtcp.packets import (
+    AppPacket,
+    ByePacket,
+    FeedbackPacket,
+    ReceiverReport,
+    ReportBlock,
+    RtcpHeader,
+    RtcpPacket,
+    RtcpParseError,
+    SdesChunk,
+    SdesItem,
+    SdesPacket,
+    SenderReport,
+    XrBlock,
+    XrPacket,
+    looks_like_rtcp,
+    parse_compound,
+)
+from repro.protocols.rtcp.srtcp import SrtcpTrailer, guess_srtcp_trailer, split_srtcp
+
+
+def make_block(ssrc=7):
+    return ReportBlock(ssrc=ssrc, fraction_lost=3, cumulative_lost=100,
+                       highest_seq=5000, jitter=12, lsr=0xAABB0000, dlsr=99)
+
+
+class TestHeader:
+    def test_round_trip(self):
+        header = RtcpHeader(version=2, padding=True, count=5,
+                            packet_type=200, length_words=6)
+        assert RtcpHeader.parse(header.build()) == header
+
+    def test_wire_length(self):
+        assert RtcpHeader(2, False, 0, 200, 6).wire_length == 28
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(RtcpParseError):
+            RtcpHeader.parse(b"\x80")
+
+
+class TestSenderReport:
+    def test_round_trip(self):
+        report = SenderReport(ssrc=1, ntp_timestamp=2**40, rtp_timestamp=3,
+                              packet_count=4, octet_count=5,
+                              report_blocks=[make_block()])
+        packet = report.to_packet()
+        assert packet.header.count == 1
+        assert SenderReport.from_packet(packet) == report
+
+    def test_truncated_rejected(self):
+        packet = SenderReport(ssrc=1, ntp_timestamp=2, rtp_timestamp=3,
+                              packet_count=4, octet_count=5).to_packet()
+        truncated = RtcpPacket(header=RtcpHeader(2, False, 1, 200,
+                                                 packet.header.length_words),
+                               body=packet.body)
+        with pytest.raises(RtcpParseError):
+            SenderReport.from_packet(truncated)
+
+    def test_wrong_type_rejected(self):
+        rr = ReceiverReport(ssrc=1).to_packet()
+        with pytest.raises(RtcpParseError):
+            SenderReport.from_packet(rr)
+
+
+class TestReceiverReport:
+    def test_round_trip(self):
+        report = ReceiverReport(ssrc=9, report_blocks=[make_block(), make_block(8)])
+        packet = report.to_packet()
+        assert packet.header.count == 2
+        assert ReceiverReport.from_packet(packet) == report
+
+
+class TestSdes:
+    def test_round_trip(self):
+        sdes = SdesPacket(chunks=[
+            SdesChunk(ssrc=11, items=[SdesItem(1, b"cname@host")]),
+            SdesChunk(ssrc=12, items=[SdesItem(2, b"user"), SdesItem(6, b"tool")]),
+        ])
+        parsed = SdesPacket.from_packet(sdes.to_packet())
+        assert parsed == sdes
+
+    def test_body_is_word_aligned(self):
+        packet = SdesPacket(chunks=[SdesChunk(ssrc=1, items=[SdesItem(1, b"ab")])]).to_packet()
+        assert len(packet.body) % 4 == 0
+
+
+class TestBye:
+    def test_round_trip(self):
+        bye = ByePacket(ssrcs=[1, 2], reason=b"teardown")
+        parsed = ByePacket.from_packet(bye.to_packet())
+        assert parsed.ssrcs == [1, 2]
+        assert parsed.reason == b"teardown"
+
+    def test_no_reason(self):
+        parsed = ByePacket.from_packet(ByePacket(ssrcs=[5]).to_packet())
+        assert parsed.reason == b""
+
+
+class TestApp:
+    def test_round_trip(self):
+        app = AppPacket(ssrc=3, name=b"ZOOM", data=b"\x01\x02\x03\x04", subtype=2)
+        parsed = AppPacket.from_packet(app.to_packet())
+        assert parsed == app
+
+    def test_name_must_be_4_bytes(self):
+        with pytest.raises(ValueError):
+            AppPacket(ssrc=1, name=b"TOOLONG").to_packet()
+
+    def test_data_must_be_aligned(self):
+        with pytest.raises(ValueError):
+            AppPacket(ssrc=1, name=b"ABCD", data=b"xy").to_packet()
+
+
+class TestFeedback:
+    def test_rtpfb_round_trip(self):
+        feedback = FeedbackPacket(packet_type=205, fmt=1, sender_ssrc=1,
+                                  media_ssrc=2, fci=b"\x00\x01\x00\x00")
+        parsed = FeedbackPacket.from_packet(feedback.to_packet())
+        assert parsed == feedback
+
+    def test_psfb_pli(self):
+        pli = FeedbackPacket(packet_type=206, fmt=1, sender_ssrc=1, media_ssrc=2)
+        packet = pli.to_packet()
+        assert packet.header.count == 1
+        assert FeedbackPacket.from_packet(packet).fci == b""
+
+    def test_fci_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            FeedbackPacket(packet_type=205, fmt=1, sender_ssrc=1,
+                           media_ssrc=2, fci=b"abc").to_packet()
+
+
+class TestXr:
+    def test_round_trip(self):
+        xr = XrPacket(ssrc=5, blocks=[XrBlock(block_type=4, type_specific=0,
+                                              data=bytes(8))])
+        parsed = XrPacket.from_packet(xr.to_packet())
+        assert parsed == xr
+
+
+class TestCompound:
+    def test_multiple_packets(self):
+        raw = (SenderReport(ssrc=1, ntp_timestamp=0, rtp_timestamp=0,
+                            packet_count=0, octet_count=0).to_packet().build()
+               + SdesPacket(chunks=[SdesChunk(1, [SdesItem(1, b"c")])]).to_packet().build())
+        packets = parse_compound(raw)
+        assert [p.packet_type for p in packets] == [200, 202]
+
+    def test_strict_rejects_stray_bytes(self):
+        raw = ReceiverReport(ssrc=1).to_packet().build() + b"\x00\x01\x02"
+        with pytest.raises(RtcpParseError):
+            parse_compound(raw)
+
+    def test_lenient_attaches_trailer(self):
+        raw = ReceiverReport(ssrc=1).to_packet().build() + b"\x00\x01\x80"
+        packets = parse_compound(raw, strict=False)
+        assert packets[-1].trailer == b"\x00\x01\x80"
+
+    def test_empty_garbage_rejected(self):
+        with pytest.raises(RtcpParseError):
+            parse_compound(b"\x01\x02\x03\x04\x05", strict=False)
+
+    def test_ssrc_property(self):
+        packet = ReceiverReport(ssrc=0xCAFE).to_packet()
+        assert packet.ssrc == 0xCAFE
+
+
+class TestSrtcp:
+    def test_split_with_tag(self):
+        plain = ReceiverReport(ssrc=1).to_packet().build()
+        trailer = SrtcpTrailer(encrypted=True, index=42, auth_tag=b"t" * 10)
+        protected, parsed = split_srtcp(plain + trailer.build())
+        assert protected == plain
+        assert parsed.index == 42
+        assert parsed.encrypted
+        assert parsed.auth_tag == b"t" * 10
+
+    def test_split_without_tag(self):
+        plain = ReceiverReport(ssrc=1).to_packet().build()
+        trailer = SrtcpTrailer(encrypted=True, index=7, auth_tag=b"")
+        _protected, parsed = split_srtcp(plain + trailer.build(), auth_tag_len=0)
+        assert parsed.index == 7
+        assert not parsed.has_auth_tag
+
+    def test_too_short_rejected(self):
+        with pytest.raises(RtcpParseError):
+            split_srtcp(b"\x80\xc8\x00\x00")
+
+    def test_guess_prefers_tagged(self):
+        plain = ReceiverReport(ssrc=1).to_packet().build()
+        raw = plain + SrtcpTrailer(True, 3, b"x" * 10).build()
+        guessed = guess_srtcp_trailer(raw)
+        assert guessed is not None and guessed.index == 3
+
+
+class TestLooksLikeRtcp:
+    def test_accepts_sr(self):
+        raw = SenderReport(ssrc=1, ntp_timestamp=0, rtp_timestamp=0,
+                           packet_count=0, octet_count=0).to_packet().build()
+        assert looks_like_rtcp(raw)
+
+    def test_rejects_rtp(self):
+        from repro.protocols.rtp.header import RtpPacket
+        raw = RtpPacket(payload_type=96, sequence_number=1, timestamp=2,
+                        ssrc=3, payload=b"x").build()
+        assert not looks_like_rtcp(raw)
+
+    def test_rejects_wrong_version(self):
+        raw = bytearray(ReceiverReport(ssrc=1).to_packet().build())
+        raw[0] = 0x41
+        assert not looks_like_rtcp(bytes(raw))
+
+    @given(st.binary(max_size=60))
+    def test_never_crashes(self, data):
+        looks_like_rtcp(data)
+
+
+class TestConstants:
+    def test_known_types(self):
+        assert is_known_rtcp_type(200)
+        assert is_known_rtcp_type(207)
+        assert not is_known_rtcp_type(199)
+        assert not is_known_rtcp_type(208)
+        assert RtcpPacketType.SDES == 202

@@ -1,0 +1,126 @@
+"""Tests for the SDP codec."""
+
+import pytest
+
+from repro.ice.candidates import Candidate, CandidateType
+from repro.protocols.sdp import (
+    MediaDescription,
+    SdpParseError,
+    SessionDescription,
+    candidate_from_sdp,
+    candidate_to_sdp,
+)
+
+
+def sample_session():
+    audio = MediaDescription(
+        media="audio",
+        port=9,
+        payload_types=[111, 103],
+        rtpmap={111: "opus/48000/2", 103: "ISAC/16000"},
+        fmtp={111: "minptime=10;useinbandfec=1"},
+        connection_ip="0.0.0.0",
+        candidates=[
+            Candidate(ip="192.168.1.5", port=50000,
+                      candidate_type=CandidateType.HOST),
+            Candidate(ip="203.0.113.9", port=41000,
+                      candidate_type=CandidateType.SERVER_REFLEXIVE,
+                      related_ip="192.168.1.5", related_port=50000),
+        ],
+    )
+    video = MediaDescription(
+        media="video", port=9, payload_types=[96, 97],
+        rtpmap={96: "VP8/90000", 97: "rtx/90000"},
+    )
+    return SessionDescription(
+        origin_username="repro",
+        session_id=12345,
+        session_version=2,
+        origin_ip="192.168.1.5",
+        session_name="call",
+        ice_ufrag="Fr4g",
+        ice_pwd="s3cretpassword0123456789",
+        media=[audio, video],
+    )
+
+
+class TestCandidateLines:
+    def test_round_trip_host(self):
+        candidate = Candidate(ip="10.0.0.1", port=1234,
+                              candidate_type=CandidateType.HOST)
+        assert candidate_from_sdp(candidate_to_sdp(candidate)) == candidate
+
+    def test_round_trip_relay_with_raddr(self):
+        candidate = Candidate(ip="198.18.0.5", port=40000,
+                              candidate_type=CandidateType.RELAYED,
+                              related_ip="203.0.113.1", related_port=50001)
+        parsed = candidate_from_sdp(candidate_to_sdp(candidate))
+        assert parsed == candidate
+
+    def test_real_world_line(self):
+        line = ("842163049 1 udp 1677729535 203.0.113.7 46622 typ srflx "
+                "raddr 10.0.1.1 rport 46622")
+        parsed = candidate_from_sdp(line)
+        assert parsed.candidate_type is CandidateType.SERVER_REFLEXIVE
+        assert parsed.ip == "203.0.113.7"
+        assert parsed.related_ip == "10.0.1.1"
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SdpParseError):
+            candidate_from_sdp("1 1 udp 99 1.2.3.4 5")
+        with pytest.raises(SdpParseError):
+            candidate_from_sdp("1 1 tcp 99 1.2.3.4 5 typ host")
+        with pytest.raises(SdpParseError):
+            candidate_from_sdp("1 1 udp 99 1.2.3.4 5 typ wormhole")
+
+
+class TestSessionDescription:
+    def test_serialize_parse_round_trip(self):
+        session = sample_session()
+        parsed = SessionDescription.parse(session.serialize())
+        assert parsed.session_id == 12345
+        assert parsed.ice_ufrag == "Fr4g"
+        assert len(parsed.media) == 2
+        audio = parsed.media[0]
+        assert audio.payload_types == [111, 103]
+        assert audio.codec_name(111) == "opus"
+        assert audio.fmtp[111] == "minptime=10;useinbandfec=1"
+        assert len(audio.candidates) == 2
+        assert audio.candidates[1].candidate_type is CandidateType.SERVER_REFLEXIVE
+
+    def test_crlf_line_endings(self):
+        text = sample_session().serialize()
+        assert "\r\n" in text
+        assert SessionDescription.parse(text.replace("\r\n", "\n")).media
+
+    def test_unknown_attributes_preserved(self):
+        text = sample_session().serialize()
+        text += "a=extmap:1 urn:ietf:params:rtp-hdrext:ssrc-audio-level\r\n"
+        parsed = SessionDescription.parse(text)
+        keys = [k for k, _ in parsed.media[-1].attributes]
+        assert "extmap" in keys
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(SdpParseError):
+            SessionDescription.parse("v=1\r\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(SdpParseError):
+            SessionDescription.parse("v=0\r\nnonsense\r\n")
+
+    def test_malformed_media_rejected(self):
+        with pytest.raises(SdpParseError):
+            SessionDescription.parse("v=0\r\nm=audio\r\n")
+
+    def test_candidates_usable_by_checklist(self):
+        """SDP candidates feed directly into the ICE machinery."""
+        from repro.ice import Checklist
+        session = sample_session()
+        parsed = SessionDescription.parse(session.serialize())
+        local = parsed.media[0].candidates
+        remote = [
+            Candidate(ip="192.168.1.9", port=51000,
+                      candidate_type=CandidateType.HOST),
+        ]
+        checklist = Checklist.form(local, remote, controlling=True)
+        assert checklist.pairs

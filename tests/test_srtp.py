@@ -1,0 +1,232 @@
+"""Tests for the AES and SRTP/SRTCP substrates (FIPS-197 / RFC 3711)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, aes_ctr_keystream, xor_bytes
+from repro.protocols.rtp.header import RtpPacket
+from repro.protocols.srtp import (
+    AuthenticationError,
+    KeyDerivationLabel,
+    ReplayError,
+    SrtcpCryptoContext,
+    SrtpCryptoContext,
+    derive_key,
+)
+
+MASTER_KEY = bytes.fromhex("E1F97A0D3E018BE0D64FA32C06DE4139")
+MASTER_SALT = bytes.fromhex("0EC675AD498AFEEBB6960B3AABE6")
+
+
+class TestAes:
+    def test_fips197_aes128(self):
+        cipher = AES(bytes.fromhex("000102030405060708090a0b0c0d0e0f"))
+        out = cipher.encrypt_block(bytes.fromhex("00112233445566778899aabbccddeeff"))
+        assert out == bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+    def test_fips197_aes192(self):
+        cipher = AES(bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f1011121314151617"))
+        out = cipher.encrypt_block(bytes.fromhex("00112233445566778899aabbccddeeff"))
+        assert out == bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+
+    def test_fips197_aes256(self):
+        cipher = AES(bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f"
+            "101112131415161718191a1b1c1d1e1f"))
+        out = cipher.encrypt_block(bytes.fromhex("00112233445566778899aabbccddeeff"))
+        assert out == bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            AES(b"short")
+
+    def test_bad_block_length(self):
+        with pytest.raises(ValueError):
+            AES(bytes(16)).encrypt_block(b"tiny")
+
+    def test_ctr_keystream_deterministic(self):
+        a = aes_ctr_keystream(bytes(16), 0, 48)
+        b = aes_ctr_keystream(bytes(16), 0, 48)
+        assert a == b
+        assert len(a) == 48
+
+    def test_ctr_counter_advances(self):
+        one = aes_ctr_keystream(bytes(16), 0, 16)
+        two = aes_ctr_keystream(bytes(16), 1, 16)
+        assert one != two
+        both = aes_ctr_keystream(bytes(16), 0, 32)
+        assert both == one + two
+
+    def test_xor_bytes(self):
+        assert xor_bytes(b"\x0f\x0f", b"\xf0\xf0") == b"\xff\xff"
+        with pytest.raises(ValueError):
+            xor_bytes(b"abc", b"a")
+
+
+class TestKeyDerivation:
+    """RFC 3711 appendix B.3 test vectors."""
+
+    def test_cipher_key(self):
+        key = derive_key(MASTER_KEY, MASTER_SALT,
+                         KeyDerivationLabel.RTP_ENCRYPTION, 16)
+        assert key == bytes.fromhex("C61E7A93744F39EE10734AFE3FF7A087")
+
+    def test_cipher_salt(self):
+        salt = derive_key(MASTER_KEY, MASTER_SALT,
+                          KeyDerivationLabel.RTP_SALT, 14)
+        assert salt == bytes.fromhex("30CBBC08863D8C85D49DB34A9AE1")
+
+    def test_auth_key(self):
+        auth = derive_key(MASTER_KEY, MASTER_SALT,
+                          KeyDerivationLabel.RTP_AUTH, 20)
+        assert auth == bytes.fromhex(
+            "CEBE321F6FF7716B6FD4AB49AF256A156D38BAA4"
+        )
+
+    def test_bad_salt_length(self):
+        with pytest.raises(ValueError):
+            derive_key(MASTER_KEY, b"short", 0, 16)
+
+    def test_labels_produce_distinct_keys(self):
+        keys = {
+            derive_key(MASTER_KEY, MASTER_SALT, label, 16)
+            for label in KeyDerivationLabel
+        }
+        assert len(keys) == len(KeyDerivationLabel)
+
+
+def rtp_bytes(seq=100, payload=b"confidential-media"):
+    return RtpPacket(payload_type=96, sequence_number=seq, timestamp=1234,
+                     ssrc=0xCAFEBABE, payload=payload).build()
+
+
+class TestSrtp:
+    def test_protect_unprotect_round_trip(self):
+        sender = SrtpCryptoContext(MASTER_KEY, MASTER_SALT)
+        receiver = SrtpCryptoContext(MASTER_KEY, MASTER_SALT)
+        plain = rtp_bytes()
+        protected = sender.protect(plain)
+        assert len(protected) == len(plain) + 10
+        assert receiver.unprotect(protected) == plain
+
+    def test_header_stays_in_clear(self):
+        context = SrtpCryptoContext(MASTER_KEY, MASTER_SALT)
+        plain = rtp_bytes()
+        protected = context.protect(plain)
+        assert protected[:12] == plain[:12]
+        assert protected[12:-10] != plain[12:]
+
+    def test_tamper_detected(self):
+        sender = SrtpCryptoContext(MASTER_KEY, MASTER_SALT)
+        receiver = SrtpCryptoContext(MASTER_KEY, MASTER_SALT)
+        protected = bytearray(sender.protect(rtp_bytes()))
+        protected[14] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            receiver.unprotect(bytes(protected))
+
+    def test_wrong_key_rejected(self):
+        sender = SrtpCryptoContext(MASTER_KEY, MASTER_SALT)
+        receiver = SrtpCryptoContext(bytes(16), MASTER_SALT)
+        with pytest.raises(AuthenticationError):
+            receiver.unprotect(sender.protect(rtp_bytes()))
+
+    def test_replay_rejected(self):
+        sender = SrtpCryptoContext(MASTER_KEY, MASTER_SALT)
+        receiver = SrtpCryptoContext(MASTER_KEY, MASTER_SALT)
+        protected = sender.protect(rtp_bytes())
+        receiver.unprotect(protected)
+        with pytest.raises(ReplayError):
+            receiver.unprotect(protected)
+
+    def test_roc_participates_in_auth(self):
+        sender = SrtpCryptoContext(MASTER_KEY, MASTER_SALT)
+        receiver = SrtpCryptoContext(MASTER_KEY, MASTER_SALT)
+        protected = sender.protect(rtp_bytes(), roc=3)
+        with pytest.raises(AuthenticationError):
+            receiver.unprotect(protected, roc=4)
+
+    def test_extension_header_preserved(self):
+        from repro.protocols.rtp.extensions import build_one_byte_extension
+        packet = RtpPacket(
+            payload_type=96, sequence_number=7, timestamp=8, ssrc=9,
+            payload=b"media", extension=build_one_byte_extension([(1, b"\x42")]),
+        ).build()
+        context = SrtpCryptoContext(MASTER_KEY, MASTER_SALT)
+        recovered = SrtpCryptoContext(MASTER_KEY, MASTER_SALT).unprotect(
+            context.protect(packet)
+        )
+        assert recovered == packet
+
+    @settings(max_examples=20)
+    @given(st.binary(min_size=1, max_size=300), st.integers(0, 65535))
+    def test_property_round_trip(self, payload, seq):
+        sender = SrtpCryptoContext(MASTER_KEY, MASTER_SALT)
+        receiver = SrtpCryptoContext(MASTER_KEY, MASTER_SALT)
+        plain = rtp_bytes(seq=seq, payload=payload)
+        assert receiver.unprotect(sender.protect(plain)) == plain
+
+
+class TestSrtcp:
+    def _rtcp(self):
+        from repro.protocols.rtcp.packets import SenderReport
+        return SenderReport(ssrc=0x1234, ntp_timestamp=5, rtp_timestamp=6,
+                            packet_count=7, octet_count=8).to_packet().build()
+
+    def test_round_trip(self):
+        sender = SrtcpCryptoContext(MASTER_KEY, MASTER_SALT)
+        receiver = SrtcpCryptoContext(MASTER_KEY, MASTER_SALT)
+        plain = self._rtcp()
+        protected = sender.protect(plain)
+        recovered, index = receiver.unprotect(protected)
+        assert recovered == plain
+        assert index == 1  # indexes start at 1 and increase
+
+    def test_index_increments(self):
+        sender = SrtcpCryptoContext(MASTER_KEY, MASTER_SALT)
+        receiver = SrtcpCryptoContext(MASTER_KEY, MASTER_SALT)
+        for expected in (1, 2, 3):
+            _plain, index = receiver.unprotect(sender.protect(self._rtcp()))
+            assert index == expected
+
+    def test_framing_matches_study_model(self):
+        """The protected layout is what the compliance layer classifies."""
+        from repro.core.rtcp_rules import classify_trailer
+        sender = SrtcpCryptoContext(MASTER_KEY, MASTER_SALT)
+        plain = self._rtcp()
+        protected = sender.protect(plain)
+        # First 8 bytes (header + SSRC) stay in the clear.
+        assert protected[:8] == plain[:8]
+        trailer = protected[len(plain):]
+        assert classify_trailer(trailer) == "srtcp"
+        # Dropping the tag produces exactly the Google Meet violation.
+        assert classify_trailer(trailer[:4]) == "srtcp-no-tag"
+
+    def test_tamper_detected(self):
+        sender = SrtcpCryptoContext(MASTER_KEY, MASTER_SALT)
+        receiver = SrtcpCryptoContext(MASTER_KEY, MASTER_SALT)
+        protected = bytearray(sender.protect(self._rtcp()))
+        protected[10] ^= 0xFF
+        with pytest.raises(AuthenticationError):
+            receiver.unprotect(bytes(protected))
+
+    def test_replay_rejected(self):
+        sender = SrtcpCryptoContext(MASTER_KEY, MASTER_SALT)
+        receiver = SrtcpCryptoContext(MASTER_KEY, MASTER_SALT)
+        protected = sender.protect(self._rtcp())
+        receiver.unprotect(protected)
+        with pytest.raises(ReplayError):
+            receiver.unprotect(protected)
+
+    def test_explicit_index(self):
+        sender = SrtcpCryptoContext(MASTER_KEY, MASTER_SALT)
+        receiver = SrtcpCryptoContext(MASTER_KEY, MASTER_SALT)
+        protected = sender.protect(self._rtcp(), index=500)
+        _plain, index = receiver.unprotect(protected)
+        assert index == 500
+
+    def test_index_range_enforced(self):
+        sender = SrtcpCryptoContext(MASTER_KEY, MASTER_SALT)
+        with pytest.raises(ValueError):
+            sender.protect(self._rtcp(), index=1 << 31)

@@ -1,0 +1,305 @@
+"""Tests for the STUN/TURN wire-format codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocols.stun.attributes import (
+    StunAttribute,
+    decode_address,
+    decode_error_code,
+    decode_xor_address,
+    encode_address,
+    encode_error_code,
+    encode_xor_address,
+    parse_attributes,
+)
+from repro.protocols.stun.constants import (
+    MAGIC_COOKIE,
+    AttributeType,
+    MessageClass,
+    StunMethod,
+    attribute_name,
+    is_comprehension_required,
+    message_class,
+    message_method,
+    message_type,
+    message_type_name,
+)
+from repro.protocols.stun.message import (
+    ChannelData,
+    StunMessage,
+    StunParseError,
+    build_with_fingerprint,
+    looks_like_stun,
+)
+from repro.utils.bytesview import TruncatedError
+
+
+class TestMessageTypeEncoding:
+    def test_binding_request_is_0001(self):
+        assert message_type(StunMethod.BINDING, MessageClass.REQUEST) == 0x0001
+
+    def test_binding_success_is_0101(self):
+        assert message_type(StunMethod.BINDING, MessageClass.SUCCESS_RESPONSE) == 0x0101
+
+    def test_binding_error_is_0111(self):
+        assert message_type(StunMethod.BINDING, MessageClass.ERROR_RESPONSE) == 0x0111
+
+    def test_turn_types(self):
+        assert message_type(StunMethod.ALLOCATE, MessageClass.REQUEST) == 0x0003
+        assert message_type(StunMethod.ALLOCATE, MessageClass.SUCCESS_RESPONSE) == 0x0103
+        assert message_type(StunMethod.ALLOCATE, MessageClass.ERROR_RESPONSE) == 0x0113
+        assert message_type(StunMethod.SEND, MessageClass.INDICATION) == 0x0016
+        assert message_type(StunMethod.DATA, MessageClass.INDICATION) == 0x0017
+        assert message_type(StunMethod.CHANNEL_BIND, MessageClass.REQUEST) == 0x0009
+
+    def test_goog_ping_types(self):
+        assert message_type(StunMethod.GOOG_PING, MessageClass.REQUEST) == 0x0200
+        assert message_type(StunMethod.GOOG_PING, MessageClass.SUCCESS_RESPONSE) == 0x0300
+
+    @given(st.integers(0, 0xFFF), st.sampled_from(list(MessageClass)))
+    def test_compose_decompose_round_trip(self, method, msg_class):
+        encoded = message_type(method, msg_class)
+        assert encoded & 0xC000 == 0
+        assert message_method(encoded) == method
+        assert message_class(encoded) is msg_class
+
+    def test_type_names(self):
+        assert message_type_name(0x0001) == "Binding Request"
+        assert message_type_name(0x0113) == "Allocate Error Response"
+        assert message_type_name(0x0800) is None
+
+    def test_comprehension_ranges(self):
+        assert is_comprehension_required(0x0001)
+        assert not is_comprehension_required(0x8022)
+
+
+class TestAttributes:
+    def test_tlv_round_trip(self):
+        attr = StunAttribute(0x8022, b"software-name")
+        parsed = parse_attributes(attr.build())
+        assert parsed == [attr]
+
+    def test_padding_to_four(self):
+        attr = StunAttribute(0x0006, b"abcde")
+        raw = attr.build()
+        assert len(raw) == 4 + 8  # 5 bytes padded to 8
+        assert parse_attributes(raw)[0].value == b"abcde"
+
+    def test_multiple_attributes(self):
+        raw = StunAttribute(1, b"a").build() + StunAttribute(2, b"bb").build()
+        parsed = parse_attributes(raw)
+        assert [a.attr_type for a in parsed] == [1, 2]
+
+    def test_truncated_strict_raises(self):
+        raw = StunAttribute(1, b"abcd").build()[:-2]
+        with pytest.raises(TruncatedError):
+            parse_attributes(raw)
+
+    def test_truncated_lenient_drops(self):
+        raw = StunAttribute(1, b"abcd").build() + b"\x00\x02\x00\x08"
+        parsed = parse_attributes(raw, strict=False)
+        assert len(parsed) == 1
+
+    def test_attribute_names(self):
+        assert attribute_name(int(AttributeType.XOR_MAPPED_ADDRESS)) == "XOR-MAPPED-ADDRESS"
+        assert attribute_name(0x4007) is None
+
+    @given(st.integers(0, 0xFFFF), st.binary(max_size=64))
+    def test_property_tlv_round_trip(self, attr_type, value):
+        parsed = parse_attributes(StunAttribute(attr_type, value).build())
+        assert parsed[0].attr_type == attr_type
+        assert parsed[0].value == value
+
+
+class TestAddressCoding:
+    def test_plain_ipv4_round_trip(self):
+        value = encode_address("192.0.2.5", 3478)
+        decoded = decode_address(value)
+        assert (decoded.ip, decoded.port, decoded.family) == ("192.0.2.5", 3478, 1)
+
+    def test_plain_ipv6_round_trip(self):
+        value = encode_address("2001:db8::7", 19302)
+        decoded = decode_address(value)
+        assert decoded.ip == "2001:db8::7"
+        assert decoded.family == 2
+
+    def test_xor_ipv4_round_trip(self):
+        txid = bytes(range(12))
+        value = encode_xor_address("203.0.113.9", 54321, txid)
+        decoded = decode_xor_address(value, txid)
+        assert (decoded.ip, decoded.port) == ("203.0.113.9", 54321)
+
+    def test_xor_ipv6_round_trip(self):
+        txid = bytes(range(12))
+        value = encode_xor_address("2001:db8::abcd", 1234, txid)
+        decoded = decode_xor_address(value, txid)
+        assert (decoded.ip, decoded.port) == ("2001:db8::abcd", 1234)
+
+    def test_xor_actually_xors(self):
+        txid = bytes(12)
+        value = encode_xor_address("192.0.2.1", 80, txid)
+        # The encoded port is port ^ (cookie >> 16), not the plain port.
+        assert int.from_bytes(value[2:4], "big") == 80 ^ (MAGIC_COOKIE >> 16)
+
+    def test_invalid_family_surfaces_hex(self):
+        value = bytes([0, 0x00, 0x0D, 0x96]) + bytes(4)
+        decoded = decode_address(value)
+        assert decoded.family == 0
+        assert not decoded.family_valid
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            decode_address(b"\x00\x01\x00")
+
+    @given(st.integers(0, 65535))
+    def test_property_port_xor(self, port):
+        txid = bytes(12)
+        value = encode_xor_address("10.0.0.1", port, txid)
+        assert decode_xor_address(value, txid).port == port
+
+
+class TestErrorCode:
+    def test_round_trip(self):
+        decoded = decode_error_code(encode_error_code(438, "Stale Nonce"))
+        assert decoded.code == 438
+        assert decoded.reason == "Stale Nonce"
+        assert decoded.error_class == 4
+        assert decoded.number == 38
+
+    def test_short_value_rejected(self):
+        with pytest.raises(ValueError):
+            decode_error_code(b"\x00\x04")
+
+
+class TestStunMessage:
+    def test_modern_round_trip(self):
+        message = StunMessage(
+            msg_type=0x0001,
+            transaction_id=bytes(range(12)),
+            attributes=[StunAttribute(0x8022, b"test-agent")],
+        )
+        parsed = StunMessage.parse(message.build())
+        assert parsed == message
+        assert not parsed.classic
+
+    def test_classic_round_trip(self):
+        message = StunMessage(
+            msg_type=0x0002, transaction_id=bytes(range(16)), classic=True
+        )
+        parsed = StunMessage.parse(message.build())
+        assert parsed.classic
+        assert parsed.transaction_id == bytes(range(16))
+
+    def test_magic_cookie_position(self):
+        raw = StunMessage(msg_type=0x0001, transaction_id=bytes(12)).build()
+        assert int.from_bytes(raw[4:8], "big") == MAGIC_COOKIE
+
+    def test_wrong_txid_length_rejected_on_build(self):
+        with pytest.raises(ValueError):
+            StunMessage(msg_type=0x0001, transaction_id=bytes(5)).build()
+        with pytest.raises(ValueError):
+            StunMessage(msg_type=0x0001, transaction_id=bytes(16)).build()
+
+    def test_top_bits_rejected(self):
+        raw = bytearray(StunMessage(msg_type=0x0001, transaction_id=bytes(12)).build())
+        raw[0] |= 0xC0
+        with pytest.raises(StunParseError):
+            StunMessage.parse(bytes(raw))
+
+    def test_unaligned_length_rejected(self):
+        raw = bytearray(StunMessage(msg_type=0x0001, transaction_id=bytes(12)).build())
+        raw[3] = 3
+        with pytest.raises(StunParseError):
+            StunMessage.parse(bytes(raw))
+
+    def test_length_overrun_rejected(self):
+        raw = bytearray(StunMessage(msg_type=0x0001, transaction_id=bytes(12)).build())
+        raw[2:4] = (400).to_bytes(2, "big")
+        with pytest.raises(StunParseError):
+            StunMessage.parse(bytes(raw))
+
+    def test_strict_rejects_trailing_bytes(self):
+        raw = StunMessage(msg_type=0x0001, transaction_id=bytes(12)).build() + b"\x00" * 4
+        with pytest.raises(StunParseError):
+            StunMessage.parse(raw)
+        parsed = StunMessage.parse(raw, strict=False)
+        assert parsed.wire_length == len(raw) - 4
+
+    def test_attribute_accessors(self):
+        message = StunMessage(
+            msg_type=0x0001,
+            transaction_id=bytes(12),
+            attributes=[StunAttribute(1, b"a"), StunAttribute(2, b"b")],
+        )
+        assert message.attribute(2).value == b"b"
+        assert message.attribute(9) is None
+        assert message.attribute_types() == [1, 2]
+
+    def test_method_and_class_properties(self):
+        message = StunMessage(msg_type=0x0113, transaction_id=bytes(12))
+        assert message.method == StunMethod.ALLOCATE
+        assert message.msg_class is MessageClass.ERROR_RESPONSE
+
+    def test_build_with_fingerprint_verifies(self):
+        import zlib
+
+        message = StunMessage(
+            msg_type=0x0001,
+            transaction_id=bytes(12),
+            attributes=[StunAttribute(0x0006, b"user")],
+        )
+        raw = build_with_fingerprint(message)
+        parsed = StunMessage.parse(raw)
+        assert parsed.attributes[-1].attr_type == AttributeType.FINGERPRINT
+        expected = (zlib.crc32(raw[:-8]) & 0xFFFFFFFF) ^ 0x5354554E
+        assert int.from_bytes(parsed.attributes[-1].value, "big") == expected
+
+
+class TestChannelData:
+    def test_round_trip(self):
+        frame = ChannelData(channel=0x4001, data=b"media-bytes")
+        parsed = ChannelData.parse(frame.build())
+        assert parsed == frame
+        assert parsed.channel_valid
+
+    def test_reserved_channel_flagged(self):
+        assert not ChannelData(channel=0x5000, data=b"").channel_valid
+
+    def test_out_of_range_rejected(self):
+        raw = ChannelData(channel=0x4001, data=b"x").build()
+        bad = b"\x30\x00" + raw[2:]
+        with pytest.raises(StunParseError):
+            ChannelData.parse(bad)
+
+    def test_trailing_bytes_strict(self):
+        raw = ChannelData(channel=0x4001, data=b"abc").build() + b"\x00"
+        with pytest.raises(StunParseError):
+            ChannelData.parse(raw)
+        assert ChannelData.parse(raw, strict=False).data == b"abc"
+
+
+class TestLooksLikeStun:
+    def test_accepts_modern(self):
+        assert looks_like_stun(StunMessage(msg_type=0x0001, transaction_id=bytes(12)).build())
+
+    def test_accepts_classic(self):
+        raw = StunMessage(msg_type=0x0001, transaction_id=bytes(16), classic=True).build()
+        assert looks_like_stun(raw)
+
+    def test_rejects_short(self):
+        assert not looks_like_stun(b"\x00\x01\x00\x00")
+
+    def test_rejects_top_bits(self):
+        assert not looks_like_stun(b"\xc0\x01\x00\x00" + bytes(16))
+
+    def test_rejects_unaligned_length(self):
+        assert not looks_like_stun(b"\x00\x01\x00\x03" + bytes(20))
+
+    def test_rejects_overrun_length(self):
+        assert not looks_like_stun(b"\x00\x01\x00\x40" + bytes(16))
+
+    @given(st.binary(min_size=0, max_size=60))
+    def test_never_crashes(self, data):
+        looks_like_stun(data)

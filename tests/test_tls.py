@@ -1,0 +1,59 @@
+"""Tests for TLS ClientHello parsing and SNI extraction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocols.tls.client_hello import (
+    TlsParseError,
+    build_client_hello,
+    extract_sni,
+    parse_client_hello,
+)
+
+
+class TestClientHello:
+    def test_round_trip_sni(self):
+        raw = build_client_hello("media.example.net")
+        assert extract_sni(raw) == "media.example.net"
+
+    def test_parse_fields(self):
+        raw = build_client_hello("a.b", random_bytes=bytes(range(32)))
+        hello = parse_client_hello(raw)
+        assert hello.legacy_version == 0x0303
+        assert hello.random == bytes(range(32))
+        assert 0x1301 in hello.cipher_suites
+
+    def test_custom_suites(self):
+        raw = build_client_hello("x.y", cipher_suites=[0xC02F])
+        assert parse_client_hello(raw).cipher_suites == [0xC02F]
+
+    def test_bad_random_length_rejected(self):
+        with pytest.raises(ValueError):
+            build_client_hello("x.y", random_bytes=b"short")
+
+    def test_non_handshake_rejected(self):
+        raw = bytearray(build_client_hello("x.y"))
+        raw[0] = 23  # application data
+        with pytest.raises(TlsParseError):
+            parse_client_hello(bytes(raw))
+
+    def test_non_clienthello_rejected(self):
+        raw = bytearray(build_client_hello("x.y"))
+        raw[5] = 2  # ServerHello
+        with pytest.raises(TlsParseError):
+            parse_client_hello(bytes(raw))
+
+    def test_extract_sni_on_garbage_returns_none(self):
+        assert extract_sni(b"not tls at all") is None
+        assert extract_sni(b"") is None
+
+    def test_extract_sni_with_corrupted_extension_is_graceful(self):
+        raw = bytearray(build_client_hello("x.y"))
+        raw[-4:] = b"\x00\x00\x00\x00"
+        # Must not raise; the mangled SNI yields a degenerate or no name.
+        assert extract_sni(bytes(raw)) != "x.y"
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz.-", min_size=1, max_size=40))
+    def test_property_sni_round_trip(self, hostname):
+        assert extract_sni(build_client_hello(hostname)) == hostname

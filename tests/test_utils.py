@@ -1,0 +1,66 @@
+"""Tests for deterministic RNG and hexdump helpers."""
+
+from repro.utils.hexdump import hexdump
+from repro.utils.rand import DeterministicRandom, derive
+
+
+class TestDeterministicRandom:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRandom(42)
+        b = DeterministicRandom(42)
+        assert [a.u32() for _ in range(10)] == [b.u32() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        assert DeterministicRandom(1).u64() != DeterministicRandom(2).u64()
+
+    def test_child_streams_independent(self):
+        root = DeterministicRandom("root")
+        a = root.child("a")
+        b = root.child("b")
+        assert [a.u32() for _ in range(5)] != [b.u32() for _ in range(5)]
+
+    def test_child_deterministic(self):
+        assert (
+            DeterministicRandom("x").child("y").u32()
+            == DeterministicRandom("x").child("y").u32()
+        )
+
+    def test_rand_bytes_length(self):
+        assert len(DeterministicRandom(0).rand_bytes(17)) == 17
+
+    def test_transaction_id_is_12_bytes(self):
+        assert len(DeterministicRandom(0).transaction_id()) == 12
+
+    def test_jitter_within_bounds(self):
+        rng = DeterministicRandom(0)
+        for _ in range(100):
+            value = rng.jitter(10.0, 0.1)
+            assert 9.0 <= value <= 11.0
+
+    def test_derive_is_stable(self):
+        assert derive(7, "media").u32() == derive(7, "media").u32()
+        assert derive(7, "media").u32() != derive(7, "rtcp").u32()
+
+
+class TestHexdump:
+    def test_empty(self):
+        assert hexdump(b"") == ""
+
+    def test_single_line(self):
+        out = hexdump(b"STUN!")
+        assert out.startswith("00000000")
+        assert "|STUN!|" in out
+
+    def test_nonprintable_replaced(self):
+        out = hexdump(b"\x00\x01A")
+        assert "|..A|" in out
+
+    def test_multiline_offsets(self):
+        out = hexdump(bytes(40))
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert lines[1].startswith("00000010")
+
+    def test_offset_parameter(self):
+        out = hexdump(b"ab", offset=0x100)
+        assert out.startswith("00000100")
