@@ -8,6 +8,8 @@ pytest-benchmark.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.apps import CallConfig, NetworkCondition, get_simulator
@@ -19,10 +21,14 @@ from repro.filtering import TwoStageFilter
 #: behaviour (bursts, call-end messages, payload-type rotations) to appear.
 BENCH_CONFIG = ExperimentConfig(call_duration=40.0, media_scale=0.5, seed=0)
 
+#: Worker processes for the shared matrix fixture.  Overridable so CI can
+#: pin it; the parallel and serial paths are bit-identical by contract.
+BENCH_WORKERS = int(os.environ.get("BENCH_WORKERS", os.cpu_count() or 1))
+
 
 @pytest.fixture(scope="session")
 def matrix():
-    return run_matrix(config=BENCH_CONFIG)
+    return run_matrix(config=BENCH_CONFIG, workers=BENCH_WORKERS)
 
 
 @pytest.fixture(scope="session")

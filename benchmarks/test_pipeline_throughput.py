@@ -5,10 +5,12 @@ regressions in the hot paths (candidate scan, TLV parsing) are visible.
 """
 
 import io
+import time
 
 from repro.apps import CallConfig, NetworkCondition, get_simulator
 from repro.core import ComplianceChecker
 from repro.dpi import DpiEngine
+from repro.experiments import ExperimentConfig, run_matrix
 from repro.packets.pcap import PcapReader, PcapWriter
 
 
@@ -47,3 +49,28 @@ def test_checker_throughput(zoom_dpi, benchmark):
     messages = zoom_dpi.messages()
     verdicts = benchmark(checker.check, messages)
     assert len(verdicts) == len(messages)
+
+
+def test_matrix_throughput(benchmark):
+    """Serial vs parallel wall-clock for a small matrix.
+
+    The parallel run is the benchmarked quantity; the serial run is timed
+    once and recorded in ``extra_info`` so the speedup is visible in the
+    bench trajectory.  Results must match bit-for-bit either way.
+    """
+    apps = ("whatsapp", "discord", "meet")
+    networks = (NetworkCondition.WIFI_RELAY, NetworkCondition.CELLULAR)
+    config = ExperimentConfig(call_duration=8.0, media_scale=0.25, seed=3)
+
+    start = time.perf_counter()
+    serial = run_matrix(apps, networks, config=config, workers=1)
+    serial_seconds = time.perf_counter() - start
+
+    parallel = benchmark(run_matrix, apps, networks, config, None)
+
+    benchmark.extra_info["serial_seconds"] = serial_seconds
+    for app in apps:
+        assert parallel.per_app[app].summary == serial.per_app[app].summary
+        assert parallel.per_app[app].class_counts == serial.per_app[app].class_counts
+        assert (parallel.per_app[app].protocol_counts
+                == serial.per_app[app].protocol_counts)

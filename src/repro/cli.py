@@ -35,6 +35,13 @@ from repro.filtering import TwoStageFilter
 from repro.packets.pcap import read_pcap, write_pcap
 
 
+def _workers(value: str) -> int:
+    workers = int(value)
+    if workers < 1:
+        raise argparse.ArgumentTypeError("expected a positive integer")
+    return workers
+
+
 def _network(value: str) -> NetworkCondition:
     try:
         return NetworkCondition(value)
@@ -62,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
     matrix_p.add_argument("--scale", type=float, default=0.5)
     matrix_p.add_argument("--repeats", type=int, default=1)
     matrix_p.add_argument("--seed", type=int, default=0)
+    matrix_p.add_argument("--workers", type=_workers, default=None,
+                          help="worker processes for matrix cells "
+                               "(default: one per CPU core; 1 = serial)")
 
     synth_p = sub.add_parser("synthesize", help="write a synthetic call trace to pcap")
     synth_p.add_argument("--app", choices=APP_NAMES, required=True)
@@ -82,6 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--scale", type=float, default=0.5)
     report_p.add_argument("--seed", type=int, default=0)
     report_p.add_argument("--out", help="output file (default: stdout)")
+    report_p.add_argument("--workers", type=_workers, default=None,
+                          help="worker processes for the matrix report "
+                               "(default: one per CPU core; 1 = serial)")
 
     dataset_p = sub.add_parser(
         "dataset", help="synthesize a pcap dataset with ground-truth manifest"
@@ -152,7 +165,7 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         seed=args.seed,
     )
-    matrix = run_matrix(config=config)
+    matrix = run_matrix(config=config, workers=args.workers)
     print(render_table1(table1(matrix)))
     print()
     print(render_table2(table2(matrix)))
@@ -223,7 +236,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         aggregate = run_experiment(args.app, args.network, config)
         text = aggregate_report(aggregate)
     else:
-        text = matrix_report(run_matrix(config=config))
+        text = matrix_report(run_matrix(config=config, workers=args.workers))
     if args.out:
         with open(args.out, "w") as fileobj:
             fileobj.write(text)

@@ -8,7 +8,13 @@ pairing, QUIC connection IDs) to kill false positives, then resolves byte
 ownership between overlapping candidates.
 """
 
-from repro.dpi.engine import DEFAULT_MAX_OFFSET, DpiEngine, DpiResult
+from repro.dpi.engine import (
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_MAX_OFFSET,
+    CandidateCache,
+    DpiEngine,
+    DpiResult,
+)
 from repro.dpi.messages import (
     DatagramAnalysis,
     DatagramClass,
@@ -17,7 +23,9 @@ from repro.dpi.messages import (
 )
 
 __all__ = [
+    "DEFAULT_CACHE_SIZE",
     "DEFAULT_MAX_OFFSET",
+    "CandidateCache",
     "DpiEngine",
     "DpiResult",
     "DatagramAnalysis",

@@ -160,12 +160,17 @@ def rtp_candidates(payload: bytes, max_offset: int) -> List[Candidate]:
     when a continuation packet follows (Zoom's dual-RTP datagrams).
     """
     candidates: List[Candidate] = []
+    if len(payload) < 12:
+        return candidates
+    # One memoryview for the whole sweep: slicing a view is cheap, while
+    # constructing a fresh view (or copying the payload) per offset is not.
+    view = memoryview(payload)
     limit = min(max_offset, len(payload) - 12)
     for offset in range(0, limit + 1):
         if payload[offset] >> 6 != 2:
             continue
         # Structural check without copying the (possibly large) payload.
-        if not looks_like_rtp(memoryview(payload)[offset:]):
+        if not looks_like_rtp(view[offset:]):
             continue
         candidates.append(
             Candidate(

@@ -8,7 +8,8 @@ transaction request/response pairing, and QUIC connection-ID consistency.
 
 from __future__ import annotations
 
-from collections import defaultdict
+import copy
+from collections import OrderedDict, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -26,6 +27,10 @@ from repro.protocols.stun.message import ChannelData, StunMessage
 from repro.streams.flow import Stream, group_streams
 
 DEFAULT_MAX_OFFSET = 200
+#: Entries kept by the payload-dedup candidate cache.  Call traces are
+#: dominated by repeated keepalive/probe datagrams (STUN binding requests,
+#: RTCP receiver reports), so a modest LRU collapses their stage-one scans.
+DEFAULT_CACHE_SIZE = 4096
 
 #: An RTP SSRC group must show this many packets with continuous sequence
 #: numbers before its candidates are believed.
@@ -35,11 +40,72 @@ MIN_CONTINUITY = 0.5
 _MAX_SEQ_STEP = 512
 
 
+class CandidateCache:
+    """Bounded LRU from payload bytes to its stage-one candidate list.
+
+    Candidate extraction is pure in ``(payload, max_offset, protocols)``;
+    the latter two are fixed per engine, so the payload alone keys the
+    cache.  Stored candidates are pristine copies — overlap resolution
+    mutates ``Candidate.length`` in place (the RTP-continuation rule), so
+    lookups hand out shallow copies rather than the cached objects.
+    """
+
+    __slots__ = ("_store", "_maxsize", "hits", "misses")
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE):
+        if maxsize < 0:
+            raise ValueError("maxsize must be non-negative")
+        self._store: "OrderedDict[bytes, Tuple[Candidate, ...]]" = OrderedDict()
+        self._maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, payload: bytes) -> Optional[List[Candidate]]:
+        cached = self._store.get(payload)
+        if cached is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(payload)
+        self.hits += 1
+        return [copy.copy(c) for c in cached]
+
+    def put(self, payload: bytes, candidates: Sequence[Candidate]) -> None:
+        if self._maxsize == 0:
+            return
+        self._store[payload] = tuple(copy.copy(c) for c in candidates)
+        self._store.move_to_end(payload)
+        while len(self._store) > self._maxsize:
+            self._store.popitem(last=False)
+
+
 @dataclass
 class DpiResult:
-    """All datagram analyses plus convenience aggregations."""
+    """All datagram analyses plus convenience aggregations.
+
+    ``cache_hits``/``cache_misses`` count the payload-dedup cache activity
+    during the ``analyze_records`` call that produced this result.
+    """
 
     analyses: List[DatagramAnalysis] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     def messages(self) -> List[ExtractedMessage]:
         out: List[ExtractedMessage] = []
@@ -67,25 +133,51 @@ class DpiEngine:
         self,
         max_offset: int = DEFAULT_MAX_OFFSET,
         protocols: Iterable[Protocol] = tuple(Protocol),
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ):
         if max_offset < 0:
             raise ValueError("max_offset must be non-negative")
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
         self._max_offset = max_offset
         self._protocols = tuple(protocols)
+        self._cache = CandidateCache(cache_size) if cache_size else None
 
     @property
     def max_offset(self) -> int:
         return self._max_offset
+
+    @property
+    def cache_hits(self) -> int:
+        """Lifetime cache hits across every analysis this engine ran."""
+        return self._cache.hits if self._cache else 0
+
+    @property
+    def cache_misses(self) -> int:
+        """Lifetime cache misses across every analysis this engine ran."""
+        return self._cache.misses if self._cache else 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self._cache.hit_rate if self._cache else 0.0
+
+    @property
+    def cache_len(self) -> int:
+        return len(self._cache) if self._cache else 0
 
     # -- public API --------------------------------------------------------------
 
     def analyze_records(self, records: Sequence[PacketRecord]) -> DpiResult:
         """Group UDP records into streams and analyze each."""
         udp = [r for r in records if r.transport == "UDP"]
+        hits_before = self.cache_hits
+        misses_before = self.cache_misses
         result = DpiResult()
         for stream in group_streams(udp).values():
             result.analyses.extend(self.analyze_stream(stream))
         result.analyses.sort(key=lambda a: a.record.timestamp)
+        result.cache_hits = self.cache_hits - hits_before
+        result.cache_misses = self.cache_misses - misses_before
         return result
 
     def analyze_stream(self, stream: Stream) -> List[DatagramAnalysis]:
@@ -113,10 +205,16 @@ class DpiEngine:
     # -- stage 1 -------------------------------------------------------------------
 
     def _extract_candidates(self, payload: bytes) -> List[Candidate]:
+        if self._cache is not None:
+            cached = self._cache.get(payload)
+            if cached is not None:
+                return cached
         candidates: List[Candidate] = []
         for protocol in self._protocols:
             candidates.extend(MATCHERS[protocol](payload, self._max_offset))
         candidates.sort(key=lambda c: (c.offset, -c.length))
+        if self._cache is not None:
+            self._cache.put(payload, candidates)
         return candidates
 
     # -- stage 2: stream-context validation ------------------------------------------

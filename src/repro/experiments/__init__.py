@@ -4,14 +4,21 @@ from repro.experiments.runner import (
     ExperimentAggregate,
     ExperimentConfig,
     MatrixResult,
+    default_checker,
+    default_engine,
     run_experiment,
     run_matrix,
 )
+from repro.experiments.parallel import matrix_cells, run_matrix_parallel
 
 __all__ = [
     "ExperimentAggregate",
     "ExperimentConfig",
     "MatrixResult",
+    "default_checker",
+    "default_engine",
+    "matrix_cells",
     "run_experiment",
     "run_matrix",
+    "run_matrix_parallel",
 ]

@@ -11,6 +11,7 @@ small in memory even for long calls.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.apps import APP_NAMES, CallConfig, NetworkCondition, get_simulator
@@ -20,6 +21,25 @@ from repro.dpi import DatagramClass, DpiEngine, Protocol
 from repro.dpi.messages import ExtractedMessage
 from repro.filtering import TwoStageFilter
 from repro.filtering.pipeline import FilterResult, StageCounts
+
+#: Maximum example violations kept per (protocol, type) entry when merging.
+MAX_EXAMPLE_VIOLATIONS = 3
+
+
+@lru_cache(maxsize=8)
+def default_engine(max_offset: int) -> DpiEngine:
+    """Process-wide ``DpiEngine`` per ``max_offset``.
+
+    Reusing one engine across cells keeps its payload-dedup cache warm, so
+    repeated keepalive/probe datagrams are only scanned once per process.
+    """
+    return DpiEngine(max_offset=max_offset)
+
+
+@lru_cache(maxsize=1)
+def default_checker() -> ComplianceChecker:
+    """Process-wide checker; it keeps no state between ``check`` calls."""
+    return ComplianceChecker()
 
 
 @dataclass(frozen=True)
@@ -108,7 +128,9 @@ def merge_summaries(a: ComplianceSummary, b: ComplianceSummary) -> ComplianceSum
             type_label=entry.type_label,
             total=entry.total,
             non_compliant=entry.non_compliant,
-            example_violations=list(entry.example_violations),
+            example_violations=list(
+                entry.example_violations[:MAX_EXAMPLE_VIOLATIONS]
+            ),
         )
         for key, entry in a.types.items()
     }
@@ -120,13 +142,15 @@ def merge_summaries(a: ComplianceSummary, b: ComplianceSummary) -> ComplianceSum
                 type_label=entry.type_label,
                 total=entry.total,
                 non_compliant=entry.non_compliant,
-                example_violations=list(entry.example_violations),
+                example_violations=list(
+                    entry.example_violations[:MAX_EXAMPLE_VIOLATIONS]
+                ),
             )
         else:
             existing.total += entry.total
             existing.non_compliant += entry.non_compliant
             for example in entry.example_violations:
-                if len(existing.example_violations) < 3:
+                if len(existing.example_violations) < MAX_EXAMPLE_VIOLATIONS:
                     existing.example_violations.append(example)
     return ComplianceSummary(
         app=a.app, volume=volume, volume_by_protocol=by_protocol, types=types
@@ -151,10 +175,10 @@ def run_experiment(
     )
     trace = simulator.simulate(call_config)
     filter_result = TwoStageFilter(trace.window).apply(trace.records)
-    dpi = DpiEngine(max_offset=config.max_offset).analyze_records(
+    dpi = default_engine(config.max_offset).analyze_records(
         filter_result.kept_records
     )
-    verdicts = ComplianceChecker().check(dpi.messages())
+    verdicts = default_checker().check(dpi.messages())
 
     aggregate = ExperimentAggregate(app=app)
     aggregate.raw = filter_result.raw
@@ -188,15 +212,16 @@ def run_matrix(
     apps: Sequence[str] = APP_NAMES,
     networks: Sequence[NetworkCondition] = tuple(NetworkCondition),
     config: ExperimentConfig = ExperimentConfig(),
+    workers: Optional[int] = 1,
 ) -> MatrixResult:
-    """Run the full experiment matrix and merge per-app aggregates."""
-    per_app: Dict[str, ExperimentAggregate] = {}
-    for app in apps:
-        for network in networks:
-            for repeat in range(config.repeats):
-                aggregate = run_experiment(app, network, config, call_index=repeat)
-                if app in per_app:
-                    per_app[app].merge(aggregate)
-                else:
-                    per_app[app] = aggregate
-    return MatrixResult(per_app=per_app, config=config)
+    """Run the full experiment matrix and merge per-app aggregates.
+
+    ``workers`` selects the executor: ``1`` (the default) runs every cell
+    in-process, ``N > 1`` schedules cells onto a process pool of ``N``
+    workers, and ``None`` auto-sizes the pool to ``os.cpu_count()``.  The
+    result is bit-identical regardless of ``workers`` — cells are merged
+    in their enumeration order, never in completion order.
+    """
+    from repro.experiments.parallel import run_matrix_parallel
+
+    return run_matrix_parallel(apps, networks, config, workers=workers)
