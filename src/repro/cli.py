@@ -6,6 +6,7 @@ Subcommands::
     rtc-compliance matrix --duration 30 --scale 0.5      # full matrix + tables
     rtc-compliance synthesize --app discord --out d.pcap # write a pcap trace
     rtc-compliance pcap capture.pcap                     # analyze a real pcap
+    rtc-compliance dpi-stats --app zoom                  # DPI fast-path counters
 """
 
 from __future__ import annotations
@@ -126,6 +127,19 @@ def build_parser() -> argparse.ArgumentParser:
     dissect_p.add_argument("--max-offset", type=int, default=200)
     dissect_p.add_argument("--limit", type=int, default=20,
                            help="datagrams to print (default 20)")
+
+    stats_p = sub.add_parser(
+        "dpi-stats", help="run experiments and print DPI fast-path counters"
+    )
+    stats_p.add_argument("--app", choices=APP_NAMES,
+                         help="single app (default: full matrix)")
+    stats_p.add_argument("--network", type=_network, default=None,
+                         help="single network condition (default: all three)")
+    stats_p.add_argument("--duration", type=float, default=30.0)
+    stats_p.add_argument("--scale", type=float, default=0.5)
+    stats_p.add_argument("--seed", type=int, default=0)
+    stats_p.add_argument("--no-fastpath", action="store_true",
+                         help="disable the flow-sticky fast path (sweep only)")
 
     return parser
 
@@ -324,6 +338,47 @@ def cmd_dissect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_dpi_stats(label: str, stats) -> None:
+    print(f"{label}:")
+    print(f"  datagrams          {stats.datagrams}")
+    print(f"  cache hits         {stats.cache_hits} "
+          f"({stats.cache_hit_rate * 100:.1f}%)")
+    print(f"  fast-path hits     {stats.fastpath_hits} "
+          f"({stats.fastpath_hit_rate * 100:.1f}% of uncached)")
+    print(f"  fast-path misses   {stats.fastpath_fallbacks}")
+    print(f"  full sweeps        {stats.sweeps}")
+    print(f"  stream re-sweeps   {stats.fastpath_redos}")
+    if stats.matcher_calls:
+        print("  matcher calls:")
+        for protocol, count in sorted(stats.matcher_calls.items()):
+            print(f"    {protocol:<10} {count}")
+
+
+def cmd_dpi_stats(args: argparse.Namespace) -> int:
+    from repro.dpi import DpiStats
+
+    config = ExperimentConfig(
+        call_duration=args.duration,
+        media_scale=args.scale,
+        seed=args.seed,
+        fastpath=not args.no_fastpath,
+    )
+    apps = [args.app] if args.app else list(APP_NAMES)
+    networks = [args.network] if args.network else list(NetworkCondition)
+    total = DpiStats()
+    for app in apps:
+        per_app = DpiStats()
+        for network in networks:
+            per_app.merge(run_experiment(app, network, config).dpi_stats)
+        _print_dpi_stats(app, per_app)
+        total.merge(per_app)
+    if len(apps) > 1:
+        _print_dpi_stats("total", total)
+    mode = "off" if args.no_fastpath else "on"
+    print(f"fast path: {mode}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -336,6 +391,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "interop": cmd_interop,
         "fingerprint": cmd_fingerprint,
         "dissect": cmd_dissect,
+        "dpi-stats": cmd_dpi_stats,
     }
     return handlers[args.command](args)
 

@@ -14,6 +14,12 @@ from repro.dpi.engine import (
     CandidateCache,
     DpiEngine,
     DpiResult,
+    DpiStats,
+)
+from repro.dpi.fastpath import (
+    DEFAULT_SIGNATURE_K,
+    SignatureLearner,
+    StreamSignature,
 )
 from repro.dpi.messages import (
     DatagramAnalysis,
@@ -25,9 +31,13 @@ from repro.dpi.messages import (
 __all__ = [
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_MAX_OFFSET",
+    "DEFAULT_SIGNATURE_K",
     "CandidateCache",
     "DpiEngine",
     "DpiResult",
+    "DpiStats",
+    "SignatureLearner",
+    "StreamSignature",
     "DatagramAnalysis",
     "DatagramClass",
     "ExtractedMessage",

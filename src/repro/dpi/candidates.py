@@ -7,15 +7,23 @@ type restriction for RTP).  Anything that matches becomes a candidate;
 stage two kills the false positives.
 
 A naive implementation re-checks every offset; these matchers instead
-enumerate only offsets whose leading bytes could possibly match, which is
-behaviourally identical to Algorithm 1's 0..k sweep but linear in payload
-size.
+enumerate only offsets whose leading bytes could possibly match — using
+precompiled byte-class regexes, which scan at C speed — and parse at
+absolute offsets into the shared payload buffer instead of slicing a fresh
+``payload[offset:]`` window per candidate.  This is behaviourally identical
+to Algorithm 1's 0..k sweep but linear in payload size and zero-copy.
+
+``stun_candidates`` and ``rtp_candidates`` additionally accept an
+``offsets`` allow-list so the flow-sticky fast path
+(:mod:`repro.dpi.fastpath`) can probe only a stream's learned offsets.
 """
 
 from __future__ import annotations
 
+import re
+import struct
 from dataclasses import dataclass
-from typing import Any, Iterator, List, Optional
+from typing import Any, Iterable, List, Optional
 
 from repro.dpi.messages import Protocol
 from repro.protocols.quic.header import (
@@ -40,6 +48,26 @@ _RTCP_PT_RANGE = range(192, 224)
 #: Maximum unclaimed bytes after an RTCP compound that we treat as a trailer
 #: belonging to the last packet (SRTCP index+tag is 14, Discord's is 3).
 MAX_RTCP_TRAILER = 16
+
+#: First byte with version 2 — the anchor every RTP/RTCP candidate shares.
+_RTP_ANCHOR = re.compile(rb"[\x80-\xbf]")
+#: Version-2 first byte followed by a packet type in the RTCP range.  The
+#: two byte classes are disjoint, so matches can never overlap and a plain
+#: ``finditer`` enumerates exactly the offsets the per-byte sweep would.
+_RTCP_ANCHOR = re.compile(rb"[\x80-\xbf][\xc0-\xdf]")
+#: Long-header first byte (form+fixed bits) followed by a recognized version
+#: (v1, v2, or the all-zero version-negotiation marker).  Zero-width
+#: lookahead because anchors *can* overlap (a version byte may itself start
+#: another plausible header).
+_QUIC_ANCHOR = re.compile(
+    rb"(?=[\xc0-\xff](?:"
+    + re.escape(QUIC_V1.to_bytes(4, "big"))
+    + rb"|"
+    + re.escape(QUIC_V2.to_bytes(4, "big"))
+    + rb"|\x00\x00\x00\x00))"
+)
+#: RTP sequence number, timestamp, SSRC — bytes 2..12 of the fixed header.
+_RTP_FIELDS = struct.Struct("!HII")
 
 
 @dataclass
@@ -77,26 +105,34 @@ class Candidate:
         return self.offset + self.length + len(self.trailer)
 
 
-def stun_candidates(payload: bytes, max_offset: int) -> List[Candidate]:
+def stun_candidates(
+    payload: bytes, max_offset: int, offsets: Optional[Iterable[int]] = None
+) -> List[Candidate]:
     """Modern STUN anywhere (cookie-anchored), classic STUN at offset 0,
-    ChannelData at offset 0."""
+    ChannelData at offset 0.
+
+    ``offsets`` restricts the modern-STUN probe to an allow-list of offsets
+    (the fast path's learned positions); classic/ChannelData checks then run
+    only when offset 0 is in the list.
+    """
     candidates: List[Candidate] = []
 
     # Modern STUN: anchor on the magic cookie at bytes 4..8 of the header.
-    search_start = 0
-    while True:
-        pos = payload.find(_COOKIE_BYTES, search_start)
-        if pos < 0:
-            break
-        search_start = pos + 1
-        offset = pos - 4
-        if offset < 0 or offset > max_offset:
-            continue
-        window = payload[offset:]
-        if not looks_like_stun(window):
+    if offsets is None:
+        positions = _cookie_offsets(payload, max_offset)
+        zero_allowed = True
+    else:
+        allowed = tuple(offsets)
+        positions = [
+            o for o in allowed
+            if 0 <= o <= max_offset and payload[o + 4:o + 8] == _COOKIE_BYTES
+        ]
+        zero_allowed = 0 in allowed
+    for offset in positions:
+        if not looks_like_stun(payload, offset):
             continue
         try:
-            message = StunMessage.parse(window, strict=False)
+            message = StunMessage.parse(payload, strict=False, start=offset)
         except StunParseError:
             continue
         if message.classic:
@@ -112,7 +148,7 @@ def stun_candidates(payload: bytes, max_offset: int) -> List[Candidate]:
 
     # Classic (RFC 3489) STUN: no cookie to anchor on, so only claim it at
     # offset 0 with an exact length fit — Zoom's usage.
-    if looks_like_stun(payload):
+    if zero_allowed and looks_like_stun(payload):
         try:
             message = StunMessage.parse(payload, strict=True)
         except StunParseError:
@@ -132,7 +168,7 @@ def stun_candidates(payload: bytes, max_offset: int) -> List[Candidate]:
     # the channel must be in the RFC 8656 client range 0x4000-0x4FFF and at
     # most 3 slack bytes may follow (kept as a trailer so the compliance
     # layer can flag the padding, which is illegal over UDP).
-    if len(payload) >= 4 and 0x40 <= payload[0] <= 0x4F:
+    if zero_allowed and len(payload) >= 4 and 0x40 <= payload[0] <= 0x4F:
         try:
             frame = ChannelData.parse(payload, strict=False)
         except StunParseError:
@@ -152,34 +188,56 @@ def stun_candidates(payload: bytes, max_offset: int) -> List[Candidate]:
     return candidates
 
 
-def rtp_candidates(payload: bytes, max_offset: int) -> List[Candidate]:
+def _cookie_offsets(payload: bytes, max_offset: int) -> List[int]:
+    """Offsets whose bytes 4..8 carry the magic cookie, in scan order."""
+    out: List[int] = []
+    search_start = 0
+    while True:
+        pos = payload.find(_COOKIE_BYTES, search_start)
+        if pos < 0:
+            break
+        search_start = pos + 1
+        offset = pos - 4
+        if 0 <= offset <= max_offset:
+            out.append(offset)
+    return out
+
+
+def rtp_candidates(
+    payload: bytes, max_offset: int, offsets: Optional[Iterable[int]] = None
+) -> List[Candidate]:
     """RTP at any offset whose first byte has version 2.
 
     An RTP message has no length field, so each candidate tentatively spans
     to the end of the datagram; overlap resolution may later truncate it
     when a continuation packet follows (Zoom's dual-RTP datagrams).
+
+    ``offsets`` restricts the probe to an allow-list of offsets (the fast
+    path's learned positions) instead of the full anchor scan.
     """
     candidates: List[Candidate] = []
-    if len(payload) < 12:
+    size = len(payload)
+    if size < 12:
         return candidates
-    # One memoryview for the whole sweep: slicing a view is cheap, while
-    # constructing a fresh view (or copying the payload) per offset is not.
-    view = memoryview(payload)
-    limit = min(max_offset, len(payload) - 12)
-    for offset in range(0, limit + 1):
-        if payload[offset] >> 6 != 2:
+    limit = min(max_offset, size - 12)
+    if offsets is None:
+        positions: Iterable[int] = (
+            m.start() for m in _RTP_ANCHOR.finditer(payload, 0, limit + 1)
+        )
+    else:
+        positions = (o for o in offsets if 0 <= o <= limit)
+    for offset in positions:
+        if not looks_like_rtp(payload, offset):
             continue
-        # Structural check without copying the (possibly large) payload.
-        if not looks_like_rtp(view[offset:]):
-            continue
+        seq, timestamp, ssrc = _RTP_FIELDS.unpack_from(payload, offset + 2)
         candidates.append(
             Candidate(
                 protocol=Protocol.RTP,
                 offset=offset,
-                length=len(payload) - offset,
-                rtp_ssrc=int.from_bytes(payload[offset + 8:offset + 12], "big"),
-                rtp_seq=int.from_bytes(payload[offset + 2:offset + 4], "big"),
-                rtp_timestamp=int.from_bytes(payload[offset + 4:offset + 8], "big"),
+                length=size - offset,
+                rtp_ssrc=ssrc,
+                rtp_seq=seq,
+                rtp_timestamp=timestamp,
             )
         )
     return candidates
@@ -189,36 +247,40 @@ def rtcp_candidates(payload: bytes, max_offset: int) -> List[Candidate]:
     """RTCP compounds at any offset; trailing bytes become the last
     packet's trailer when short enough."""
     candidates: List[Candidate] = []
-    limit = min(max_offset, len(payload) - 4)
-    for offset in range(0, limit + 1):
-        if payload[offset] >> 6 != 2 or payload[offset + 1] not in _RTCP_PT_RANGE:
-            continue
-        window = payload[offset:]
+    size = len(payload)
+    if size < 4:
+        return candidates
+    limit = min(max_offset, size - 4)
+    for match in _RTCP_ANCHOR.finditer(payload, 0, limit + 2):
+        offset = match.start()
         packets: List[RtcpPacket] = []
-        pos = 0
-        while pos + 4 <= len(window):
+        pos = offset
+        while pos + 4 <= size:
             try:
-                header = RtcpHeader.parse(window[pos:])
+                header = RtcpHeader.parse(payload, pos)
             except RtcpParseError:
                 break
             if (
                 header.version != 2
-                or window[pos + 1] not in _RTCP_PT_RANGE
-                or pos + header.wire_length > len(window)
+                or payload[pos + 1] not in _RTCP_PT_RANGE
+                or pos + header.wire_length > size
             ):
                 break
             packets.append(
-                RtcpPacket(header=header, body=window[pos + 4:pos + header.wire_length])
+                RtcpPacket(
+                    header=header,
+                    body=payload[pos + 4:pos + header.wire_length],
+                )
             )
             pos += header.wire_length
         if not packets:
             continue
-        leftover = window[pos:]
-        if len(leftover) > MAX_RTCP_TRAILER:
+        if size - pos > MAX_RTCP_TRAILER:
             # Too much unclaimed data to be a trailer; reject the tail
             # packet boundary — likely a false positive unless another
             # protocol claims those bytes.
             continue
+        leftover = payload[pos:] if pos < size else b""
         running = offset
         for i, packet in enumerate(packets):
             trailer = leftover if i == len(packets) - 1 else b""
@@ -243,33 +305,33 @@ def quic_candidates(payload: bytes, max_offset: int) -> List[Candidate]:
     by the validator against connection IDs learned from long headers.
     """
     candidates: List[Candidate] = []
-    limit = min(max_offset, len(payload) - 7)
-    offset = 0
-    while offset <= limit:
-        first = payload[offset]
-        if first & 0xC0 != 0xC0:
-            offset += 1
-            continue
-        version = int.from_bytes(payload[offset + 1:offset + 5], "big")
-        if version not in (QUIC_V1, QUIC_V2, 0):
-            offset += 1
-            continue
-        try:
-            header = parse_one(payload[offset:])
-        except QuicParseError:
-            offset += 1
-            continue
-        candidates.append(
-            Candidate(
-                protocol=Protocol.QUIC,
-                offset=offset,
-                length=header.wire_length,
-                message=header,
+    size = len(payload)
+    if size >= 7:
+        limit = min(max_offset, size - 7)
+        # The lookahead needs 5 visible bytes, so the match at `limit` is
+        # still found with endpos limit+5 while anything past it is not.
+        next_allowed = 0
+        for match in _QUIC_ANCHOR.finditer(payload, 0, min(size, limit + 5)):
+            offset = match.start()
+            if offset < next_allowed:
+                # Interior of a previously parsed packet: the byte sweep
+                # jumps over parsed packets, so the anchor scan must too.
+                continue
+            try:
+                header = parse_one(payload, start=offset)
+            except QuicParseError:
+                continue
+            candidates.append(
+                Candidate(
+                    protocol=Protocol.QUIC,
+                    offset=offset,
+                    length=header.wire_length,
+                    message=header,
+                )
             )
-        )
-        offset += max(header.wire_length, 1)
+            next_allowed = offset + max(header.wire_length, 1)
     # Tentative short header at offset 0 (validator checks the DCID).
-    if payload and payload[0] & 0xC0 == 0x40 and len(payload) >= 1 + 8 + 17:
+    if payload and payload[0] & 0xC0 == 0x40 and size >= 1 + 8 + 17:
         try:
             header = parse_one(payload, short_dcid_len=8)
         except QuicParseError:

@@ -9,11 +9,17 @@ transaction request/response pairing, and QUIC connection-ID consistency.
 from __future__ import annotations
 
 import copy
+import hashlib
 from collections import OrderedDict, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.dpi.candidates import MATCHERS, Candidate
+from repro.dpi.candidates import MATCHERS, Candidate, rtp_candidates
+from repro.dpi.fastpath import (
+    DEFAULT_SIGNATURE_K,
+    SignatureLearner,
+    predicted_rtp_candidates,
+)
 from repro.dpi.messages import (
     DatagramAnalysis,
     DatagramClass,
@@ -41,13 +47,19 @@ _MAX_SEQ_STEP = 512
 
 
 class CandidateCache:
-    """Bounded LRU from payload bytes to its stage-one candidate list.
+    """Bounded LRU from a payload digest to its stage-one candidate list.
 
     Candidate extraction is pure in ``(payload, max_offset, protocols)``;
     the latter two are fixed per engine, so the payload alone keys the
-    cache.  Stored candidates are pristine copies — overlap resolution
-    mutates ``Candidate.length`` in place (the RTP-continuation rule), so
-    lookups hand out shallow copies rather than the cached objects.
+    cache.  Keys are length-prefixed 128-bit BLAKE2b digests rather than
+    the payload bytes themselves, which bounds the key memory of a warm
+    cache at ``maxsize × 20`` bytes instead of pinning ``maxsize`` full
+    media datagrams (~1200 bytes each) alive in the dict.  A digest
+    collision would serve the wrong candidate list, but at 2^-128 per pair
+    that is far below any hardware error rate.  Stored candidates are
+    pristine copies — overlap resolution mutates ``Candidate.length`` in
+    place (the RTP-continuation rule), so lookups hand out shallow copies
+    rather than the cached objects.
     """
 
     __slots__ = ("_store", "_maxsize", "hits", "misses")
@@ -59,6 +71,12 @@ class CandidateCache:
         self._maxsize = maxsize
         self.hits = 0
         self.misses = 0
+
+    @staticmethod
+    def _key(payload: bytes) -> bytes:
+        return len(payload).to_bytes(4, "big") + hashlib.blake2b(
+            payload, digest_size=16
+        ).digest()
 
     def __len__(self) -> int:
         return len(self._store)
@@ -73,34 +91,109 @@ class CandidateCache:
         return self.hits / total if total else 0.0
 
     def get(self, payload: bytes) -> Optional[List[Candidate]]:
-        cached = self._store.get(payload)
+        key = self._key(payload)
+        cached = self._store.get(key)
         if cached is None:
             self.misses += 1
             return None
-        self._store.move_to_end(payload)
+        self._store.move_to_end(key)
         self.hits += 1
         return [copy.copy(c) for c in cached]
 
     def put(self, payload: bytes, candidates: Sequence[Candidate]) -> None:
         if self._maxsize == 0:
             return
-        self._store[payload] = tuple(copy.copy(c) for c in candidates)
-        self._store.move_to_end(payload)
+        key = self._key(payload)
+        self._store[key] = tuple(copy.copy(c) for c in candidates)
+        self._store.move_to_end(key)
         while len(self._store) > self._maxsize:
             self._store.popitem(last=False)
+
+
+@dataclass
+class DpiStats:
+    """Instrumentation counters for the extraction layer.
+
+    Per datagram, exactly one of three things happens: its candidates come
+    from the dedup cache (``cache_hits``), from a locked-signature fast-path
+    probe (``fastpath_hits``), or from a full 0..k sweep (``sweeps``).  A
+    ``fastpath_fallbacks`` datagram additionally counted one failed probe
+    before its sweep, and a ``fastpath_redos`` stream re-swept all of its
+    datagrams after stage two rejected a predicted message (those redo
+    sweeps are included in ``sweeps``).  ``matcher_calls`` counts actual
+    matcher-function invocations per protocol, including targeted fast-path
+    probes — so it reflects work really done, not work scheduled.
+    """
+
+    datagrams: int = 0
+    sweeps: int = 0
+    fastpath_hits: int = 0
+    fastpath_fallbacks: int = 0
+    fastpath_redos: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    matcher_calls: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def fastpath_hit_rate(self) -> float:
+        """Fraction of analyzed datagrams served by the fast path."""
+        return self.fastpath_hits / self.datagrams if self.datagrams else 0.0
+
+    def copy(self) -> "DpiStats":
+        out = copy.copy(self)
+        out.matcher_calls = dict(self.matcher_calls)
+        return out
+
+    def since(self, before: "DpiStats") -> "DpiStats":
+        """Counter deltas accumulated after the ``before`` snapshot."""
+        calls = {
+            protocol: count - before.matcher_calls.get(protocol, 0)
+            for protocol, count in self.matcher_calls.items()
+            if count - before.matcher_calls.get(protocol, 0)
+        }
+        return DpiStats(
+            datagrams=self.datagrams - before.datagrams,
+            sweeps=self.sweeps - before.sweeps,
+            fastpath_hits=self.fastpath_hits - before.fastpath_hits,
+            fastpath_fallbacks=self.fastpath_fallbacks - before.fastpath_fallbacks,
+            fastpath_redos=self.fastpath_redos - before.fastpath_redos,
+            cache_hits=self.cache_hits - before.cache_hits,
+            cache_misses=self.cache_misses - before.cache_misses,
+            matcher_calls=calls,
+        )
+
+    def merge(self, other: "DpiStats") -> None:
+        self.datagrams += other.datagrams
+        self.sweeps += other.sweeps
+        self.fastpath_hits += other.fastpath_hits
+        self.fastpath_fallbacks += other.fastpath_fallbacks
+        self.fastpath_redos += other.fastpath_redos
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        for protocol, count in other.matcher_calls.items():
+            self.matcher_calls[protocol] = (
+                self.matcher_calls.get(protocol, 0) + count
+            )
 
 
 @dataclass
 class DpiResult:
     """All datagram analyses plus convenience aggregations.
 
-    ``cache_hits``/``cache_misses`` count the payload-dedup cache activity
-    during the ``analyze_records`` call that produced this result.
+    ``stats`` carries the extraction counters for the ``analyze_records``
+    call that produced this result; ``cache_hits``/``cache_misses`` mirror
+    the cache counters within it for backward compatibility.
     """
 
     analyses: List[DatagramAnalysis] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    stats: DpiStats = field(default_factory=DpiStats)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -127,13 +220,22 @@ class DpiResult:
 
 
 class DpiEngine:
-    """Offset-shifting DPI with protocol-specific validation."""
+    """Offset-shifting DPI with protocol-specific validation.
+
+    ``fastpath`` enables the flow-sticky fast path (on by default): once a
+    stream's ``(offset, SSRC)`` framing has recurred across ``fastpath_k``
+    datagrams, later datagrams skip the RTP offset sweep and probe only the
+    learned offsets, with per-datagram and per-stream fallbacks keeping the
+    output bit-identical to the sweep (see :mod:`repro.dpi.fastpath`).
+    """
 
     def __init__(
         self,
         max_offset: int = DEFAULT_MAX_OFFSET,
         protocols: Iterable[Protocol] = tuple(Protocol),
         cache_size: int = DEFAULT_CACHE_SIZE,
+        fastpath: bool = True,
+        fastpath_k: int = DEFAULT_SIGNATURE_K,
     ):
         if max_offset < 0:
             raise ValueError("max_offset must be non-negative")
@@ -142,10 +244,29 @@ class DpiEngine:
         self._max_offset = max_offset
         self._protocols = tuple(protocols)
         self._cache = CandidateCache(cache_size) if cache_size else None
+        # The fast path only skips work for RTP sweeps; without RTP in the
+        # protocol set there is nothing to learn.
+        self._fastpath = bool(fastpath) and Protocol.RTP in self._protocols
+        self._fastpath_k = fastpath_k
+        self.stats = DpiStats()
 
     @property
     def max_offset(self) -> int:
         return self._max_offset
+
+    @property
+    def fastpath_enabled(self) -> bool:
+        return self._fastpath
+
+    @property
+    def fastpath_hits(self) -> int:
+        """Lifetime fast-path hits across every analysis this engine ran."""
+        return self.stats.fastpath_hits
+
+    @property
+    def fastpath_fallbacks(self) -> int:
+        """Lifetime fast-path prediction misses (each fell back to a sweep)."""
+        return self.stats.fastpath_fallbacks
 
     @property
     def cache_hits(self) -> int:
@@ -170,54 +291,233 @@ class DpiEngine:
     def analyze_records(self, records: Sequence[PacketRecord]) -> DpiResult:
         """Group UDP records into streams and analyze each."""
         udp = [r for r in records if r.transport == "UDP"]
-        hits_before = self.cache_hits
-        misses_before = self.cache_misses
+        before = self.stats.copy()
         result = DpiResult()
         for stream in group_streams(udp).values():
             result.analyses.extend(self.analyze_stream(stream))
         result.analyses.sort(key=lambda a: a.record.timestamp)
-        result.cache_hits = self.cache_hits - hits_before
-        result.cache_misses = self.cache_misses - misses_before
+        result.stats = self.stats.since(before)
+        result.cache_hits = result.stats.cache_hits
+        result.cache_misses = result.stats.cache_misses
         return result
 
     def analyze_stream(self, stream: Stream) -> List[DatagramAnalysis]:
         """Run both DPI stages over one transport stream."""
-        per_datagram: List[Tuple[PacketRecord, List[Candidate]]] = []
-        for record in stream.packets:
-            per_datagram.append((record, self._extract_candidates(record.payload)))
-
-        rtp_scores = self._validate_rtp_groups(per_datagram)
-        valid_rtp_ssrcs = frozenset(rtp_scores)
-        quic_cids = self._collect_quic_cids(per_datagram)
+        per_datagram, predicted = self._extract_stream(stream)
+        accepted, rtp_scores = self._validate_stream(per_datagram)
+        if predicted and not self._predictions_accepted(
+            predicted, accepted, rtp_scores
+        ):
+            # Stage two rejected a message the fast path predicted: the
+            # signature was wrong in a way the per-datagram checks could not
+            # see, so redo the whole stream with unconditional sweeps.
+            self.stats.fastpath_redos += 1
+            per_datagram = [
+                (record, self._resweep(record.payload))
+                for record in stream.packets
+            ]
+            accepted, rtp_scores = self._validate_stream(per_datagram)
 
         analyses: List[DatagramAnalysis] = []
-        for record, candidates in per_datagram:
-            validated = [
-                c for c in candidates
-                if self._validate(c, record, valid_rtp_ssrcs, quic_cids)
-            ]
-            accepted = self._resolve_overlaps(validated, rtp_scores)
-            messages = [self._materialize(c, record) for c in accepted]
+        for (record, _candidates), accepted_list in zip(per_datagram, accepted):
+            messages = [self._materialize(c, record) for c in accepted_list]
             messages = [m for m in messages if m is not None]
             analyses.append(DatagramAnalysis.classify(record, messages))
         return analyses
 
     # -- stage 1 -------------------------------------------------------------------
 
-    def _extract_candidates(self, payload: bytes) -> List[Candidate]:
-        if self._cache is not None:
-            cached = self._cache.get(payload)
-            if cached is not None:
-                return cached
+    def _extract_stream(
+        self, stream: Stream
+    ) -> Tuple[
+        List[Tuple[PacketRecord, List[Candidate]]],
+        List[Tuple[int, Tuple[Tuple[int, int, int], ...]]],
+    ]:
+        """Extract candidates for every datagram, fast path included.
+
+        Returns the per-datagram candidate lists plus, for each fast-path
+        hit, its index and the ``(offset, SSRC, end)`` spans it predicted —
+        stage two uses those to confirm the predictions after validation.
+        """
+        stats = self.stats
+        learner = (
+            SignatureLearner(self._fastpath_k) if self._fastpath else None
+        )
+        per_datagram: List[Tuple[PacketRecord, List[Candidate]]] = []
+        predicted: List[Tuple[int, Tuple[Tuple[int, int, int], ...]]] = []
+        for record in stream.packets:
+            payload = record.payload
+            stats.datagrams += 1
+            if self._cache is not None:
+                cached = self._cache.get(payload)
+                if cached is not None:
+                    stats.cache_hits += 1
+                    if learner is not None:
+                        learner.observe(cached)
+                    per_datagram.append((record, cached))
+                    continue
+                stats.cache_misses += 1
+            if learner is not None and learner.locked:
+                candidates = self._extract_predicted(payload, learner)
+                if candidates is not None:
+                    stats.fastpath_hits += 1
+                    learner.record_hit()
+                    spans = tuple(
+                        (c.offset, c.rtp_ssrc, c.end)
+                        for c in candidates
+                        if c.protocol is Protocol.RTP
+                    )
+                    predicted.append((len(per_datagram), spans))
+                    if self._cache is not None:
+                        self._cache.put(payload, candidates)
+                    per_datagram.append((record, candidates))
+                    continue
+                stats.fastpath_fallbacks += 1
+                learner.record_miss()
+            candidates = self._sweep(payload)
+            if learner is not None:
+                learner.observe(candidates)
+            if self._cache is not None:
+                self._cache.put(payload, candidates)
+            per_datagram.append((record, candidates))
+        return per_datagram, predicted
+
+    def _sweep(self, payload: bytes) -> List[Candidate]:
+        """Full stage-one scan: every matcher over offsets 0..k."""
+        stats = self.stats
+        stats.sweeps += 1
+        calls = stats.matcher_calls
         candidates: List[Candidate] = []
         for protocol in self._protocols:
+            calls[protocol.value] = calls.get(protocol.value, 0) + 1
             candidates.extend(MATCHERS[protocol](payload, self._max_offset))
         candidates.sort(key=lambda c: (c.offset, -c.length))
+        return candidates
+
+    def _resweep(self, payload: bytes) -> List[Candidate]:
+        """Redo sweep that must not read the cache.
+
+        The first pass cached the fast path's (possibly wrong) candidate
+        lists for this stream's payloads; reading them back would replay
+        the mistake.  Writing the fresh sweep results corrects those
+        entries instead.
+        """
+        candidates = self._sweep(payload)
         if self._cache is not None:
             self._cache.put(payload, candidates)
         return candidates
 
+    def _extract_predicted(
+        self, payload: bytes, learner: SignatureLearner
+    ) -> Optional[List[Candidate]]:
+        """Stage-one scan assuming the learned signature; None on a miss.
+
+        Only the RTP sweep is replaced by a targeted probe — the other
+        matchers are anchored scans that cost little and must keep running
+        so e.g. a STUN message appearing mid-stream is never missed.
+        Candidates are assembled in the engine's protocol order so the
+        stable sort below yields byte-identical ordering to ``_sweep``.
+        """
+        signature = learner.signature
+        rtp = predicted_rtp_candidates(
+            payload, self._max_offset, signature, rtp_candidates
+        )
+        stats = self.stats
+        calls = stats.matcher_calls
+        calls[Protocol.RTP.value] = calls.get(Protocol.RTP.value, 0) + 1
+        if rtp is None:
+            return None
+        if learner.continuation_risk(payload, self._max_offset):
+            return None
+        candidates: List[Candidate] = []
+        for protocol in self._protocols:
+            if protocol is Protocol.RTP:
+                candidates.extend(rtp)
+                continue
+            calls[protocol.value] = calls.get(protocol.value, 0) + 1
+            candidates.extend(MATCHERS[protocol](payload, self._max_offset))
+        candidates.sort(key=lambda c: (c.offset, -c.length))
+        return candidates
+
+    def _extract_candidates(self, payload: bytes) -> List[Candidate]:
+        """Cache-wrapped single-payload sweep (kept for direct callers)."""
+        if self._cache is not None:
+            cached = self._cache.get(payload)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
+            self.stats.cache_misses += 1
+        candidates = self._sweep(payload)
+        if self._cache is not None:
+            self._cache.put(payload, candidates)
+        return candidates
+
+    @staticmethod
+    def _predictions_accepted(
+        predicted: Sequence[Tuple[int, Tuple[Tuple[int, int, int], ...]]],
+        accepted: Sequence[List[Candidate]],
+        rtp_scores: Dict[int, float],
+    ) -> bool:
+        """Did stage two treat the fast path's predictions normally?
+
+        Two kinds of rejection are benign because they play out identically
+        in the sweep (a trusted pair's validation samples are collected
+        identically in both modes, so stage two sees the same evidence):
+
+        * validation rejection — byte-stable proprietary fields (a constant
+          extension magic, say) can earn a spot in the signature and are
+          then killed for zero sequence continuity (score 0);
+        * overlap loss — shadow candidates inside a stronger message's
+          bytes lose the deterministic byte-ownership arbitration.
+
+        What remains is a predicted message with a *valid* SSRC group that
+        vanished with nothing accepted in its place: stage two did
+        something the fast path's model cannot explain, so the stream is
+        redone with unconditional sweeps.
+        """
+        for index, spans in predicted:
+            kept_rtp = {
+                (c.offset, c.rtp_ssrc)
+                for c in accepted[index]
+                if c.protocol is Protocol.RTP
+            }
+            missing = [
+                span for span in spans
+                if (span[0], span[1]) not in kept_rtp
+                and rtp_scores.get(span[1], 0.0) > 0.0
+            ]
+            if not missing:
+                continue
+            for offset, _ssrc, end in missing:
+                overlapped = any(
+                    c.offset < end and offset < c.end
+                    for c in accepted[index]
+                )
+                if not overlapped:
+                    return False
+        return True
+
     # -- stage 2: stream-context validation ------------------------------------------
+
+    def _validate_stream(
+        self, per_datagram: Sequence[Tuple[PacketRecord, List[Candidate]]]
+    ) -> Tuple[List[List[Candidate]], Dict[int, float]]:
+        """Validate and overlap-resolve every datagram's candidates.
+
+        Returns the accepted candidates per datagram plus the RTP group
+        scores, which the fast-path redo check consults.
+        """
+        rtp_scores = self._validate_rtp_groups(per_datagram)
+        valid_rtp_ssrcs = frozenset(rtp_scores)
+        quic_cids = self._collect_quic_cids(per_datagram)
+        accepted: List[List[Candidate]] = []
+        for record, candidates in per_datagram:
+            validated = [
+                c for c in candidates
+                if self._validate(c, record, valid_rtp_ssrcs, quic_cids)
+            ]
+            accepted.append(self._resolve_overlaps(validated, rtp_scores))
+        return accepted, rtp_scores
 
     def _validate_rtp_groups(
         self, per_datagram: Sequence[Tuple[PacketRecord, List[Candidate]]]
@@ -379,9 +679,13 @@ class DpiEngine:
     ) -> Optional[ExtractedMessage]:
         message = candidate.message
         if candidate.protocol is Protocol.RTP and message is None:
-            window = record.payload[candidate.offset:candidate.offset + candidate.length]
             try:
-                message = RtpPacket.parse(window, strict=False)
+                message = RtpPacket.parse(
+                    record.payload,
+                    strict=False,
+                    start=candidate.offset,
+                    end=candidate.offset + candidate.length,
+                )
             except RtpParseError:
                 return None
         return ExtractedMessage(

@@ -17,7 +17,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.apps import APP_NAMES, CallConfig, NetworkCondition, get_simulator
 from repro.core import ComplianceChecker, ComplianceSummary
 from repro.core.metrics import TypeComplianceEntry, VolumeCompliance
-from repro.dpi import DatagramClass, DpiEngine, Protocol
+from repro.dpi import DatagramClass, DpiEngine, DpiStats, Protocol
 from repro.dpi.messages import ExtractedMessage
 from repro.filtering import TwoStageFilter
 from repro.filtering.pipeline import FilterResult, StageCounts
@@ -27,13 +27,13 @@ MAX_EXAMPLE_VIOLATIONS = 3
 
 
 @lru_cache(maxsize=8)
-def default_engine(max_offset: int) -> DpiEngine:
-    """Process-wide ``DpiEngine`` per ``max_offset``.
+def default_engine(max_offset: int, fastpath: bool = True) -> DpiEngine:
+    """Process-wide ``DpiEngine`` per ``(max_offset, fastpath)``.
 
     Reusing one engine across cells keeps its payload-dedup cache warm, so
     repeated keepalive/probe datagrams are only scanned once per process.
     """
-    return DpiEngine(max_offset=max_offset)
+    return DpiEngine(max_offset=max_offset, fastpath=fastpath)
 
 
 @lru_cache(maxsize=1)
@@ -52,6 +52,7 @@ class ExperimentConfig:
     seed: int = 0
     max_offset: int = 200
     include_background: bool = True
+    fastpath: bool = True
 
 
 @dataclass
@@ -70,6 +71,7 @@ class ExperimentAggregate:
     summary: Optional[ComplianceSummary] = None
     filter_precision: float = 1.0
     filter_recall: float = 1.0
+    dpi_stats: DpiStats = field(default_factory=DpiStats)
 
     def merge(self, other: "ExperimentAggregate") -> None:
         self.raw = _add_counts(self.raw, other.raw)
@@ -89,6 +91,7 @@ class ExperimentAggregate:
         # Precision/recall: keep the worst observed (conservative).
         self.filter_precision = min(self.filter_precision, other.filter_precision)
         self.filter_recall = min(self.filter_recall, other.filter_recall)
+        self.dpi_stats.merge(other.dpi_stats)
 
     def message_distribution(self) -> Dict[str, float]:
         """Table 2's row: per-protocol message share incl. fully proprietary."""
@@ -175,7 +178,7 @@ def run_experiment(
     )
     trace = simulator.simulate(call_config)
     filter_result = TwoStageFilter(trace.window).apply(trace.records)
-    dpi = default_engine(config.max_offset).analyze_records(
+    dpi = default_engine(config.max_offset, config.fastpath).analyze_records(
         filter_result.kept_records
     )
     verdicts = default_checker().check(dpi.messages())
@@ -188,6 +191,7 @@ def run_experiment(
     aggregate.class_counts = dpi.by_class()
     aggregate.protocol_counts = dpi.protocol_counts()
     aggregate.summary = ComplianceSummary.from_verdicts(app, verdicts)
+    aggregate.dpi_stats = dpi.stats.copy()
     if filter_result.evaluation is not None:
         aggregate.filter_precision = filter_result.evaluation.precision
         aggregate.filter_recall = filter_result.evaluation.recall

@@ -58,21 +58,26 @@ class QuicHeader:
         return self.is_long and self.version == 0
 
 
-def parse_one(data: bytes, short_dcid_len: int = 8) -> QuicHeader:
-    """Parse a single QUIC packet header starting at byte 0."""
-    if not data:
+def parse_one(data: bytes, short_dcid_len: int = 8, start: int = 0) -> QuicHeader:
+    """Parse a single QUIC packet header beginning at byte *start*.
+
+    ``header_length``/``wire_length`` on the result are relative to *start*,
+    so callers see the same values they would for ``data[start:]`` without
+    paying for that copy.
+    """
+    if start < 0 or start >= len(data):
         raise QuicParseError("empty buffer")
-    first = data[0]
+    first = data[start]
     if first & FORM_BIT:
-        return _parse_long(data, first)
-    return _parse_short(data, first, short_dcid_len)
+        return _parse_long(data, first, start)
+    return _parse_short(data, first, short_dcid_len, start)
 
 
-def _parse_long(data: bytes, first: int) -> QuicHeader:
-    if len(data) < 7:
+def _parse_long(data: bytes, first: int, start: int = 0) -> QuicHeader:
+    if len(data) - start < 7:
         raise QuicParseError("long header too short")
-    version = int.from_bytes(data[1:5], "big")
-    offset = 5
+    version = int.from_bytes(data[start + 1:start + 5], "big")
+    offset = start + 5
     dcid_len = data[offset]
     offset += 1
     # RFC 9000 §17.2 caps v1 CIDs at 20 bytes; we apply the cap to version
@@ -105,8 +110,8 @@ def _parse_long(data: bytes, first: int) -> QuicHeader:
             version=0,
             dcid=dcid,
             scid=scid,
-            header_length=offset,
-            wire_length=len(data),
+            header_length=offset - start,
+            wire_length=len(data) - start,
         )
 
     if not first & FIXED_BIT:
@@ -137,8 +142,8 @@ def _parse_long(data: bytes, first: int) -> QuicHeader:
                 scid=scid,
                 long_type=long_type,
                 token=token,
-                header_length=offset,
-                wire_length=len(data),
+                header_length=offset - start,
+                wire_length=len(data) - start,
             )
         payload_length, consumed = decode_varint(data, offset)
         offset += consumed
@@ -163,27 +168,28 @@ def _parse_long(data: bytes, first: int) -> QuicHeader:
         long_type=long_type,
         token=token,
         payload_length=payload_length,
-        header_length=offset,
-        wire_length=total,
+        header_length=offset - start,
+        wire_length=total - start,
     )
 
 
-def _parse_short(data: bytes, first: int, dcid_len: int) -> QuicHeader:
+def _parse_short(data: bytes, first: int, dcid_len: int, start: int = 0) -> QuicHeader:
     if not first & FIXED_BIT:
         raise QuicParseError("fixed bit clear in short header")
-    if 1 + dcid_len > len(data):
+    if start + 1 + dcid_len > len(data):
         raise QuicParseError("short header shorter than DCID")
     # A 1-RTT packet must still carry a packet number and at least a sample
     # of ciphertext; anything tiny is noise.
-    if len(data) < 1 + dcid_len + 1 + 16:
+    if len(data) - start < 1 + dcid_len + 1 + 16:
         raise QuicParseError("short-header packet implausibly small")
     return QuicHeader(
         is_long=False,
         first_byte=first,
         version=None,
-        dcid=data[1:1 + dcid_len],
+        dcid=data[start + 1:start + 1 + dcid_len],
         header_length=1 + dcid_len,
-        wire_length=len(data),  # short header always extends to datagram end
+        # Short headers always extend to the end of the datagram.
+        wire_length=len(data) - start,
     )
 
 

@@ -7,6 +7,7 @@ judged structurally; the typed views decode plaintext bodies.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -15,6 +16,9 @@ from repro.utils.bytesview import ByteReader, ByteWriter, TruncatedError
 
 RTCP_VERSION = 2
 HEADER_LEN = 4
+
+#: Precompiled common header: first byte, packet type, length words.
+_HEADER = struct.Struct("!BBH")
 
 
 class RtcpParseError(ValueError):
@@ -36,16 +40,17 @@ class RtcpHeader:
         return (self.length_words + 1) * 4
 
     @classmethod
-    def parse(cls, data: bytes) -> "RtcpHeader":
-        if len(data) < HEADER_LEN:
+    def parse(cls, data: bytes, start: int = 0) -> "RtcpHeader":
+        """Parse the common header at byte *start* of *data* (zero-copy)."""
+        if len(data) - start < HEADER_LEN or start < 0:
             raise RtcpParseError("buffer shorter than RTCP header")
-        first = data[0]
+        first, packet_type, length_words = _HEADER.unpack_from(data, start)
         return cls(
             version=first >> 6,
             padding=bool(first & 0x20),
             count=first & 0x1F,
-            packet_type=data[1],
-            length_words=int.from_bytes(data[2:4], "big"),
+            packet_type=packet_type,
+            length_words=length_words,
         )
 
     def build(self) -> bytes:
@@ -103,14 +108,18 @@ def parse_compound(data: bytes, strict: bool = True) -> List[RtcpPacket]:
     packets: List[RtcpPacket] = []
     offset = 0
     while offset + HEADER_LEN <= len(data):
-        window = data[offset:]
         try:
-            header = RtcpHeader.parse(window)
+            header = RtcpHeader.parse(data, offset)
         except RtcpParseError:
             break
-        if header.version != RTCP_VERSION or header.wire_length > len(window):
+        if header.version != RTCP_VERSION or offset + header.wire_length > len(data):
             break
-        packets.append(RtcpPacket(header=header, body=window[HEADER_LEN:header.wire_length]))
+        packets.append(
+            RtcpPacket(
+                header=header,
+                body=data[offset + HEADER_LEN:offset + header.wire_length],
+            )
+        )
         offset += header.wire_length
     if offset != len(data):
         leftover = data[offset:]

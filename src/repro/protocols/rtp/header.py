@@ -43,8 +43,18 @@ class RtpPacket:
         return self.padding_length > 0
 
     @classmethod
-    def parse(cls, data: bytes, strict: bool = True) -> "RtpPacket":
-        reader = ByteReader(data)
+    def parse(
+        cls,
+        data: bytes,
+        strict: bool = True,
+        start: int = 0,
+        end: Optional[int] = None,
+    ) -> "RtpPacket":
+        """Parse the packet spanning ``data[start:end]`` without slicing it."""
+        try:
+            reader = ByteReader(data, start, end)
+        except ValueError as exc:
+            raise RtpParseError(str(exc)) from exc
         try:
             first = reader.u8()
             second = reader.u8()
@@ -142,26 +152,28 @@ class RtpPacket:
         return self.header_length + len(self.payload) + self.padding_length
 
 
-def looks_like_rtp(data: bytes) -> bool:
+def looks_like_rtp(data: bytes, start: int = 0) -> bool:
     """Structural test used by the DPI candidate matcher.
 
     Mirrors Peafowl's RTP pattern *minus* its payload-type restriction, as
     the paper prescribes (§4.1.1): version must be 2 and the declared CSRC
-    list and extension block must fit in the buffer.
+    list and extension block must fit in the buffer.  ``start`` tests the
+    packet at a payload offset without copying the tail.
     """
-    if len(data) < FIXED_HEADER_LEN:
+    if len(data) - start < FIXED_HEADER_LEN or start < 0:
         return False
-    if data[0] >> 6 != RTP_VERSION:
+    first = data[start]
+    if first >> 6 != RTP_VERSION:
         return False
     # Exclude the RTCP packet-type range so RTP/RTCP demultiplexing follows
     # RFC 5761 §4: PT values 64-95 (with marker bit → 192-223) are RTCP.
-    if 192 <= data[1] <= 223:
+    if 192 <= data[start + 1] <= 223:
         return False
-    csrc_count = data[0] & 0x0F
-    offset = FIXED_HEADER_LEN + 4 * csrc_count
+    csrc_count = first & 0x0F
+    offset = start + FIXED_HEADER_LEN + 4 * csrc_count
     if offset > len(data):
         return False
-    if data[0] & 0x10:  # extension present
+    if first & 0x10:  # extension present
         if offset + 4 > len(data):
             return False
         word_length = int.from_bytes(data[offset + 2:offset + 4], "big")

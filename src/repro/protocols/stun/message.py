@@ -10,6 +10,7 @@ version (footnote 2).
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -26,6 +27,10 @@ from repro.protocols.stun.constants import (
 from repro.utils.bytesview import ByteReader, ByteWriter, TruncatedError
 
 HEADER_LEN = 20
+
+#: Precompiled (msg_type, length) header prefix — one C-level read instead of
+#: two ``int.from_bytes`` slices on the structural-test hot path.
+_TYPE_LEN = struct.Struct("!HH")
 
 
 class StunParseError(ValueError):
@@ -68,13 +73,16 @@ class StunMessage:
         return sum(4 + attr.padded_length for attr in self.attributes)
 
     @classmethod
-    def parse(cls, data: bytes, strict: bool = True) -> "StunMessage":
-        """Parse a STUN message from *data* (which must contain exactly one).
+    def parse(cls, data: bytes, strict: bool = True, start: int = 0) -> "StunMessage":
+        """Parse a STUN message beginning at byte *start* of *data*.
 
         Accepts both modern and classic framing.  ``strict=False`` tolerates
-        trailing garbage after the declared length.
+        trailing garbage after the declared length.  ``start`` lets the DPI
+        parse at a payload offset without slicing a fresh ``bytes`` window.
         """
-        reader = ByteReader(data)
+        if not 0 <= start <= len(data):
+            raise StunParseError(f"start {start} outside {len(data)}-byte buffer")
+        reader = ByteReader(data, start)
         try:
             msg_type = reader.u16()
             length = reader.u16()
@@ -195,20 +203,20 @@ def build_with_fingerprint(message: StunMessage) -> bytes:
     return bytes(raw)
 
 
-def looks_like_stun(data: bytes) -> bool:
+def looks_like_stun(data: bytes, start: int = 0) -> bool:
     """Cheap structural test used by the DPI candidate matcher.
 
     Requires only the invariants every published STUN version shares: two
     zero top bits and a 4-byte-aligned length that fits in the buffer.  The
     magic cookie is deliberately *not* required, so classic RFC 3489 traffic
-    (e.g. Zoom's) is still surfaced as a candidate.
+    (e.g. Zoom's) is still surfaced as a candidate.  ``start`` checks the
+    message at a payload offset without copying the tail.
     """
-    if len(data) < HEADER_LEN:
+    if len(data) - start < HEADER_LEN or start < 0:
         return False
-    msg_type = int.from_bytes(data[0:2], "big")
+    msg_type, length = _TYPE_LEN.unpack_from(data, start)
     if msg_type & 0xC000:
         return False
-    length = int.from_bytes(data[2:4], "big")
     if length % 4:
         return False
-    return HEADER_LEN + length <= len(data)
+    return start + HEADER_LEN + length <= len(data)

@@ -25,6 +25,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_dpi_stats_args(self):
+        args = build_parser().parse_args(
+            ["dpi-stats", "--app", "meet", "--no-fastpath"]
+        )
+        assert args.app == "meet"
+        assert args.no_fastpath is True
+        assert args.network is None
+
 
 class TestCommands:
     def test_run(self, capsys):
@@ -50,3 +58,19 @@ class TestCommands:
         empty = tmp_path / "empty.pcap"
         write_pcap(empty, [])
         assert main(["pcap", str(empty)]) == 1
+
+    def test_dpi_stats(self, capsys):
+        code = main(["dpi-stats", "--app", "discord", "--network", "wifi_p2p",
+                     "--duration", "6", "--scale", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fast-path hits" in out
+        assert "fast path: on" in out
+
+    def test_dpi_stats_disabled(self, capsys):
+        code = main(["dpi-stats", "--app", "discord", "--network", "wifi_p2p",
+                     "--duration", "6", "--scale", "0.2", "--no-fastpath"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fast path: off" in out
+        assert "fast-path hits     0" in out
