@@ -7,6 +7,9 @@ Subcommands::
     rtc-compliance synthesize --app discord --out d.pcap # write a pcap trace
     rtc-compliance pcap capture.pcap                     # analyze a real pcap
     rtc-compliance dpi-stats --app zoom                  # DPI fast-path counters
+    rtc-compliance conformance record                    # (re-)record goldens
+    rtc-compliance conformance check                     # diff engines vs goldens
+    rtc-compliance conformance fuzz --iterations 2000    # mutation oracle
 """
 
 from __future__ import annotations
@@ -140,6 +143,51 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.add_argument("--seed", type=int, default=0)
     stats_p.add_argument("--no-fastpath", action="store_true",
                          help="disable the flow-sticky fast path (sweep only)")
+
+    conf_p = sub.add_parser(
+        "conformance",
+        help="golden-corpus recording, differential checks, mutation fuzzing",
+    )
+    conf_sub = conf_p.add_subparsers(dest="conformance_command", required=True)
+
+    record_p = conf_sub.add_parser(
+        "record", help="record golden corpus cells under the reference engine"
+    )
+    record_p.add_argument("--dir", help="corpus directory "
+                          "(default: tests/golden/conformance)")
+    record_p.add_argument("--duration", type=float, default=None,
+                          help="override call duration (default: corpus standard)")
+    record_p.add_argument("--scale", type=float, default=None,
+                          help="override media scale (default: corpus standard)")
+    record_p.add_argument("--seed", type=int, default=None,
+                          help="override simulation seed (default: corpus standard)")
+    record_p.add_argument("--apps", nargs="*", choices=APP_NAMES, default=None)
+    record_p.add_argument("--networks", nargs="*", type=_network, default=None)
+
+    check_p = conf_sub.add_parser(
+        "check", help="replay the corpus through every engine config and diff"
+    )
+    check_p.add_argument("--dir", help="corpus directory "
+                         "(default: tests/golden/conformance)")
+    check_p.add_argument("--apps", nargs="*", choices=APP_NAMES, default=None)
+    check_p.add_argument("--networks", nargs="*", type=_network, default=None)
+    check_p.add_argument("--report-out",
+                         help="also write the drift report to this file")
+
+    fuzz_p = conf_sub.add_parser(
+        "fuzz", help="criterion-targeted mutation fuzzing with exact oracle"
+    )
+    fuzz_p.add_argument("--iterations", type=int, default=2000)
+    fuzz_p.add_argument("--seed", type=int, default=0)
+    fuzz_p.add_argument("--dir", help="harvest extra seed messages from this "
+                        "corpus directory (default: tests/golden/conformance "
+                        "when present; builtin seeds otherwise)")
+    fuzz_p.add_argument("--no-corpus", action="store_true",
+                        help="fuzz builtin seed messages only")
+    fuzz_p.add_argument("--no-minimize", action="store_true",
+                        help="skip payload minimization of failures")
+    fuzz_p.add_argument("--report-out",
+                        help="also write the fuzz report to this file")
 
     return parser
 
@@ -379,6 +427,90 @@ def cmd_dpi_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _conformance_dir(args: argparse.Namespace):
+    from pathlib import Path
+
+    from repro.conformance import default_corpus_dir
+
+    return Path(args.dir) if args.dir else default_corpus_dir()
+
+
+def _write_report(path: Optional[str], text: str) -> None:
+    if path:
+        with open(path, "w") as fileobj:
+            fileobj.write(text + "\n")
+        print(f"wrote report to {path}")
+
+
+def cmd_conformance(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.conformance import (
+        CorpusConfig,
+        GoldenMismatchError,
+        check_corpus,
+        default_corpus_dir,
+        fuzz,
+        record_corpus,
+    )
+
+    directory = _conformance_dir(args)
+    if args.conformance_command == "record":
+        config = CorpusConfig()
+        overrides = {
+            key: value
+            for key, value in (
+                ("call_duration", args.duration),
+                ("media_scale", args.scale),
+                ("seed", args.seed),
+            )
+            if value is not None
+        }
+        if overrides:
+            config = dc_replace(config, **overrides)
+        kwargs = {}
+        if args.apps:
+            kwargs["apps"] = tuple(args.apps)
+        if args.networks:
+            kwargs["networks"] = tuple(args.networks)
+        manifest = record_corpus(directory, config, progress=print, **kwargs)
+        print(f"recorded {len(manifest['cells'])} cells to {directory}")
+        return 0
+    if args.conformance_command == "check":
+        try:
+            report = check_corpus(
+                directory, apps=args.apps or None, networks=args.networks or None
+            )
+        except GoldenMismatchError as exc:
+            print(f"conformance check failed: {exc}", file=sys.stderr)
+            return 1
+        text = report.render()
+        print(text)
+        if not report.ok:
+            _write_report(args.report_out, text)
+        return 0 if report.ok else 1
+    # fuzz
+    corpus_dir = None
+    if not args.no_corpus:
+        candidate = directory if args.dir else default_corpus_dir()
+        if (candidate / "manifest.json").exists():
+            corpus_dir = candidate
+        elif args.dir:
+            print(f"no conformance manifest in {candidate}", file=sys.stderr)
+            return 1
+    report = fuzz(
+        iterations=args.iterations,
+        seed=args.seed,
+        corpus_dir=corpus_dir,
+        minimize=not args.no_minimize,
+    )
+    text = report.render()
+    print(text)
+    if not report.ok:
+        _write_report(args.report_out, text)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -392,6 +524,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fingerprint": cmd_fingerprint,
         "dissect": cmd_dissect,
         "dpi-stats": cmd_dpi_stats,
+        "conformance": cmd_conformance,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,231 @@
+"""Differential conformance checker: replay goldens through every engine.
+
+The recorded corpus (see :mod:`repro.conformance.golden`) defines ground
+truth under the reference sweep engine.  This module replays the exact
+same filtered records through every interesting engine configuration —
+plain sweep, flow-sticky fast path, dedup cache, and a cached fast-path
+engine *shared* across all cells (the ``run_matrix`` serial production
+shape) — and demands bit-identical verdicts, datagram classes, and
+metrics from each.  On mismatch it renders a drift report that names the
+first divergent message: its index, timestamp, protocol, byte offset,
+and the ``(criterion, code)`` pairs on each side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.apps import NetworkCondition
+from repro.core import ComplianceChecker
+from repro.dpi import DpiEngine
+from repro.dpi.engine import DEFAULT_CACHE_SIZE
+from repro.conformance.golden import (
+    RERECORD_HINT,
+    CorpusConfig,
+    GoldenMismatchError,
+    build_facts,
+    cell_name,
+    cell_records,
+    corpus_cells,
+    facts_digest,
+    load_cell,
+    load_manifest,
+)
+
+#: Facts keys that must match the golden for *every* engine configuration.
+_VERDICT_KEYS = (
+    "classes", "class_counts", "messages", "volume",
+    "volume_by_protocol", "types",
+)
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One engine configuration the differ exercises.
+
+    ``shared=True`` reuses a single engine instance across every cell of
+    the run, mirroring how ``run_matrix`` keeps caches warm between
+    cells — the configuration most likely to leak state.
+    """
+
+    name: str
+    fastpath: bool
+    cache_size: int
+    shared: bool = False
+
+    def build(self, max_offset: int) -> DpiEngine:
+        return DpiEngine(
+            max_offset=max_offset,
+            cache_size=self.cache_size,
+            fastpath=self.fastpath,
+        )
+
+
+#: ``sweep`` is the reference configuration the corpus was recorded with;
+#: its DpiStats must match the golden exactly, not just its verdicts.
+ENGINE_SPECS: Tuple[EngineSpec, ...] = (
+    EngineSpec("sweep", fastpath=False, cache_size=0),
+    EngineSpec("fastpath", fastpath=True, cache_size=0),
+    EngineSpec("cached", fastpath=False, cache_size=DEFAULT_CACHE_SIZE),
+    EngineSpec(
+        "fastpath-cached-shared",
+        fastpath=True,
+        cache_size=DEFAULT_CACHE_SIZE,
+        shared=True,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One divergence between a golden cell and a live engine run."""
+
+    cell: str
+    engine: str
+    kind: str
+    detail: str
+
+    def render(self) -> str:
+        return f"[{self.cell} / {self.engine}] {self.kind}: {self.detail}"
+
+
+@dataclass
+class DriftReport:
+    """Outcome of a full differential check."""
+
+    cells_checked: int = 0
+    engines: Tuple[str, ...] = ()
+    drifts: List[Drift] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifts
+
+    def render(self) -> str:
+        lines = [
+            f"conformance check: {self.cells_checked} cells x "
+            f"{len(self.engines)} engine configs ({', '.join(self.engines)})"
+        ]
+        if self.ok:
+            lines.append("OK: all engine configurations match the golden corpus")
+        else:
+            lines.append(f"DRIFT: {len(self.drifts)} divergence(s); {RERECORD_HINT} "
+                         f"only if the new behavior is intended")
+            lines.extend(f"  {drift.render()}" for drift in self.drifts)
+        return "\n".join(lines)
+
+
+def _message_label(entry: Sequence[object]) -> str:
+    timestamp, protocol, offset, length, trailer_hex, type_label, keys = entry
+    violations = (
+        ", ".join(f"C{c}:{code}" for c, code in keys) if keys else "compliant"
+    )
+    return (
+        f"t={timestamp:.6f} {protocol}/{type_label} at byte offset {offset} "
+        f"(length {length}, trailer {len(trailer_hex) // 2}B) -> {violations}"
+    )
+
+
+def _compare_messages(golden: List, actual: List) -> Optional[str]:
+    """Human-readable description of the first divergent message, if any."""
+    for index, (want, got) in enumerate(zip(golden, actual)):
+        if want != got:
+            return (
+                f"first divergent message at index {index}: "
+                f"expected {_message_label(want)}; got {_message_label(got)}"
+            )
+    if len(golden) != len(actual):
+        return (
+            f"message count changed: expected {len(golden)}, got {len(actual)} "
+            f"(first {min(len(golden), len(actual))} messages identical)"
+        )
+    return None
+
+
+def _compare_facts(
+    golden: Dict[str, object], actual: Dict[str, object], exact_stats: bool
+) -> List[Tuple[str, str]]:
+    """(kind, detail) pairs for every way ``actual`` diverges from ``golden``."""
+    problems: List[Tuple[str, str]] = []
+    if golden["classes"] != actual["classes"]:
+        want, got = golden["classes"], actual["classes"]
+        index = next(
+            (i for i, (a, b) in enumerate(zip(want, got)) if a != b),
+            min(len(want), len(got)),
+        )
+        problems.append((
+            "datagram-classes",
+            f"first divergent datagram at index {index}: "
+            f"expected {want[index:index + 1] or '<none>'}, "
+            f"got {got[index:index + 1] or '<none>'} "
+            f"({len(want)} vs {len(got)} datagrams)",
+        ))
+    message_drift = _compare_messages(golden["messages"], actual["messages"])
+    if message_drift is not None:
+        problems.append(("verdicts", message_drift))
+    for key in ("class_counts", "volume", "volume_by_protocol", "types"):
+        if golden[key] != actual[key]:
+            problems.append((key, f"expected {golden[key]}, got {actual[key]}"))
+    golden_stats = golden["dpi_stats"]
+    actual_stats = actual["dpi_stats"]
+    if golden_stats["datagrams"] != actual_stats["datagrams"]:
+        problems.append((
+            "dpi-stats",
+            f"datagram count: expected {golden_stats['datagrams']}, "
+            f"got {actual_stats['datagrams']}",
+        ))
+    elif exact_stats and golden_stats != actual_stats:
+        problems.append((
+            "dpi-stats",
+            f"reference-engine counters drifted: expected {golden_stats}, "
+            f"got {actual_stats}",
+        ))
+    return problems
+
+
+def check_corpus(
+    directory: Path,
+    apps: Optional[Iterable[str]] = None,
+    networks: Optional[Iterable[NetworkCondition]] = None,
+    specs: Sequence[EngineSpec] = ENGINE_SPECS,
+) -> DriftReport:
+    """Replay the golden corpus through every engine spec and diff outputs."""
+    report = DriftReport(engines=tuple(spec.name for spec in specs))
+    manifest = load_manifest(directory)
+    config = CorpusConfig.from_dict(manifest["config"])
+    shared_engines = {
+        spec.name: spec.build(config.max_offset) for spec in specs if spec.shared
+    }
+    checker = ComplianceChecker()
+    for app, network in corpus_cells(manifest, apps, networks):
+        name = cell_name(app, network)
+        try:
+            golden = load_cell(directory, name)
+        except GoldenMismatchError as exc:
+            report.drifts.append(Drift(name, "-", "golden-file", str(exc)))
+            continue
+        stored = manifest["cells"][name]
+        if stored != facts_digest(golden):
+            report.drifts.append(Drift(
+                name, "-", "manifest-digest",
+                f"manifest digest {stored} does not match cell file — "
+                f"{RERECORD_HINT}",
+            ))
+            continue
+        report.cells_checked += 1
+        records = cell_records(app, network, config)
+        for spec in specs:
+            engine = shared_engines.get(spec.name) or spec.build(config.max_offset)
+            dpi = engine.analyze_records(records)
+            verdicts = checker.check(dpi.messages())
+            actual = build_facts(app, network, dpi, verdicts)
+            exact_stats = spec.name == "sweep" and not spec.shared
+            for kind, detail in _compare_facts(golden, actual, exact_stats):
+                report.drifts.append(Drift(name, spec.name, kind, detail))
+            for problem in dpi.stats.invariant_violations():
+                report.drifts.append(
+                    Drift(name, spec.name, "stats-invariant", problem)
+                )
+    return report

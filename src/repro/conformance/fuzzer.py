@@ -1,0 +1,1056 @@
+"""Structure-aware mutation fuzzer with an exact-attribution oracle.
+
+Starting from *well-formed* STUN/TURN, RTP, RTCP, and QUIC messages
+(built-in seeds plus messages harvested from the golden corpus), each
+mutator injects one specific spec violation — an undefined message type,
+a corrupted header field, an unknown attribute type, an invalid
+attribute value, broken truncation/padding — and the oracle asserts the
+five-criterion checker flags **exactly** the violated criterion with an
+expected violation code: one violation, right criterion, right code.
+Anything else (compliant, wrong criterion, extra violations, a parse
+crash) is a mis-attribution failure, reported with the offending payload
+and a delta-debugged minimal reproduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.apps import NetworkCondition
+from repro.conformance.golden import (
+    CorpusConfig,
+    cell_records,
+    corpus_cells,
+    load_manifest,
+    reference_engine,
+)
+from repro.core import ComplianceChecker
+from repro.core.verdict import Criterion
+from repro.dpi.messages import ExtractedMessage, Protocol
+from repro.packets.packet import Direction, PacketRecord
+from repro.protocols.quic.header import (
+    QUIC_V1,
+    QUIC_V2,
+    QuicHeader,
+    QuicParseError,
+    parse_one,
+)
+from repro.protocols.rtcp.constants import (
+    KNOWN_PSFB_FORMATS,
+    KNOWN_RTPFB_FORMATS,
+    RtcpPacketType,
+)
+from repro.protocols.rtcp.packets import (
+    AppPacket,
+    FeedbackPacket,
+    ReceiverReport,
+    RtcpHeader,
+    RtcpPacket,
+    RtcpParseError,
+    SdesChunk,
+    SdesItem,
+    SdesPacket,
+    SenderReport,
+    XrBlock,
+    XrPacket,
+)
+from repro.protocols.rtp.extensions import (
+    ONE_BYTE_PROFILE,
+    TWO_BYTE_PROFILE_BASE,
+    TWO_BYTE_PROFILE_MASK,
+    HeaderExtension,
+    build_one_byte_extension,
+)
+from repro.protocols.rtp.header import RtpPacket, RtpParseError
+from repro.protocols.stun.attributes import (
+    StunAttribute,
+    channel_number_value,
+    encode_error_code,
+    encode_xor_address,
+    requested_transport_value,
+)
+from repro.protocols.stun.constants import (
+    KNOWN_ATTRIBUTE_TYPES,
+    KNOWN_MESSAGE_TYPES,
+    AttributeType,
+)
+from repro.protocols.stun.message import (
+    ChannelData,
+    StunMessage,
+    StunParseError,
+    build_with_fingerprint,
+)
+from repro.utils.rand import DeterministicRandom
+
+_A = AttributeType
+
+#: Fixed 5-tuple every rewrapped message lives on, so multi-message
+#: mutations (retransmission runs, Allocate ping-pong) share one stream.
+_SRC = ("198.51.100.2", 40000)
+_DST = ("203.0.113.9", 3478)
+
+
+@dataclass(frozen=True)
+class Seed:
+    """One well-formed wire message the mutators start from."""
+
+    kind: str
+    data: bytes
+
+
+_KIND_PROTOCOL: Dict[str, Protocol] = {
+    "stun-request": Protocol.STUN_TURN,
+    "stun-response": Protocol.STUN_TURN,
+    "stun-indication": Protocol.STUN_TURN,
+    "channeldata": Protocol.STUN_TURN,
+    "rtp": Protocol.RTP,
+    "rtcp-sr": Protocol.RTCP,
+    "rtcp-rr": Protocol.RTCP,
+    "rtcp-sdes": Protocol.RTCP,
+    "quic-long": Protocol.QUIC,
+}
+
+SEED_KINDS: Tuple[str, ...] = tuple(_KIND_PROTOCOL)
+
+
+def _record(payload: bytes, timestamp: float = 0.0) -> PacketRecord:
+    return PacketRecord(
+        timestamp=timestamp,
+        src_ip=_SRC[0],
+        src_port=_SRC[1],
+        dst_ip=_DST[0],
+        dst_port=_DST[1],
+        transport="UDP",
+        payload=payload,
+        direction=Direction.OUTBOUND,
+    )
+
+
+def rewrap(
+    protocol: Protocol, wire: bytes, timestamp: float = 0.0
+) -> Optional[ExtractedMessage]:
+    """Parse *wire* as one message of *protocol* and wrap it for the checker.
+
+    Mirrors what the DPI engine produces for a standard datagram whose
+    payload is exactly this message (offset 0, surplus bytes as trailer).
+    Returns ``None`` when the bytes no longer parse — the oracle treats
+    that as its own failure mode for byte-level mutations that should
+    still parse.
+    """
+    record = _record(wire, timestamp)
+    try:
+        if protocol is Protocol.STUN_TURN:
+            try:
+                message = StunMessage.parse(wire, strict=True)
+                return ExtractedMessage(protocol, 0, len(wire), message, record)
+            except StunParseError:
+                frame = ChannelData.parse(wire, strict=False)
+                length = ChannelData.HEADER_LEN + len(frame.data)
+                return ExtractedMessage(
+                    protocol, 0, length, frame, record, trailer=wire[length:]
+                )
+        if protocol is Protocol.RTP:
+            packet = RtpPacket.parse(wire, strict=False)
+            return ExtractedMessage(protocol, 0, len(wire), packet, record)
+        if protocol is Protocol.RTCP:
+            packet = RtcpPacket.parse(wire, strict=False)
+            return ExtractedMessage(
+                protocol,
+                0,
+                packet.header.wire_length,
+                packet,
+                record,
+                trailer=packet.trailer,
+            )
+        if protocol is Protocol.QUIC:
+            header = parse_one(wire)
+            return ExtractedMessage(protocol, 0, header.wire_length, header, record)
+    except (StunParseError, RtpParseError, RtcpParseError, QuicParseError, ValueError):
+        return None
+    return None
+
+
+@dataclass
+class Mutated:
+    """A mutator's output: the message set to judge and the target index.
+
+    ``wire`` is set for single-message byte-level mutations and enables
+    payload minimization of failures; object-level mutations (those the
+    wire format cannot even encode, like an oversized QUIC CID) leave it
+    ``None``.
+    """
+
+    messages: List[ExtractedMessage]
+    target: int = 0
+    wire: Optional[bytes] = None
+    protocol: Optional[Protocol] = None
+
+
+def _single(protocol: Protocol, wire: bytes) -> Mutated:
+    extracted = rewrap(protocol, wire)
+    return Mutated(
+        messages=[] if extracted is None else [extracted],
+        wire=wire,
+        protocol=protocol,
+    )
+
+
+@dataclass(frozen=True)
+class Mutator:
+    """One criterion-targeted mutation with its expected attribution."""
+
+    name: str
+    protocol: Protocol
+    criterion: Criterion
+    codes: frozenset
+    kinds: Tuple[str, ...]
+    apply: Callable[[Seed, DeterministicRandom], Optional[Mutated]]
+
+
+# --- STUN/TURN mutators -----------------------------------------------------
+
+def _parse_stun(seed: Seed) -> StunMessage:
+    return StunMessage.parse(seed.data, strict=True)
+
+
+def _without_fingerprint(message: StunMessage) -> StunMessage:
+    """Drop FINGERPRINT so an appended attribute cannot trip its
+    placement rule (criterion 4 checks FINGERPRINT-is-last first)."""
+    attributes = [
+        attr for attr in message.attributes
+        if attr.attr_type != int(_A.FINGERPRINT)
+    ]
+    return dataclasses.replace(message, attributes=attributes)
+
+
+def _append_attribute(message: StunMessage, attr: StunAttribute) -> bytes:
+    mutated = dataclasses.replace(
+        message, attributes=message.attributes + [attr]
+    )
+    return mutated.build()
+
+
+def _mut_stun_undefined_type(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    message = _parse_stun(seed)
+    while True:
+        msg_type = rng.getrandbits(14)
+        if msg_type not in KNOWN_MESSAGE_TYPES:
+            break
+    return _single(
+        Protocol.STUN_TURN,
+        dataclasses.replace(message, msg_type=msg_type).build(),
+    )
+
+
+def _mut_stun_sequential_txid(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    message = _without_fingerprint(_parse_stun(seed))
+    width = len(message.transaction_id)
+    # Low byte 0x10 leaves headroom so small increments never carry.
+    base = int.from_bytes(rng.rand_bytes(width - 1) + b"\x10", "big")
+    step = 1 + rng.randrange(4)
+    messages: List[ExtractedMessage] = []
+    for i in range(6):
+        txid = (base + i * step).to_bytes(width, "big")
+        wire = dataclasses.replace(message, transaction_id=txid).build()
+        extracted = rewrap(Protocol.STUN_TURN, wire, timestamp=0.5 * i)
+        if extracted is None:
+            return Mutated(messages=[])
+        messages.append(extracted)
+    return Mutated(messages=messages)
+
+
+def _mut_stun_undefined_attribute(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    message = _parse_stun(seed)
+    while True:
+        attr_type = rng.getrandbits(16)
+        if attr_type not in KNOWN_ATTRIBUTE_TYPES:
+            break
+    attr = StunAttribute(attr_type, rng.rand_bytes(rng.randrange(9)))
+    return _single(Protocol.STUN_TURN, _append_attribute(message, attr))
+
+
+#: (attribute, fixed length) pairs the bad-length mutator stretches.
+_FIXED_LENGTH_CHOICES = (
+    (int(_A.LIFETIME), 4),
+    (int(_A.PRIORITY), 4),
+    (int(_A.REQUESTED_TRANSPORT), 4),
+    (int(_A.RESERVATION_TOKEN), 8),
+    (int(_A.ICE_CONTROLLING), 8),
+)
+
+
+def _mut_stun_bad_attribute_length(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    message = _without_fingerprint(_parse_stun(seed))
+    attr_type, fixed = rng.choice(_FIXED_LENGTH_CHOICES)
+    value = rng.rand_bytes(fixed + 1 + rng.randrange(4))
+    return _single(
+        Protocol.STUN_TURN,
+        _append_attribute(message, StunAttribute(attr_type, value)),
+    )
+
+
+def _mut_stun_bad_address_family(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    message = _without_fingerprint(_parse_stun(seed))
+    family = rng.choice((0x00, 0x03, 0x04, 0x7F))
+    value = bytes([0, family]) + rng.rand_bytes(6)
+    return _single(
+        Protocol.STUN_TURN,
+        _append_attribute(message, StunAttribute(int(_A.XOR_PEER_ADDRESS), value)),
+    )
+
+
+def _mut_stun_bad_channel_number(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    message = _without_fingerprint(_parse_stun(seed))
+    channel = 0x5000 + rng.randrange(0xB000)
+    attr = StunAttribute(int(_A.CHANNEL_NUMBER), channel_number_value(channel))
+    return _single(Protocol.STUN_TURN, _append_attribute(message, attr))
+
+
+def _mut_stun_bad_error_code(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    message = _without_fingerprint(_parse_stun(seed))
+    if rng.randrange(2):
+        value = rng.rand_bytes(3)  # shorter than the 4-byte prelude
+    else:
+        value = encode_error_code(rng.choice((100, 200, 700)))
+    return _single(
+        Protocol.STUN_TURN,
+        _append_attribute(message, StunAttribute(int(_A.ERROR_CODE), value)),
+    )
+
+
+def _mut_stun_bad_fingerprint(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    message = _without_fingerprint(_parse_stun(seed))
+    raw = bytearray(build_with_fingerprint(message))
+    correct = bytes(raw[-4:])
+    while True:
+        bogus = rng.rand_bytes(4)
+        if bogus != correct:
+            break
+    raw[-4:] = bogus
+    return _single(Protocol.STUN_TURN, bytes(raw))
+
+
+def _mut_stun_attribute_not_allowed(
+    seed: Seed, rng: DeterministicRandom
+) -> Optional[Mutated]:
+    message = _without_fingerprint(_parse_stun(seed))
+    if message.msg_type in (0x0016, 0x0017):
+        # Send/Data Indications close their attribute set (RFC 8656).
+        attr = StunAttribute(int(_A.SOFTWARE), rng.rand_bytes(8))
+    elif message.msg_type & 0x0100:
+        # Request-only ICE attributes inside a response (RFC 8445 §7.1).
+        if rng.randrange(2):
+            attr = StunAttribute(int(_A.PRIORITY), rng.rand_bytes(4))
+        else:
+            attr = StunAttribute(int(_A.USE_CANDIDATE), b"")
+    else:
+        return None  # e.g. a Binding Indication: no closed set to violate
+    return _single(Protocol.STUN_TURN, _append_attribute(message, attr))
+
+
+def _mut_stun_retransmission(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    messages: List[ExtractedMessage] = []
+    for i in range(6):
+        extracted = rewrap(Protocol.STUN_TURN, seed.data, timestamp=2.5 * i)
+        if extracted is None:
+            return Mutated(messages=[])
+        messages.append(extracted)
+    return Mutated(messages=messages)
+
+
+def _mut_stun_allocate_pingpong(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    prefix = rng.rand_bytes(11)
+    messages: List[ExtractedMessage] = []
+    for i in range(12):
+        # Distinct IDs with deltas of 20 (> SEQUENTIAL_TXID_MAX_STEP), so
+        # neither the retransmission nor the sequential detector triggers.
+        txid = prefix + bytes([(i * 20) & 0xFF])
+        message = StunMessage(
+            msg_type=0x0003,
+            transaction_id=txid,
+            attributes=[
+                StunAttribute(
+                    int(_A.REQUESTED_TRANSPORT), requested_transport_value()
+                )
+            ],
+        )
+        extracted = rewrap(Protocol.STUN_TURN, message.build(), timestamp=1.0 * i)
+        if extracted is None:
+            return Mutated(messages=[])
+        messages.append(extracted)
+    return Mutated(messages=messages)
+
+
+# --- TURN ChannelData mutators ----------------------------------------------
+
+def _mut_channeldata_bad_channel(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    channel = 0x5000 + rng.randrange(0x3000)  # parseable but reserved
+    frame = ChannelData(channel=channel, data=rng.rand_bytes(8 + rng.randrange(17)))
+    return _single(Protocol.STUN_TURN, frame.build())
+
+
+def _mut_channeldata_padding(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    channel = 0x4000 + rng.randrange(0x1000)
+    frame = ChannelData(channel=channel, data=rng.rand_bytes(8 + rng.randrange(17)))
+    return _single(
+        Protocol.STUN_TURN, frame.build() + rng.rand_bytes(1 + rng.randrange(7))
+    )
+
+
+# --- RTP mutators -----------------------------------------------------------
+
+def _mut_rtp_bad_padding(seed: Seed, rng: DeterministicRandom) -> Optional[Mutated]:
+    packet = RtpPacket.parse(seed.data, strict=False)
+    if len(packet.payload) + packet.padding_length == 0:
+        return None  # no final byte to turn into an impossible pad count
+    wire = bytearray(seed.data)
+    wire[0] |= 0x20
+    wire[-1] = 0
+    return _single(Protocol.RTP, bytes(wire))
+
+
+def _mut_rtp_undefined_profile(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    packet = RtpPacket.parse(seed.data, strict=False)
+    while True:
+        profile = rng.getrandbits(16)
+        if (
+            profile != ONE_BYTE_PROFILE
+            and (profile & TWO_BYTE_PROFILE_MASK) != TWO_BYTE_PROFILE_BASE
+        ):
+            break
+    extension = HeaderExtension(
+        profile=profile, data=rng.rand_bytes(4 * (1 + rng.randrange(3)))
+    )
+    return _single(
+        Protocol.RTP, dataclasses.replace(packet, extension=extension).build()
+    )
+
+
+def _mut_rtp_id_zero_with_length(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    packet = RtpPacket.parse(seed.data, strict=False)
+    length_minus_one = 1 + rng.randrange(15)  # ID nibble 0, length nibble > 0
+    extension = HeaderExtension(
+        profile=ONE_BYTE_PROFILE, data=bytes([length_minus_one, 0, 0, 0])
+    )
+    return _single(
+        Protocol.RTP, dataclasses.replace(packet, extension=extension).build()
+    )
+
+
+def _mut_rtp_truncated_element(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    packet = RtpPacket.parse(seed.data, strict=False)
+    ext_id = 1 + rng.randrange(14)
+    # Declares 16 data bytes; only 3 remain in the extension block.
+    extension = HeaderExtension(
+        profile=ONE_BYTE_PROFILE,
+        data=bytes([(ext_id << 4) | 0x0F]) + rng.rand_bytes(3),
+    )
+    return _single(
+        Protocol.RTP, dataclasses.replace(packet, extension=extension).build()
+    )
+
+
+# --- RTCP mutators ----------------------------------------------------------
+
+def _mut_rtcp_undefined_type(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    packet = RtcpPacket.parse(seed.data, strict=False)
+    header = dataclasses.replace(
+        packet.header, packet_type=rng.choice((192, 195, 199, 208, 215, 223))
+    )
+    return _single(Protocol.RTCP, header.build() + packet.body)
+
+
+def _mut_rtcp_count_mismatch(
+    seed: Seed, rng: DeterministicRandom
+) -> Optional[Mutated]:
+    packet = RtcpPacket.parse(seed.data, strict=False)
+    if packet.packet_type == RtcpPacketType.SR:
+        base = 24
+    elif packet.packet_type == RtcpPacketType.RR:
+        base = 4
+    else:
+        return None
+    # Smallest count whose report blocks no longer fit, plus some slack.
+    count = (len(packet.body) - base) // 24 + 1 + rng.randrange(2)
+    if count > 31:
+        return None
+    header = dataclasses.replace(packet.header, count=count)
+    return _single(Protocol.RTCP, header.build() + packet.body)
+
+
+def _mut_rtcp_undefined_sdes_item(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    packet = RtcpPacket.parse(seed.data, strict=False)
+    sdes = SdesPacket.from_packet(packet)
+    ssrc = sdes.chunks[0].ssrc if sdes.chunks else rng.u32()
+    item = SdesItem(item_type=9 + rng.randrange(247), value=b"conformance")
+    mutated = SdesPacket(chunks=[SdesChunk(ssrc=ssrc, items=[item])])
+    return _single(Protocol.RTCP, mutated.to_packet().build())
+
+
+def _mut_rtcp_feedback_format(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    if rng.randrange(2):
+        packet_type, known = int(RtcpPacketType.RTPFB), KNOWN_RTPFB_FORMATS
+    else:
+        packet_type, known = int(RtcpPacketType.PSFB), KNOWN_PSFB_FORMATS
+    while True:
+        fmt = rng.randrange(32)
+        if fmt not in known:
+            break
+    feedback = FeedbackPacket(
+        packet_type=packet_type,
+        fmt=fmt,
+        sender_ssrc=rng.u32(),
+        media_ssrc=rng.u32(),
+    )
+    return _single(Protocol.RTCP, feedback.to_packet().build())
+
+
+def _mut_rtcp_undefined_xr_block(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    xr = XrPacket(
+        ssrc=rng.u32(),
+        blocks=[XrBlock(block_type=8 + rng.randrange(248), type_specific=0, data=b"")],
+    )
+    return _single(Protocol.RTCP, xr.to_packet().build())
+
+
+def _mut_rtcp_malformed_sdes(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    # CNAME item declaring 200 value bytes with only 2 present.
+    body = rng.u32().to_bytes(4, "big") + bytes([1, 200]) + rng.rand_bytes(2)
+    header = RtcpHeader(
+        version=2,
+        padding=False,
+        count=1,
+        packet_type=int(RtcpPacketType.SDES),
+        length_words=len(body) // 4,
+    )
+    return _single(Protocol.RTCP, header.build() + body)
+
+
+def _mut_rtcp_bad_app_name(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    app = AppPacket(
+        ssrc=rng.u32(),
+        name=bytes([rng.randrange(0x20)]) + b"abc",  # control byte: not printable
+        data=b"",
+        subtype=rng.randrange(32),
+    )
+    return _single(Protocol.RTCP, app.to_packet().build())
+
+
+def _mut_rtcp_srtcp_no_tag(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    # E-flag + plausible index word, but no 10-byte auth tag (Meet's bug).
+    index = (1 << 31) | rng.randrange(1 << 24)
+    return _single(Protocol.RTCP, seed.data + index.to_bytes(4, "big"))
+
+
+def _mut_rtcp_trailing_bytes(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    # 1-3 surplus bytes can be neither SRTCP trailer shape (4 or 14).
+    return _single(Protocol.RTCP, seed.data + rng.rand_bytes(rng.choice((1, 2, 3))))
+
+
+# --- QUIC mutators ----------------------------------------------------------
+
+def _mut_quic_unknown_version(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    while True:
+        version = rng.u32()
+        if version not in (0, QUIC_V1, QUIC_V2):
+            break
+    wire = bytearray(seed.data)
+    wire[1:5] = version.to_bytes(4, "big")
+    return _single(Protocol.QUIC, bytes(wire))
+
+
+def _mut_quic_fixed_bit_clear(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    # The parser rejects a clear fixed bit outright, so this violation can
+    # only be staged object-level, as if a laxer extractor surfaced it.
+    header = parse_one(seed.data)
+    mutated = dataclasses.replace(header, first_byte=header.first_byte & ~0x40)
+    extracted = ExtractedMessage(
+        Protocol.QUIC, 0, mutated.wire_length, mutated, _record(seed.data)
+    )
+    return Mutated(messages=[extracted])
+
+
+def _mut_quic_cid_too_long(seed: Seed, rng: DeterministicRandom) -> Mutated:
+    # Likewise object-level: a 21-byte CID is unparseable on the wire.
+    header = parse_one(seed.data)
+    mutated = dataclasses.replace(header, dcid=rng.rand_bytes(21))
+    extracted = ExtractedMessage(
+        Protocol.QUIC, 0, mutated.wire_length, mutated, _record(seed.data)
+    )
+    return Mutated(messages=[extracted])
+
+
+_STUN_KINDS = ("stun-request", "stun-response", "stun-indication")
+
+
+def _mutator(name, protocol, criterion, codes, kinds, fn) -> Mutator:
+    return Mutator(name, protocol, criterion, frozenset(codes), tuple(kinds), fn)
+
+
+MUTATORS: Tuple[Mutator, ...] = (
+    _mutator("stun-undefined-message-type", Protocol.STUN_TURN,
+             Criterion.MESSAGE_TYPE, {"undefined-message-type"},
+             _STUN_KINDS, _mut_stun_undefined_type),
+    _mutator("stun-sequential-transaction-id", Protocol.STUN_TURN,
+             Criterion.HEADER_FIELDS, {"sequential-transaction-id"},
+             ("stun-request",), _mut_stun_sequential_txid),
+    _mutator("stun-undefined-attribute", Protocol.STUN_TURN,
+             Criterion.ATTRIBUTE_TYPES, {"undefined-attribute"},
+             _STUN_KINDS, _mut_stun_undefined_attribute),
+    _mutator("stun-bad-attribute-length", Protocol.STUN_TURN,
+             Criterion.ATTRIBUTE_VALUES, {"bad-attribute-length"},
+             _STUN_KINDS, _mut_stun_bad_attribute_length),
+    _mutator("stun-bad-address-family", Protocol.STUN_TURN,
+             Criterion.ATTRIBUTE_VALUES, {"bad-address-family"},
+             _STUN_KINDS, _mut_stun_bad_address_family),
+    _mutator("stun-bad-channel-number", Protocol.STUN_TURN,
+             Criterion.ATTRIBUTE_VALUES, {"bad-channel-number"},
+             _STUN_KINDS, _mut_stun_bad_channel_number),
+    _mutator("stun-bad-error-code", Protocol.STUN_TURN,
+             Criterion.ATTRIBUTE_VALUES, {"bad-error-code"},
+             _STUN_KINDS, _mut_stun_bad_error_code),
+    _mutator("stun-bad-fingerprint", Protocol.STUN_TURN,
+             Criterion.ATTRIBUTE_VALUES, {"bad-fingerprint"},
+             _STUN_KINDS, _mut_stun_bad_fingerprint),
+    _mutator("stun-attribute-not-allowed", Protocol.STUN_TURN,
+             Criterion.ATTRIBUTE_VALUES, {"attribute-not-allowed"},
+             ("stun-indication", "stun-response"), _mut_stun_attribute_not_allowed),
+    _mutator("stun-unanswered-retransmission", Protocol.STUN_TURN,
+             Criterion.SEMANTICS, {"unanswered-retransmission"},
+             ("stun-request",), _mut_stun_retransmission),
+    _mutator("stun-allocate-pingpong", Protocol.STUN_TURN,
+             Criterion.SEMANTICS, {"allocate-pingpong"},
+             ("stun-request",), _mut_stun_allocate_pingpong),
+    _mutator("channeldata-bad-channel-number", Protocol.STUN_TURN,
+             Criterion.HEADER_FIELDS, {"bad-channel-number"},
+             ("channeldata",), _mut_channeldata_bad_channel),
+    _mutator("channeldata-padding", Protocol.STUN_TURN,
+             Criterion.SEMANTICS, {"channeldata-padding"},
+             ("channeldata",), _mut_channeldata_padding),
+    _mutator("rtp-bad-padding", Protocol.RTP,
+             Criterion.HEADER_FIELDS, {"bad-padding"},
+             ("rtp",), _mut_rtp_bad_padding),
+    _mutator("rtp-undefined-extension-profile", Protocol.RTP,
+             Criterion.ATTRIBUTE_TYPES, {"undefined-extension-profile"},
+             ("rtp",), _mut_rtp_undefined_profile),
+    _mutator("rtp-id-zero-with-length", Protocol.RTP,
+             Criterion.ATTRIBUTE_VALUES, {"id-zero-with-length"},
+             ("rtp",), _mut_rtp_id_zero_with_length),
+    _mutator("rtp-truncated-extension-element", Protocol.RTP,
+             Criterion.ATTRIBUTE_VALUES, {"truncated-extension-element"},
+             ("rtp",), _mut_rtp_truncated_element),
+    _mutator("rtcp-undefined-packet-type", Protocol.RTCP,
+             Criterion.MESSAGE_TYPE, {"undefined-packet-type"},
+             ("rtcp-sr", "rtcp-rr", "rtcp-sdes"), _mut_rtcp_undefined_type),
+    _mutator("rtcp-count-length-mismatch", Protocol.RTCP,
+             Criterion.HEADER_FIELDS, {"count-length-mismatch"},
+             ("rtcp-sr", "rtcp-rr"), _mut_rtcp_count_mismatch),
+    _mutator("rtcp-undefined-sdes-item", Protocol.RTCP,
+             Criterion.ATTRIBUTE_TYPES, {"undefined-sdes-item"},
+             ("rtcp-sdes",), _mut_rtcp_undefined_sdes_item),
+    _mutator("rtcp-undefined-feedback-format", Protocol.RTCP,
+             Criterion.ATTRIBUTE_TYPES, {"undefined-feedback-format"},
+             ("rtcp-sr",), _mut_rtcp_feedback_format),
+    _mutator("rtcp-undefined-xr-block", Protocol.RTCP,
+             Criterion.ATTRIBUTE_TYPES, {"undefined-xr-block"},
+             ("rtcp-sr",), _mut_rtcp_undefined_xr_block),
+    _mutator("rtcp-malformed-sdes", Protocol.RTCP,
+             Criterion.ATTRIBUTE_VALUES, {"malformed-sdes"},
+             ("rtcp-sdes",), _mut_rtcp_malformed_sdes),
+    _mutator("rtcp-bad-app-name", Protocol.RTCP,
+             Criterion.ATTRIBUTE_VALUES, {"bad-app-name"},
+             ("rtcp-sr",), _mut_rtcp_bad_app_name),
+    _mutator("rtcp-srtcp-missing-auth-tag", Protocol.RTCP,
+             Criterion.SEMANTICS, {"srtcp-missing-auth-tag"},
+             ("rtcp-sr", "rtcp-rr"), _mut_rtcp_srtcp_no_tag),
+    _mutator("rtcp-undefined-trailing-bytes", Protocol.RTCP,
+             Criterion.SEMANTICS, {"undefined-trailing-bytes"},
+             ("rtcp-sr", "rtcp-rr", "rtcp-sdes"), _mut_rtcp_trailing_bytes),
+    _mutator("quic-unknown-version", Protocol.QUIC,
+             Criterion.HEADER_FIELDS, {"unknown-version"},
+             ("quic-long",), _mut_quic_unknown_version),
+    _mutator("quic-fixed-bit-clear", Protocol.QUIC,
+             Criterion.HEADER_FIELDS, {"fixed-bit-clear"},
+             ("quic-long",), _mut_quic_fixed_bit_clear),
+    _mutator("quic-cid-too-long", Protocol.QUIC,
+             Criterion.HEADER_FIELDS, {"cid-too-long"},
+             ("quic-long",), _mut_quic_cid_too_long),
+)
+
+
+# --- Seeds ------------------------------------------------------------------
+
+def _build_quic_initial(rng: DeterministicRandom) -> bytes:
+    dcid = rng.rand_bytes(8)
+    scid = rng.rand_bytes(8)
+    payload = rng.rand_bytes(32)
+    wire = bytearray()
+    wire.append(0xC3)  # long form, fixed bit, Initial, 4-byte packet number
+    wire += QUIC_V1.to_bytes(4, "big")
+    wire.append(len(dcid))
+    wire += dcid
+    wire.append(len(scid))
+    wire += scid
+    wire.append(0)  # token length (varint)
+    wire.append(4 + len(payload))  # Length (1-byte varint: < 64)
+    wire += rng.rand_bytes(4)  # packet number
+    wire += payload
+    return bytes(wire)
+
+
+def builtin_seeds() -> List[Seed]:
+    """One hand-built compliant message per seed kind.
+
+    These guarantee every mutator has raw material even before a golden
+    corpus exists; :func:`harvest_seeds` adds simulator-realistic ones.
+    """
+    rng = DeterministicRandom("conformance-builtin")
+    seeds: List[Seed] = []
+
+    request = StunMessage(
+        msg_type=0x0001,  # Binding Request
+        transaction_id=rng.transaction_id(),
+        attributes=[
+            StunAttribute(int(_A.PRIORITY), rng.rand_bytes(4)),
+            StunAttribute(int(_A.ICE_CONTROLLING), rng.rand_bytes(8)),
+        ],
+    )
+    seeds.append(Seed("stun-request", request.build()))
+
+    txid = rng.transaction_id()
+    response = StunMessage(
+        msg_type=0x0101,  # Binding Success Response
+        transaction_id=txid,
+        attributes=[
+            StunAttribute(
+                int(_A.XOR_MAPPED_ADDRESS),
+                encode_xor_address("192.0.2.15", 40000, txid),
+            )
+        ],
+    )
+    seeds.append(Seed("stun-response", response.build()))
+
+    txid = rng.transaction_id()
+    indication = StunMessage(
+        msg_type=0x0016,  # Send Indication
+        transaction_id=txid,
+        attributes=[
+            StunAttribute(
+                int(_A.XOR_PEER_ADDRESS),
+                encode_xor_address("198.51.100.77", 52000, txid),
+            ),
+            StunAttribute(int(_A.DATA), rng.rand_bytes(16)),
+        ],
+    )
+    seeds.append(Seed("stun-indication", indication.build()))
+
+    seeds.append(
+        Seed("channeldata", ChannelData(channel=0x4001, data=rng.rand_bytes(24)).build())
+    )
+
+    rtp = RtpPacket(
+        payload_type=111,
+        sequence_number=rng.u16(),
+        timestamp=rng.u32(),
+        ssrc=rng.u32(),
+        payload=rng.rand_bytes(48),
+        extension=build_one_byte_extension([(1, rng.rand_bytes(3))]),
+    )
+    seeds.append(Seed("rtp", rtp.build()))
+
+    sr = SenderReport(
+        ssrc=rng.u32(),
+        ntp_timestamp=rng.u64(),
+        rtp_timestamp=rng.u32(),
+        packet_count=rng.getrandbits(16),
+        octet_count=rng.getrandbits(20),
+    )
+    seeds.append(Seed("rtcp-sr", sr.to_packet().build()))
+    seeds.append(Seed("rtcp-rr", ReceiverReport(ssrc=rng.u32()).to_packet().build()))
+    sdes = SdesPacket(
+        chunks=[SdesChunk(ssrc=rng.u32(), items=[SdesItem(1, b"fuzz@example.invalid")])]
+    )
+    seeds.append(Seed("rtcp-sdes", sdes.to_packet().build()))
+
+    seeds.append(Seed("quic-long", _build_quic_initial(rng)))
+    return seeds
+
+
+def _seed_kind(extracted: ExtractedMessage) -> Optional[str]:
+    message = extracted.message
+    if isinstance(message, StunMessage):
+        bits = message.msg_type & 0x0110
+        if bits == 0x0000:
+            return "stun-request"
+        if bits == 0x0010:
+            return "stun-indication"
+        return "stun-response"
+    if isinstance(message, ChannelData):
+        return "channeldata"
+    if isinstance(message, RtpPacket):
+        return "rtp"
+    if isinstance(message, RtcpPacket):
+        return {200: "rtcp-sr", 201: "rtcp-rr", 202: "rtcp-sdes"}.get(
+            message.packet_type
+        )
+    if isinstance(message, QuicHeader):
+        if message.is_long and not message.is_version_negotiation:
+            return "quic-long"
+    return None
+
+
+def _standalone_compliant(kind: str, data: bytes, checker: ComplianceChecker) -> bool:
+    extracted = rewrap(_KIND_PROTOCOL[kind], data)
+    if extracted is None:
+        return False
+    return checker.check([extracted])[0].compliant
+
+
+def harvest_seeds(
+    directory: Path,
+    apps: Optional[Iterable[str]] = None,
+    networks: Optional[Iterable[NetworkCondition]] = None,
+    per_kind: int = 8,
+) -> List[Seed]:
+    """Collect compliant wire messages from the recorded golden corpus.
+
+    Messages are re-judged standalone before admission: a message that is
+    compliant only thanks to session context (or encrypted bodies whose
+    trailer was stripped with the datagram) would poison the oracle.
+    """
+    manifest = load_manifest(directory)
+    config = CorpusConfig.from_dict(manifest["config"])
+    checker = ComplianceChecker()
+    pools: Dict[str, List[Seed]] = {kind: [] for kind in SEED_KINDS}
+    seen: set = set()
+    for app, network in corpus_cells(manifest, apps, networks):
+        if all(len(pool) >= per_kind for pool in pools.values()):
+            break
+        records = cell_records(app, network, config)
+        dpi = reference_engine(config).analyze_records(records)
+        for verdict in checker.check(dpi.messages()):
+            if not verdict.compliant:
+                continue
+            extracted = verdict.message
+            kind = _seed_kind(extracted)
+            if kind is None or len(pools[kind]) >= per_kind:
+                continue
+            data = extracted.record.payload[
+                extracted.offset:extracted.offset + extracted.length
+            ]
+            if data in seen or not _standalone_compliant(kind, data, checker):
+                continue
+            seen.add(data)
+            pools[kind].append(Seed(kind, data))
+    return [seed for pool in pools.values() for seed in pool]
+
+
+# --- Oracle, minimizer, fuzz loop -------------------------------------------
+
+@dataclass(frozen=True)
+class OracleResult:
+    ok: bool
+    expected: str
+    got: str
+
+
+def run_oracle(
+    mutator: Mutator, mutated: Mutated, checker: ComplianceChecker
+) -> OracleResult:
+    """Exactly one violation, on the targeted criterion, with a known code."""
+    expected = (
+        f"exactly one violation with criterion C{int(mutator.criterion)} "
+        f"and code in {sorted(mutator.codes)}"
+    )
+    if not mutated.messages:
+        return OracleResult(
+            False, expected, "mutated payload did not re-parse into a message"
+        )
+    verdict = checker.check(mutated.messages)[mutated.target]
+    keys = verdict.violation_keys()
+    got = f"violations {keys}" if keys else "compliant"
+    if len(keys) != 1:
+        return OracleResult(False, expected, got)
+    criterion, code = keys[0]
+    if criterion != int(mutator.criterion) or code not in mutator.codes:
+        return OracleResult(False, expected, got)
+    return OracleResult(True, expected, got)
+
+
+def minimize_wire(
+    protocol: Protocol,
+    wire: bytes,
+    signature: List[tuple],
+    checker: ComplianceChecker,
+    max_checks: int = 256,
+) -> bytes:
+    """Delta-debug *wire* down while it keeps producing *signature*."""
+
+    def still_fails(candidate: bytes) -> bool:
+        extracted = rewrap(protocol, candidate)
+        if extracted is None:
+            return False
+        return checker.check([extracted])[0].violation_keys() == signature
+
+    if not still_fails(wire):
+        return wire
+    return _ddmin(wire, still_fails, max_checks)
+
+
+def _ddmin(data: bytes, predicate, max_checks: int) -> bytes:
+    """Classic ddmin over byte chunks, bounded by *max_checks* probes."""
+    n = 2
+    checks = 0
+    while len(data) >= 2:
+        chunk = (len(data) + n - 1) // n
+        reduced = False
+        for start in range(0, len(data), chunk):
+            candidate = data[:start] + data[start + chunk:]
+            checks += 1
+            if checks > max_checks:
+                return data
+            if candidate and predicate(candidate):
+                data = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(data):
+                break
+            n = min(n * 2, len(data))
+    return data
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One oracle miss: the checker attributed a mutation incorrectly."""
+
+    mutator: str
+    iteration: int
+    seed_kind: str
+    expected: str
+    got: str
+    payload_hex: str
+    minimized_hex: str = ""
+
+    def render(self) -> str:
+        lines = [
+            f"iteration {self.iteration} [{self.mutator} on {self.seed_kind}]:",
+            f"  expected: {self.expected}",
+            f"  got:      {self.got}",
+        ]
+        if self.payload_hex:
+            lines.append(f"  payload:   {self.payload_hex}")
+        if self.minimized_hex:
+            lines.append(f"  minimized: {self.minimized_hex}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one seeded fuzzing campaign."""
+
+    iterations: int
+    seed: int
+    executed: int = 0
+    skipped: int = 0
+    seed_count: int = 0
+    per_mutator: Dict[str, int] = field(default_factory=dict)
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            f"conformance fuzz: {self.executed}/{self.iterations} mutations "
+            f"executed ({self.skipped} skipped), seed {self.seed}, "
+            f"{self.seed_count} seed messages, "
+            f"{len(self.per_mutator)} mutators exercised"
+        ]
+        if self.ok:
+            lines.append(
+                "OK: every mutation was attributed to exactly the violated criterion"
+            )
+        else:
+            lines.append(f"FAIL: {len(self.failures)} mis-attributed mutation(s)")
+            lines.extend(failure.render() for failure in self.failures)
+        return "\n".join(lines)
+
+
+#: Failures are all minimized and rendered, so cap them: a systematically
+#: broken checker would otherwise produce thousands of identical reports.
+MAX_REPORTED_FAILURES = 25
+
+
+def fuzz(
+    iterations: int = 2000,
+    seed: int = 0,
+    corpus_dir: Optional[Path] = None,
+    apps: Optional[Iterable[str]] = None,
+    networks: Optional[Iterable[NetworkCondition]] = None,
+    minimize: bool = True,
+    mutators: Sequence[Mutator] = MUTATORS,
+) -> FuzzReport:
+    """Run a seeded mutation campaign and judge every mutation's verdict."""
+    seeds = builtin_seeds()
+    if corpus_dir is not None:
+        seeds.extend(harvest_seeds(corpus_dir, apps, networks))
+    checker = ComplianceChecker()
+    for candidate in seeds:
+        if not _standalone_compliant(candidate.kind, candidate.data, checker):
+            raise RuntimeError(
+                f"fuzz seed of kind {candidate.kind!r} is not compliant on its "
+                f"own — the mutation oracle requires compliant starting points"
+            )
+    pools: Dict[str, List[Seed]] = {kind: [] for kind in SEED_KINDS}
+    for candidate in seeds:
+        pools[candidate.kind].append(candidate)
+
+    rng = DeterministicRandom(f"conformance-fuzz/{seed}")
+    report = FuzzReport(iterations=iterations, seed=seed, seed_count=len(seeds))
+    for iteration in range(iterations):
+        mutator = rng.choice(mutators)
+        candidates = [s for kind in mutator.kinds for s in pools[kind]]
+        if not candidates:
+            report.skipped += 1
+            continue
+        chosen = rng.choice(candidates)
+        try:
+            mutated = mutator.apply(chosen, rng)
+        except Exception as exc:  # noqa: BLE001 — a crashing mutator is a finding
+            report.failures.append(FuzzFailure(
+                mutator.name, iteration, chosen.kind,
+                "the mutator to produce a payload",
+                f"exception: {exc!r}", chosen.data.hex(),
+            ))
+            if len(report.failures) >= MAX_REPORTED_FAILURES:
+                break
+            continue
+        if mutated is None:
+            report.skipped += 1
+            continue
+        report.executed += 1
+        report.per_mutator[mutator.name] = report.per_mutator.get(mutator.name, 0) + 1
+        outcome = run_oracle(mutator, mutated, checker)
+        if outcome.ok:
+            continue
+        minimized_hex = ""
+        if minimize and mutated.wire is not None and mutated.messages:
+            signature = checker.check(mutated.messages)[mutated.target].violation_keys()
+            if signature:
+                minimized_hex = minimize_wire(
+                    mutated.protocol, mutated.wire, signature, checker
+                ).hex()
+        report.failures.append(FuzzFailure(
+            mutator.name, iteration, chosen.kind, outcome.expected, outcome.got,
+            mutated.wire.hex() if mutated.wire is not None else "",
+            minimized_hex,
+        ))
+        if len(report.failures) >= MAX_REPORTED_FAILURES:
+            break
+    return report

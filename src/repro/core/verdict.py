@@ -30,6 +30,14 @@ class Violation:
     def __str__(self) -> str:
         return f"[C{int(self.criterion)}:{self.code}] {self.detail}"
 
+    def key(self) -> tuple:
+        """Stable ``(criterion, code)`` pair for golden-file serialization.
+
+        The human-readable ``detail`` is deliberately excluded so rewording
+        a message does not invalidate recorded conformance corpora.
+        """
+        return (int(self.criterion), self.code)
+
 
 @dataclass
 class MessageVerdict:
@@ -49,3 +57,7 @@ class MessageVerdict:
     @property
     def failed_criterion(self) -> Optional[Criterion]:
         return self.violations[0].criterion if self.violations else None
+
+    def violation_keys(self) -> List[tuple]:
+        """``(criterion, code)`` pairs in evaluation order."""
+        return [violation.key() for violation in self.violations]

@@ -140,9 +140,68 @@ class DpiStats:
         return self.cache_hits / total if total else 0.0
 
     @property
+    def cache_lookups(self) -> int:
+        """Total dedup-cache probes (each datagram probes at most once)."""
+        return self.cache_hits + self.cache_misses
+
+    @property
     def fastpath_hit_rate(self) -> float:
         """Fraction of analyzed datagrams served by the fast path."""
         return self.fastpath_hits / self.datagrams if self.datagrams else 0.0
+
+    def invariant_violations(self) -> List[str]:
+        """Internal-consistency checks over the counters; empty when sound.
+
+        Every analyzed datagram gets its candidates from exactly one of
+        three sources — the dedup cache, a locked-signature probe, or a
+        full sweep — so those three must cover ``datagrams`` exactly,
+        except that a stream redo re-sweeps datagrams already counted
+        (making the sum strictly larger).  Each datagram probes the cache
+        at most once, and every fast-path fallback is followed by a sweep.
+        """
+        problems: List[str] = []
+        for name in ("datagrams", "sweeps", "fastpath_hits",
+                     "fastpath_fallbacks", "fastpath_redos",
+                     "cache_hits", "cache_misses"):
+            if getattr(self, name) < 0:
+                problems.append(f"{name} is negative: {getattr(self, name)}")
+        if any(count < 0 for count in self.matcher_calls.values()):
+            problems.append(f"negative matcher call count: {self.matcher_calls}")
+        if self.cache_lookups > self.datagrams:
+            problems.append(
+                f"cache hits + misses ({self.cache_lookups}) exceed "
+                f"datagrams ({self.datagrams})"
+            )
+        covered = self.cache_hits + self.fastpath_hits + self.sweeps
+        if covered < self.datagrams:
+            problems.append(
+                f"cache hits + fast-path hits + sweeps ({covered}) do not "
+                f"cover all {self.datagrams} datagrams"
+            )
+        if self.fastpath_redos == 0 and covered != self.datagrams:
+            problems.append(
+                f"without redos, cache hits + fast-path hits + sweeps "
+                f"({covered}) must equal datagrams ({self.datagrams})"
+            )
+        if self.sweeps < self.fastpath_fallbacks:
+            problems.append(
+                f"sweeps ({self.sweeps}) fewer than fast-path fallbacks "
+                f"({self.fastpath_fallbacks}); every fallback must sweep"
+            )
+        return problems
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable counter snapshot (golden-corpus schema)."""
+        return {
+            "datagrams": self.datagrams,
+            "sweeps": self.sweeps,
+            "fastpath_hits": self.fastpath_hits,
+            "fastpath_fallbacks": self.fastpath_fallbacks,
+            "fastpath_redos": self.fastpath_redos,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "matcher_calls": dict(sorted(self.matcher_calls.items())),
+        }
 
     def copy(self) -> "DpiStats":
         out = copy.copy(self)

@@ -160,13 +160,36 @@ def merge_summaries(a: ComplianceSummary, b: ComplianceSummary) -> ComplianceSum
     )
 
 
-def run_experiment(
+@dataclass
+class PipelineRun:
+    """Every intermediate product of one (app, network, call) cell.
+
+    ``run_experiment`` reduces this to counter-level aggregates; the
+    conformance subsystem instead needs the raw messages and verdicts to
+    record and replay golden corpora, so the full pipeline state is kept.
+    """
+
+    app: str
+    network: NetworkCondition
+    filter_result: FilterResult
+    dpi: "DpiResult"
+    verdicts: List["MessageVerdict"]
+
+
+def run_cell_pipeline(
     app: str,
     network: NetworkCondition,
     config: ExperimentConfig = ExperimentConfig(),
     call_index: int = 0,
-) -> ExperimentAggregate:
-    """Run one (app, network, call) cell through the full pipeline."""
+    engine: Optional[DpiEngine] = None,
+    checker: Optional[ComplianceChecker] = None,
+) -> PipelineRun:
+    """Simulate one cell and run it through filter → DPI → checker.
+
+    ``engine``/``checker`` default to *fresh* instances so callers that
+    need controlled engine configurations (the conformance differ) are not
+    coupled to the process-wide cached engines ``run_experiment`` uses.
+    """
     simulator = get_simulator(app)
     call_config = CallConfig(
         network=network,
@@ -178,10 +201,38 @@ def run_experiment(
     )
     trace = simulator.simulate(call_config)
     filter_result = TwoStageFilter(trace.window).apply(trace.records)
-    dpi = default_engine(config.max_offset, config.fastpath).analyze_records(
-        filter_result.kept_records
+    if engine is None:
+        engine = DpiEngine(max_offset=config.max_offset, fastpath=config.fastpath)
+    if checker is None:
+        checker = ComplianceChecker()
+    dpi = engine.analyze_records(filter_result.kept_records)
+    verdicts = checker.check(dpi.messages())
+    return PipelineRun(
+        app=app,
+        network=network,
+        filter_result=filter_result,
+        dpi=dpi,
+        verdicts=verdicts,
     )
-    verdicts = default_checker().check(dpi.messages())
+
+
+def run_experiment(
+    app: str,
+    network: NetworkCondition,
+    config: ExperimentConfig = ExperimentConfig(),
+    call_index: int = 0,
+) -> ExperimentAggregate:
+    """Run one (app, network, call) cell through the full pipeline."""
+    run = run_cell_pipeline(
+        app,
+        network,
+        config,
+        call_index,
+        engine=default_engine(config.max_offset, config.fastpath),
+        checker=default_checker(),
+    )
+    filter_result = run.filter_result
+    dpi = run.dpi
 
     aggregate = ExperimentAggregate(app=app)
     aggregate.raw = filter_result.raw
@@ -190,7 +241,7 @@ def run_experiment(
     aggregate.kept = filter_result.kept
     aggregate.class_counts = dpi.by_class()
     aggregate.protocol_counts = dpi.protocol_counts()
-    aggregate.summary = ComplianceSummary.from_verdicts(app, verdicts)
+    aggregate.summary = ComplianceSummary.from_verdicts(app, run.verdicts)
     aggregate.dpi_stats = dpi.stats.copy()
     if filter_result.evaluation is not None:
         aggregate.filter_precision = filter_result.evaluation.precision

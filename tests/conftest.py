@@ -13,6 +13,21 @@ from repro.core import ComplianceChecker
 from repro.dpi import DpiEngine
 from repro.filtering import TwoStageFilter
 
+try:
+    from hypothesis import HealthCheck, settings as hypothesis_settings
+except ImportError:  # pragma: no cover - hypothesis is a declared test extra
+    pass
+else:
+    # Derandomized so CI failures reproduce locally from the same examples;
+    # no deadline because shared session fixtures skew per-example timing.
+    hypothesis_settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.load_profile("ci")
+
 TEST_DURATION = 15.0
 TEST_SCALE = 0.3
 

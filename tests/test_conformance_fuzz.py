@@ -1,0 +1,132 @@
+"""Structure-aware mutation fuzzer: oracle exactness, determinism, shrinking.
+
+Every mutator targets one criterion and the oracle demands the checker
+attribute the mutation to exactly that criterion — no more, no fewer,
+no mislabels.  The campaign itself must be a pure function of its seed.
+"""
+
+import pytest
+
+from repro.conformance import (
+    MUTATORS,
+    SEED_KINDS,
+    Mutated,
+    builtin_seeds,
+    fuzz,
+    minimize_wire,
+    rewrap,
+    run_oracle,
+)
+from repro.core import ComplianceChecker
+from repro.core.verdict import Criterion
+from repro.dpi import Protocol
+from repro.utils.rand import DeterministicRandom
+
+
+def _mutator(name):
+    return next(m for m in MUTATORS if m.name == name)
+
+
+def _seed(kind):
+    return next(s for s in builtin_seeds() if s.kind == kind)
+
+
+class TestMutatorInventory:
+    def test_every_criterion_is_targeted_for_every_protocol_family(self):
+        by_protocol = {}
+        for mutator in MUTATORS:
+            by_protocol.setdefault(mutator.protocol, set()).add(
+                int(mutator.criterion)
+            )
+        # STUN/TURN and RTCP rules span all five criteria; RTP spans the
+        # structural ones; QUIC only has header-field (C2) rules.
+        assert by_protocol[Protocol.STUN_TURN] == {1, 2, 3, 4, 5}
+        assert by_protocol[Protocol.RTCP] == {1, 2, 3, 4, 5}
+        assert by_protocol[Protocol.RTP] == {2, 3, 4}
+        assert by_protocol[Protocol.QUIC] == {2}
+
+    def test_every_mutator_kind_is_a_known_seed_kind(self):
+        for mutator in MUTATORS:
+            assert mutator.kinds, mutator.name
+            for kind in mutator.kinds:
+                assert kind in SEED_KINDS, (mutator.name, kind)
+
+    def test_builtin_seeds_cover_every_kind(self):
+        assert {seed.kind for seed in builtin_seeds()} == set(SEED_KINDS)
+
+
+class TestOracle:
+    def test_campaign_attributes_every_mutation_exactly(self):
+        report = fuzz(iterations=400, seed=0)
+        failures = "\n".join(f.render() for f in report.failures)
+        assert report.ok, f"oracle misses:\n{failures}"
+        assert report.executed + report.skipped == 400
+        assert report.executed >= 390
+
+    def test_campaign_exercises_every_mutator(self):
+        report = fuzz(iterations=400, seed=0)
+        assert set(report.per_mutator) == {m.name for m in MUTATORS}
+        assert all(count > 0 for count in report.per_mutator.values())
+
+    def test_campaign_is_deterministic_in_its_seed(self):
+        first = fuzz(iterations=150, seed=5, minimize=False)
+        second = fuzz(iterations=150, seed=5, minimize=False)
+        assert first.executed == second.executed
+        assert first.skipped == second.skipped
+        assert first.per_mutator == second.per_mutator
+        assert ([f.payload_hex for f in first.failures]
+                == [f.payload_hex for f in second.failures])
+
+    def test_oracle_rejects_an_unmutated_message(self):
+        seed = _seed("stun-request")
+        extracted = rewrap(Protocol.STUN_TURN, seed.data)
+        result = run_oracle(
+            _mutator("stun-undefined-message-type"),
+            Mutated(messages=[extracted]),
+            ComplianceChecker(),
+        )
+        assert not result.ok
+        assert result.got == "compliant"
+
+    def test_oracle_rejects_an_unparseable_mutation(self):
+        result = run_oracle(
+            _mutator("stun-undefined-message-type"),
+            Mutated(messages=[]),
+            ComplianceChecker(),
+        )
+        assert not result.ok
+        assert "did not re-parse" in result.got
+
+    def test_oracle_rejects_a_mislabeled_criterion(self):
+        mutator = _mutator("stun-undefined-attribute")
+        mutated = mutator.apply(
+            _seed("stun-request"), DeterministicRandom("oracle-mislabel")
+        )
+        wrong = _mutator("stun-undefined-message-type")
+        assert mutator.criterion is Criterion.ATTRIBUTE_TYPES
+        assert wrong.criterion is Criterion.MESSAGE_TYPE
+        result = run_oracle(wrong, mutated, ComplianceChecker())
+        assert not result.ok
+
+
+class TestMinimizer:
+    def test_shrinks_while_preserving_the_signature(self):
+        # An SR with three trailing junk bytes: minimization may only strip
+        # trailer bytes (anything else breaks the length field and fails to
+        # re-parse), so the signature pins C5/undefined-trailing-bytes.
+        wire = _seed("rtcp-sr").data + b"\x01\x02\x03"
+        checker = ComplianceChecker()
+        signature = checker.check([rewrap(Protocol.RTCP, wire)])[0].violation_keys()
+        assert signature == [(int(Criterion.SEMANTICS), "undefined-trailing-bytes")]
+        minimized = minimize_wire(Protocol.RTCP, wire, signature, checker)
+        assert len(minimized) < len(wire)
+        verdict = checker.check([rewrap(Protocol.RTCP, minimized)])[0]
+        assert verdict.violation_keys() == signature
+
+    def test_returns_input_unchanged_when_signature_does_not_hold(self):
+        seed = _seed("stun-request")
+        checker = ComplianceChecker()
+        bogus = [(int(Criterion.MESSAGE_TYPE), "undefined-message-type")]
+        assert minimize_wire(
+            Protocol.STUN_TURN, seed.data, bogus, checker
+        ) == seed.data

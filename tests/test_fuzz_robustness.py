@@ -5,13 +5,12 @@ by design — every layer must degrade gracefully (reject, classify as
 proprietary, or flag) rather than raise unexpected exceptions.
 """
 
-import random
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import ComplianceChecker
+from repro.utils.rand import DeterministicRandom
 from repro.dpi import DatagramClass, DpiEngine
 from repro.dpi.tcp import analyze_tcp_records
 from repro.packets.packet import PacketRecord
@@ -98,7 +97,7 @@ class TestTruncationInjection:
     def test_bitflip_injection_stun(self):
         raw = bytearray(StunMessage(msg_type=0x0001,
                                     transaction_id=bytes(12)).build())
-        rng = random.Random(0)
+        rng = DeterministicRandom("fuzz/stun-bitflip")
         for _ in range(200):
             i = rng.randrange(len(raw))
             bit = 1 << rng.randrange(8)
@@ -132,10 +131,9 @@ class TestPipelineFuzz:
         analyze_tcp_records(records)
 
     def test_random_noise_is_fully_proprietary(self):
-        rng = random.Random(42)
+        rng = DeterministicRandom("fuzz/noise")
         records = [
-            udp(bytes(rng.getrandbits(8) for _ in range(rng.randint(1, 600))),
-                t=float(i))
+            udp(rng.rand_bytes(rng.randint(1, 600)), t=float(i))
             for i in range(200)
         ]
         result = DpiEngine().analyze_records(records)
@@ -147,14 +145,13 @@ class TestPipelineFuzz:
     def test_message_embedded_at_any_offset_is_found(self):
         """The DPI's core property: offset-invariance up to k."""
         from repro.protocols.stun.attributes import StunAttribute
-        rng = random.Random(7)
+        rng = DeterministicRandom("fuzz/offsets")
         for offset in (0, 1, 7, 24, 64, 150, 199):
             message = StunMessage(
-                msg_type=0x0001, transaction_id=bytes(rng.randrange(256)
-                                                      for _ in range(12)),
+                msg_type=0x0001, transaction_id=rng.transaction_id(),
                 attributes=[StunAttribute(0x8022, b"probe")],
             )
-            prefix = bytes(rng.randrange(256) for _ in range(offset))
+            prefix = rng.rand_bytes(offset)
             # Ensure the prefix cannot itself contain the cookie by chance.
             record = udp(prefix + message.build())
             result = DpiEngine(max_offset=200).analyze_records([record])
@@ -166,7 +163,6 @@ class TestPipelineFuzz:
     def test_pcap_reader_rejects_garbage(self, tmp_path):
         from repro.packets.pcap import PcapFormatError, read_pcap
         path = tmp_path / "garbage.pcap"
-        path.write_bytes(bytes(random.Random(1).getrandbits(8)
-                               for _ in range(500)))
+        path.write_bytes(DeterministicRandom("fuzz/garbage-pcap").rand_bytes(500))
         with pytest.raises(PcapFormatError):
             read_pcap(path)
