@@ -9,17 +9,22 @@ the trajectory.
 """
 
 import dataclasses
+import gc
 import io
 import json
 import pathlib
 import time
+import tracemalloc
 
 from repro.apps import CallConfig, NetworkCondition, get_simulator
-from repro.core import ComplianceChecker
+from repro.core import ComplianceChecker, StreamingSummary
+from repro.core.metrics import ComplianceSummary
 from repro.dpi import DpiEngine
 from repro.experiments import ExperimentConfig, run_matrix
 from repro.experiments.runner import default_engine
 from repro.packets.pcap import PcapReader, PcapWriter
+from repro.packets.packet import PacketRecord
+from repro.protocols.rtp.header import RtpPacket
 
 #: Filled by the tests below, flushed by ``test_emit_bench_json`` (last in
 #: this module, so plain file order runs it after the producers).
@@ -153,9 +158,120 @@ def test_matrix_throughput(benchmark):
     assert sweep_seconds > serial_seconds
 
 
+def _rotating_flow_records(flows, packets_per_flow):
+    """Sequential short RTP flows, one UDP source port per flow.
+
+    Each flow carries enough packets for the stream-scoped RTP validator
+    to engage, and flows never interleave — so a streaming consumer can
+    retire each flow (``finish_stream``) the moment the next one starts,
+    while a batch consumer must hold the whole capture.
+    """
+    for flow in range(flows):
+        ssrc = 0x5EED0000 + flow
+        base = flow * packets_per_flow * 0.02
+        for seq in range(packets_per_flow):
+            packet = RtpPacket(
+                payload_type=96,
+                sequence_number=(1000 + seq) & 0xFFFF,
+                timestamp=(seq * 960) & 0xFFFFFFFF,
+                ssrc=ssrc,
+                payload=bytes(160),
+            )
+            yield PacketRecord(
+                timestamp=base + seq * 0.02,
+                src_ip="192.168.7.2",
+                src_port=30000 + flow,
+                dst_ip="198.51.100.9",
+                dst_port=50004,
+                transport="UDP",
+                payload=packet.build(),
+            )
+
+
+def _pipeline_peak(mode, flows, packets_per_flow=24):
+    """tracemalloc peak (bytes), wall seconds, and the finished summary.
+
+    ``cache_size=0`` and ``fastpath=False`` on both sides so neither the
+    payload-dedup cache nor the fast path's per-flow sticky state (both
+    deliberately O(flows)) muddies the measurement; the only variable is
+    whether the run materializes the capture or streams it.
+    """
+    engine = DpiEngine(cache_size=0, fastpath=False)
+    checker = ComplianceChecker()
+    gc.collect()
+    tracemalloc.start()
+    start = time.perf_counter()
+    try:
+        if mode == "batch":
+            records = list(_rotating_flow_records(flows, packets_per_flow))
+            dpi = engine.analyze_records(records)
+            summary = ComplianceSummary.from_verdicts(
+                "bench", checker.check(dpi.messages())
+            )
+        else:
+            session = engine.stream_session()
+            stream = checker.stream()
+            folding = StreamingSummary("bench")
+            previous = None
+            for record in _rotating_flow_records(flows, packets_per_flow):
+                key = record.flow_key
+                if previous is not None and key != previous:
+                    for analysis in session.finish_stream(previous):
+                        for index, verdict in stream.feed(analysis.messages):
+                            folding.add(verdict, index=index)
+                session.feed(record)
+                previous = key
+            for analysis in session.flush():
+                for index, verdict in stream.feed(analysis.messages):
+                    folding.add(verdict, index=index)
+            for index, verdict in stream.flush():
+                folding.add(verdict, index=index)
+            summary = folding.result()
+        elapsed = time.perf_counter() - start
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    return peak, elapsed, summary
+
+
+def test_streaming_memory_bounded():
+    """Streaming peak memory is flat in call duration; batch grows with it.
+
+    Same rotating-flow workload at 1x and 4x duration: the batch path's
+    tracemalloc peak must scale roughly with the capture (> 2.5x), while
+    the streaming path — which retires each flow as the next begins —
+    must stay essentially flat (< 2x).  Both modes must still agree on
+    the compliance summary, so the memory win provably costs no fidelity.
+    """
+    flows = 40
+    batch_1x, _, batch_summary = _pipeline_peak("batch", flows)
+    batch_4x, _, _ = _pipeline_peak("batch", flows * 4)
+    stream_1x, _, stream_summary = _pipeline_peak("streaming", flows)
+    stream_4x, seconds_4x, _ = _pipeline_peak("streaming", flows * 4)
+
+    assert stream_summary == batch_summary
+    assert batch_summary.volume.total > 0
+
+    batch_ratio = batch_4x / batch_1x
+    stream_ratio = stream_4x / stream_1x
+    RESULTS["memory"] = {
+        "flows_1x": flows,
+        "packets_per_flow": 24,
+        "batch_peak_kb_1x": round(batch_1x / 1024, 1),
+        "batch_peak_kb_4x": round(batch_4x / 1024, 1),
+        "batch_peak_ratio_4x": round(batch_ratio, 3),
+        "streaming_peak_kb_1x": round(stream_1x / 1024, 1),
+        "streaming_peak_kb_4x": round(stream_4x / 1024, 1),
+        "streaming_peak_ratio_4x": round(stream_ratio, 3),
+        "streaming_datagrams_per_second": round(flows * 4 * 24 / seconds_4x, 1),
+    }
+    assert batch_ratio > 2.5, RESULTS["memory"]
+    assert stream_ratio < 2.0, RESULTS["memory"]
+
+
 def test_emit_bench_json():
     """Flush the numbers gathered above to ``BENCH_pipeline.json``."""
-    assert "dpi" in RESULTS and "matrix_serial" in RESULTS
+    assert "dpi" in RESULTS and "matrix_serial" in RESULTS and "memory" in RESULTS
     payload = dict(RESULTS)
     payload["trace"] = {
         "app": "zoom", "network": "wifi_relay",

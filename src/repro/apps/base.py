@@ -12,7 +12,7 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.packets.packet import Direction, PacketRecord, TrafficCategory, Truth
 from repro.protocols.rtp.extensions import HeaderExtension
@@ -185,6 +185,18 @@ class AppSimulator(abc.ABC):
     @abc.abstractmethod
     def simulate(self, config: CallConfig) -> Trace:
         """Produce the full experiment trace for *config*."""
+
+    def iter_records(self, config: CallConfig) -> Iterator[PacketRecord]:
+        """Yield the trace's records in capture order, one at a time.
+
+        This is the streaming pipeline's source stage.  The default
+        materializes the trace and yields from it — simulators build
+        their schedules whole-call anyway — but downstream stages only
+        ever see one record at a time, so a subclass backed by a live
+        capture can override this without touching the rest of the
+        pipeline.
+        """
+        yield from self.simulate(config).records
 
     # -- common helpers ------------------------------------------------------
 

@@ -7,6 +7,7 @@ Subcommands::
     rtc-compliance synthesize --app discord --out d.pcap # write a pcap trace
     rtc-compliance pcap capture.pcap                     # analyze a real pcap
     rtc-compliance dpi-stats --app zoom                  # DPI fast-path counters
+    rtc-compliance pipeline-stats --app zoom             # per-stage stream counters
     rtc-compliance conformance record                    # (re-)record goldens
     rtc-compliance conformance check                     # diff engines vs goldens
     rtc-compliance conformance fuzz --iterations 2000    # mutation oracle
@@ -35,7 +36,6 @@ from repro.experiments.tables import (
     table5,
     table6,
 )
-from repro.filtering import TwoStageFilter
 from repro.packets.pcap import read_pcap, write_pcap
 
 
@@ -143,6 +143,20 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.add_argument("--seed", type=int, default=0)
     stats_p.add_argument("--no-fastpath", action="store_true",
                          help="disable the flow-sticky fast path (sweep only)")
+
+    pstats_p = sub.add_parser(
+        "pipeline-stats",
+        help="run experiments and print per-stage streaming instrumentation",
+    )
+    pstats_p.add_argument("--app", choices=APP_NAMES,
+                          help="single app (default: full matrix)")
+    pstats_p.add_argument("--network", type=_network, default=None,
+                          help="single network condition (default: all three)")
+    pstats_p.add_argument("--duration", type=float, default=30.0)
+    pstats_p.add_argument("--scale", type=float, default=0.5)
+    pstats_p.add_argument("--seed", type=int, default=0)
+    pstats_p.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON instead of a table")
 
     conf_p = sub.add_parser(
         "conformance",
@@ -325,24 +339,20 @@ def cmd_dataset(args: argparse.Namespace) -> int:
 
 
 def cmd_interop(args: argparse.Namespace) -> int:
-    from repro.core import ComplianceChecker
     from repro.experiments.interop import compute_interop_gap, render_gap_table
-    from repro.apps import get_simulator as _get_simulator
+    from repro.experiments.runner import run_cell_pipeline
 
+    config = ExperimentConfig(
+        call_duration=args.duration, media_scale=args.scale, seed=args.seed
+    )
     gaps = []
     for app in APP_NAMES:
         verdicts = []
         analyses = []
         for network in NetworkCondition:
-            simulator = _get_simulator(app)
-            trace = simulator.simulate(
-                CallConfig(network=network, seed=args.seed,
-                           call_duration=args.duration, media_scale=args.scale)
-            )
-            kept = TwoStageFilter(trace.window).apply(trace.records).kept_records
-            dpi = DpiEngine().analyze_records(kept)
-            analyses.extend(dpi.analyses)
-            verdicts.extend(ComplianceChecker().check(dpi.messages()))
+            run = run_cell_pipeline(app, network, config)
+            analyses.extend(run.dpi.analyses)
+            verdicts.extend(run.verdicts)
         gaps.append(compute_interop_gap(app, verdicts, analyses))
     print(render_gap_table(gaps))
     print("\nWorkload details:")
@@ -424,6 +434,61 @@ def cmd_dpi_stats(args: argparse.Namespace) -> int:
         _print_dpi_stats("total", total)
     mode = "off" if args.no_fastpath else "on"
     print(f"fast path: {mode}")
+    return 0
+
+
+def cmd_pipeline_stats(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.pipeline import merge_stage_stats
+
+    config = ExperimentConfig(
+        call_duration=args.duration, media_scale=args.scale, seed=args.seed
+    )
+    apps = [args.app] if args.app else list(APP_NAMES)
+    networks = [args.network] if args.network else list(NetworkCondition)
+    per_app = {}
+    totals = {}
+    for app in apps:
+        stats = {}
+        for network in networks:
+            aggregate = run_experiment(app, network, config)
+            merge_stage_stats(stats, aggregate.stage_stats.values())
+        per_app[app] = stats
+        merge_stage_stats(totals, stats.values())
+    if args.json:
+        payload = {
+            "config": {
+                "call_duration": config.call_duration,
+                "media_scale": config.media_scale,
+                "seed": config.seed,
+                "apps": apps,
+                "networks": [n.value for n in networks],
+            },
+            "per_app": {
+                app: {name: stat.as_dict() for name, stat in stats.items()}
+                for app, stats in per_app.items()
+            },
+            "total": {name: stat.as_dict() for name, stat in totals.items()},
+        }
+        print(json_module.dumps(payload, indent=2))
+        return 0
+    header = (f"{'stage':<8} {'records in':>12} {'records out':>12} "
+              f"{'wall (s)':>10} {'peak buffered':>14}")
+    for app, stats in per_app.items():
+        print(f"{app}:")
+        print(f"  {header}")
+        for stat in stats.values():
+            print(f"  {stat.name:<8} {stat.records_in:>12} "
+                  f"{stat.records_out:>12} {stat.wall_seconds:>10.4f} "
+                  f"{stat.peak_buffered:>14}")
+    if len(per_app) > 1:
+        print("total:")
+        print(f"  {header}")
+        for stat in totals.values():
+            print(f"  {stat.name:<8} {stat.records_in:>12} "
+                  f"{stat.records_out:>12} {stat.wall_seconds:>10.4f} "
+                  f"{stat.peak_buffered:>14}")
     return 0
 
 
@@ -524,6 +589,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fingerprint": cmd_fingerprint,
         "dissect": cmd_dissect,
         "dpi-stats": cmd_dpi_stats,
+        "pipeline-stats": cmd_pipeline_stats,
         "conformance": cmd_conformance,
     }
     return handlers[args.command](args)

@@ -3,9 +3,10 @@
 The recorded corpus (see :mod:`repro.conformance.golden`) defines ground
 truth under the reference sweep engine.  This module replays the exact
 same filtered records through every interesting engine configuration —
-plain sweep, flow-sticky fast path, dedup cache, and a cached fast-path
+plain sweep, flow-sticky fast path, dedup cache, a cached fast-path
 engine *shared* across all cells (the ``run_matrix`` serial production
-shape) — and demands bit-identical verdicts, datagram classes, and
+shape), and the streaming pipeline core (per-record feed, incremental
+checker) — and demands bit-identical verdicts, datagram classes, and
 metrics from each.  On mismatch it renders a drift report that names the
 first divergent message: its index, timestamp, protocol, byte offset,
 and the ``(criterion, code)`` pairs on each side.
@@ -48,12 +49,19 @@ class EngineSpec:
     ``shared=True`` reuses a single engine instance across every cell of
     the run, mirroring how ``run_matrix`` keeps caches warm between
     cells — the configuration most likely to leak state.
+
+    ``streaming=True`` drives the engine through the streaming pipeline
+    core (``repro.pipeline.run_streaming``: per-record DPI session feed,
+    incremental checker) instead of the batch
+    ``analyze_records``/``check`` calls — the execution shape most likely
+    to reorder or drop context.
     """
 
     name: str
     fastpath: bool
     cache_size: int
     shared: bool = False
+    streaming: bool = False
 
     def build(self, max_offset: int) -> DpiEngine:
         return DpiEngine(
@@ -74,6 +82,12 @@ ENGINE_SPECS: Tuple[EngineSpec, ...] = (
         fastpath=True,
         cache_size=DEFAULT_CACHE_SIZE,
         shared=True,
+    ),
+    EngineSpec(
+        "streaming",
+        fastpath=True,
+        cache_size=DEFAULT_CACHE_SIZE,
+        streaming=True,
     ),
 )
 
@@ -218,8 +232,15 @@ def check_corpus(
         records = cell_records(app, network, config)
         for spec in specs:
             engine = shared_engines.get(spec.name) or spec.build(config.max_offset)
-            dpi = engine.analyze_records(records)
-            verdicts = checker.check(dpi.messages())
+            if spec.streaming:
+                from repro.pipeline import run_streaming
+
+                dpi, verdicts, _stage_stats = run_streaming(
+                    records, engine, checker
+                )
+            else:
+                dpi = engine.analyze_records(records)
+                verdicts = checker.check(dpi.messages())
             actual = build_facts(app, network, dpi, verdicts)
             exact_stats = spec.name == "sweep" and not spec.shared
             for kind, detail in _compare_facts(golden, actual, exact_stats):

@@ -25,13 +25,12 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.apps import APP_NAMES, CallConfig, NetworkCondition, get_simulator
+from repro.apps import APP_NAMES, NetworkCondition
 from repro.core import ComplianceChecker
 from repro.core.metrics import ComplianceSummary
 from repro.core.verdict import MessageVerdict
 from repro.dpi import DatagramClass, DpiEngine
 from repro.dpi.engine import DpiResult
-from repro.filtering import TwoStageFilter
 from repro.packets.packet import PacketRecord
 
 #: Bump when the golden-file layout changes; loaders refuse other versions.
@@ -91,6 +90,24 @@ def reference_engine(config: CorpusConfig) -> DpiEngine:
     return DpiEngine(max_offset=config.max_offset, cache_size=0, fastpath=False)
 
 
+def experiment_config(config: CorpusConfig) -> "ExperimentConfig":
+    """The runner-layer equivalent of a corpus config.
+
+    Conformance tooling drives the same ``filter_cell``/
+    ``run_cell_pipeline`` entry points the experiments use, so there is
+    exactly one place that wires simulation → filtering → DPI.
+    """
+    from repro.experiments.runner import ExperimentConfig
+
+    return ExperimentConfig(
+        call_duration=config.call_duration,
+        media_scale=config.media_scale,
+        seed=config.seed,
+        max_offset=config.max_offset,
+        include_background=config.include_background,
+    )
+
+
 def cell_records(
     app: str, network: NetworkCondition, config: CorpusConfig
 ) -> List[PacketRecord]:
@@ -100,17 +117,9 @@ def cell_records(
     every engine configuration, so engines — not simulations — are the
     only variable under test.
     """
-    simulator = get_simulator(app)
-    trace = simulator.simulate(
-        CallConfig(
-            network=network,
-            seed=config.seed,
-            call_duration=config.call_duration,
-            media_scale=config.media_scale,
-            include_background=config.include_background,
-        )
-    )
-    return TwoStageFilter(trace.window).apply(trace.records).kept_records
+    from repro.experiments.runner import filter_cell
+
+    return filter_cell(app, network, experiment_config(config)).kept_records
 
 
 def build_facts(
@@ -172,10 +181,16 @@ def record_cell(
     app: str, network: NetworkCondition, config: CorpusConfig
 ) -> Dict[str, object]:
     """Run one cell under the reference engine and return its facts."""
-    records = cell_records(app, network, config)
-    dpi = reference_engine(config).analyze_records(records)
-    verdicts = ComplianceChecker().check(dpi.messages())
-    return build_facts(app, network, dpi, verdicts)
+    from repro.experiments.runner import run_cell_pipeline
+
+    run = run_cell_pipeline(
+        app,
+        network,
+        experiment_config(config),
+        engine=reference_engine(config),
+        checker=ComplianceChecker(),
+    )
+    return build_facts(app, network, run.dpi, run.verdicts)
 
 
 def record_corpus(

@@ -17,9 +17,10 @@ as non-compliant and later criteria are skipped (avoiding cascading errors),
 matching the paper's methodology.
 """
 
-from repro.core.checker import ComplianceChecker
+from repro.core.checker import CheckerStream, ComplianceChecker
 from repro.core.metrics import (
     ComplianceSummary,
+    StreamingSummary,
     TypeComplianceEntry,
     message_type_metric,
     volume_metric,
@@ -27,8 +28,10 @@ from repro.core.metrics import (
 from repro.core.verdict import Criterion, MessageVerdict, Violation
 
 __all__ = [
+    "CheckerStream",
     "ComplianceChecker",
     "ComplianceSummary",
+    "StreamingSummary",
     "TypeComplianceEntry",
     "message_type_metric",
     "volume_metric",

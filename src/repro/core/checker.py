@@ -3,7 +3,7 @@ extracted message, with session context for the cross-message rules."""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.quic_rules import check_quic
 from repro.core.rtcp_rules import check_rtcp
@@ -39,35 +39,53 @@ class ComplianceChecker:
         compound_heads = (
             self._compound_heads(messages) if self._strict_compound else None
         )
-        verdicts: List[MessageVerdict] = []
-        for extracted in messages:
-            if extracted.protocol is Protocol.STUN_TURN:
-                violations = check_stun(extracted, stun_context, self._sequential)
-            elif extracted.protocol is Protocol.RTP:
-                violations = check_rtp(extracted, self._sequential)
-            elif extracted.protocol is Protocol.RTCP:
-                violations = check_rtcp(extracted, self._sequential)
-                if (
-                    compound_heads is not None
-                    and (not violations or not self._sequential)
-                    and id(extracted) in compound_heads
-                    and extracted.message.packet_type not in (200, 201)
-                ):
-                    violations.append(
-                        Violation(
-                            Criterion.SEMANTICS,
-                            "compound-must-start-with-report",
-                            "an RTCP compound must begin with SR or RR "
-                            "(RFC 3550 §6.1); this datagram starts with "
-                            f"packet type {extracted.message.packet_type}",
-                        )
+        return [
+            MessageVerdict(
+                message=extracted,
+                violations=self._violations(
+                    extracted,
+                    stun_context,
+                    compound_heads is not None and id(extracted) in compound_heads,
+                ),
+            )
+            for extracted in messages
+        ]
+
+    def stream(self) -> "CheckerStream":
+        """An incremental session: per-datagram verdicts, STUN at flush."""
+        return CheckerStream(self)
+
+    def _violations(
+        self,
+        extracted: ExtractedMessage,
+        stun_context: StunSessionContext,
+        compound_head: bool,
+    ) -> List[Violation]:
+        """One message's violations (shared by batch and streaming modes)."""
+        if extracted.protocol is Protocol.STUN_TURN:
+            return check_stun(extracted, stun_context, self._sequential)
+        if extracted.protocol is Protocol.RTP:
+            return check_rtp(extracted, self._sequential)
+        if extracted.protocol is Protocol.RTCP:
+            violations = check_rtcp(extracted, self._sequential)
+            if (
+                compound_head
+                and (not violations or not self._sequential)
+                and extracted.message.packet_type not in (200, 201)
+            ):
+                violations.append(
+                    Violation(
+                        Criterion.SEMANTICS,
+                        "compound-must-start-with-report",
+                        "an RTCP compound must begin with SR or RR "
+                        "(RFC 3550 §6.1); this datagram starts with "
+                        f"packet type {extracted.message.packet_type}",
                     )
-            elif extracted.protocol is Protocol.QUIC:
-                violations = check_quic(extracted, self._sequential)
-            else:  # pragma: no cover - exhaustive over Protocol
-                violations = []
-            verdicts.append(MessageVerdict(message=extracted, violations=violations))
-        return verdicts
+                )
+            return violations
+        if extracted.protocol is Protocol.QUIC:
+            return check_quic(extracted, self._sequential)
+        return []  # pragma: no cover - exhaustive over Protocol
 
     @staticmethod
     def _compound_heads(messages: Sequence[ExtractedMessage]) -> set:
@@ -85,3 +103,86 @@ class ComplianceChecker:
     def check_one(self, message: ExtractedMessage) -> MessageVerdict:
         """Judge a single message (criterion-5 context rules see only it)."""
         return self.check([message])[0]
+
+
+class CheckerStream:
+    """Incremental compliance checking over a stream of datagram analyses.
+
+    STUN/TURN rules need session context (transaction pairing, allocate
+    ordering) that only exists once the whole session has been seen, so
+    those messages are deferred to :meth:`flush`; everything else is
+    judged the moment its datagram arrives.  Verdicts carry the global
+    message index they were fed at, so a batch adapter can restore the
+    exact ``ComplianceChecker.check`` output order with one sort while
+    order-insensitive aggregators consume them as they come.
+    """
+
+    def __init__(self, checker: ComplianceChecker):
+        self._checker = checker
+        self._index = 0
+        self._deferred: List[Tuple[int, ExtractedMessage]] = []
+        self._flushed = False
+        # STUN context for non-deferred checks is empty by construction;
+        # built once here so feed() never allocates it per datagram.
+        self._empty_context = StunSessionContext([])
+
+    @property
+    def fed(self) -> int:
+        """Messages seen so far (immediate and deferred)."""
+        return self._index
+
+    @property
+    def deferred(self) -> int:
+        """STUN/TURN messages held back for session-context checks."""
+        return len(self._deferred)
+
+    def feed(
+        self, messages: Sequence[ExtractedMessage]
+    ) -> List[Tuple[int, MessageVerdict]]:
+        """Judge one datagram's messages (offset order, as DPI emits them).
+
+        Returns ``(global_index, verdict)`` pairs for every message that
+        could be judged immediately; STUN/TURN verdicts arrive at flush.
+        """
+        if self._flushed:
+            raise RuntimeError("feed() after flush()")
+        checker = self._checker
+        compound_head: Optional[ExtractedMessage] = None
+        if checker._strict_compound:
+            rtcp = [m for m in messages if m.protocol is Protocol.RTCP]
+            if rtcp:
+                compound_head = min(rtcp, key=lambda m: m.offset)
+        out: List[Tuple[int, MessageVerdict]] = []
+        for extracted in messages:
+            index = self._index
+            self._index += 1
+            if extracted.protocol is Protocol.STUN_TURN:
+                self._deferred.append((index, extracted))
+                continue
+            violations = checker._violations(
+                extracted, self._empty_context, extracted is compound_head
+            )
+            out.append(
+                (index, MessageVerdict(message=extracted, violations=violations))
+            )
+        return out
+
+    def flush(self) -> List[Tuple[int, MessageVerdict]]:
+        """Judge the deferred STUN/TURN messages with full session context."""
+        if self._flushed:
+            return []
+        self._flushed = True
+        context = StunSessionContext([m for _, m in self._deferred])
+        checker = self._checker
+        out = [
+            (
+                index,
+                MessageVerdict(
+                    message=extracted,
+                    violations=checker._violations(extracted, context, False),
+                ),
+            )
+            for index, extracted in self._deferred
+        ]
+        self._deferred = []
+        return out

@@ -126,6 +126,87 @@ class ComplianceSummary:
         }
 
 
+class StreamingSummary:
+    """Build a :class:`ComplianceSummary` from verdicts as they stream.
+
+    Accepts verdicts one at a time — in any order — without ever holding
+    the verdict list: pass the verdict's global message index (as emitted
+    by :class:`repro.core.checker.CheckerStream`) and the finished
+    summary is *identical* to ``ComplianceSummary.from_verdicts`` over
+    the index-ordered batch, including type-entry insertion order and
+    the first-three example-violation cap, both of which are defined by
+    message order rather than arrival order.  Memory is O(distinct
+    message types), not O(messages).
+    """
+
+    _EXAMPLE_CAP = 3
+
+    def __init__(self, app: str):
+        self.app = app
+        self._added = 0
+        self._volume = [0, 0]  # [compliant, total]
+        self._by_protocol: Dict[str, List[int]] = {}
+        self._entries: Dict[TypeKey, TypeComplianceEntry] = {}
+        self._first_seen: Dict[TypeKey, int] = {}
+        #: per type: up to three (index, text) examples, smallest indices win.
+        self._examples: Dict[TypeKey, List[Tuple[int, str]]] = {}
+
+    @property
+    def added(self) -> int:
+        return self._added
+
+    def add(self, verdict: MessageVerdict, index: Optional[int] = None) -> None:
+        """Fold one verdict in; *index* defaults to arrival order."""
+        if index is None:
+            index = self._added
+        self._added += 1
+        compliant = verdict.compliant
+        self._volume[1] += 1
+        proto = verdict.message.protocol.value
+        proto_counts = self._by_protocol.setdefault(proto, [0, 0])
+        proto_counts[1] += 1
+        if compliant:
+            self._volume[0] += 1
+            proto_counts[0] += 1
+
+        key = verdict.message.type_key()
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = TypeComplianceEntry(protocol=key[0], type_label=key[1])
+            self._entries[key] = entry
+            self._first_seen[key] = index
+        elif index < self._first_seen[key]:
+            self._first_seen[key] = index
+        entry.total += 1
+        if not compliant:
+            entry.non_compliant += 1
+            examples = self._examples.setdefault(key, [])
+            examples.append((index, str(verdict.first_violation)))
+            examples.sort(key=lambda pair: pair[0])
+            del examples[self._EXAMPLE_CAP:]
+
+    def result(self) -> ComplianceSummary:
+        """The finished summary, bit-identical to the batch construction."""
+        by_protocol = {
+            protocol.value: VolumeCompliance(*self._by_protocol[protocol.value])
+            for protocol in Protocol
+            if self._by_protocol.get(protocol.value, (0, 0))[1]
+        }
+        types: Dict[TypeKey, TypeComplianceEntry] = {}
+        for key in sorted(self._entries, key=self._first_seen.__getitem__):
+            entry = self._entries[key]
+            entry.example_violations = [
+                text for _, text in self._examples.get(key, [])
+            ]
+            types[key] = entry
+        return ComplianceSummary(
+            app=self.app,
+            volume=VolumeCompliance(*self._volume),
+            volume_by_protocol=by_protocol,
+            types=types,
+        )
+
+
 def merge_type_entries(
     summaries: Iterable[ComplianceSummary], protocol: str
 ) -> Tuple[int, int]:

@@ -15,6 +15,7 @@ from repro.dpi.engine import (
     DpiEngine,
     DpiResult,
     DpiStats,
+    DpiStreamSession,
 )
 from repro.dpi.fastpath import (
     DEFAULT_SIGNATURE_K,
@@ -36,6 +37,7 @@ __all__ = [
     "DpiEngine",
     "DpiResult",
     "DpiStats",
+    "DpiStreamSession",
     "SignatureLearner",
     "StreamSignature",
     "DatagramAnalysis",

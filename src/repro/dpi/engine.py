@@ -12,7 +12,7 @@ import copy
 import hashlib
 from collections import OrderedDict, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.dpi.candidates import MATCHERS, Candidate, rtp_candidates
 from repro.dpi.fastpath import (
@@ -30,7 +30,7 @@ from repro.packets.packet import PacketRecord
 from repro.protocols.rtcp.constants import RTCP_TYPE_NAMES
 from repro.protocols.rtp.header import RtpPacket, RtpParseError
 from repro.protocols.stun.message import ChannelData, StunMessage
-from repro.streams.flow import Stream, group_streams
+from repro.streams.flow import FlowKey, Stream
 
 DEFAULT_MAX_OFFSET = 200
 #: Entries kept by the payload-dedup candidate cache.  Call traces are
@@ -348,17 +348,45 @@ class DpiEngine:
     # -- public API --------------------------------------------------------------
 
     def analyze_records(self, records: Sequence[PacketRecord]) -> DpiResult:
-        """Group UDP records into streams and analyze each."""
-        udp = [r for r in records if r.transport == "UDP"]
-        before = self.stats.copy()
-        result = DpiResult()
-        for stream in group_streams(udp).values():
-            result.analyses.extend(self.analyze_stream(stream))
-        result.analyses.sort(key=lambda a: a.record.timestamp)
-        result.stats = self.stats.since(before)
-        result.cache_hits = result.stats.cache_hits
-        result.cache_misses = result.stats.cache_misses
-        return result
+        """Group UDP records into streams and analyze each.
+
+        Thin batch adapter over :class:`DpiStreamSession`: one feed pass
+        plus a flush, so batch and streaming callers share the grouping,
+        analysis order, and stats accounting by construction.
+        """
+        session = self.stream_session()
+        for record in records:
+            session.feed(record)
+        return session.result()
+
+    def analyze_iter(
+        self, records: Iterable[PacketRecord]
+    ) -> Iterator[DatagramAnalysis]:
+        """Yield per-datagram analyses for *records* without building a
+        :class:`DpiResult` — consumers that aggregate as they go never hold
+        more than one analysis plus the session's open-stream buffers.
+
+        Stream-context validation (RTP sequence continuity, QUIC CID
+        learning) is whole-stream-scoped, so analyses for a stream cannot
+        be emitted before that stream's last datagram has been seen; a
+        capture-shaped input therefore still buffers until the feed ends.
+        Live callers that know flow lifetimes should drive a
+        :meth:`stream_session` directly and call ``finish_stream`` to
+        release per-stream state early.
+        """
+        session = self.stream_session()
+        for record in records:
+            session.feed(record)
+        yield from session.flush()
+
+    def stream_session(self) -> "DpiStreamSession":
+        """An incremental analysis session bound to this engine.
+
+        Sessions share the engine's candidate cache and lifetime stats;
+        a session's stats delta is only meaningful while sessions on one
+        engine do not interleave.
+        """
+        return DpiStreamSession(self)
 
     def analyze_stream(self, stream: Stream) -> List[DatagramAnalysis]:
         """Run both DPI stages over one transport stream."""
@@ -759,3 +787,94 @@ class DpiEngine:
 
 def _overlaps(a: Candidate, b: Candidate) -> bool:
     return a.offset < b.end and b.offset < a.end
+
+
+class DpiStreamSession:
+    """Incremental DPI over an interleaved record feed.
+
+    Records are grouped into streams as they arrive (first-seen order,
+    exactly like ``group_streams``); analysis happens per completed
+    stream, because every validation heuristic — RTP sequence continuity,
+    QUIC connection-ID learning, STUN transaction pairing — needs the
+    whole stream as context.  :meth:`flush` analyzes everything still
+    open and returns the analyses in global timestamp order, making a
+    feed-all-then-flush pass bit-identical to ``analyze_records``.
+
+    For live workloads where flows rotate, :meth:`finish_stream` analyzes
+    one flow the moment the caller knows it is done and releases its
+    buffered payloads, which is what keeps the session's footprint
+    bounded by the number of *concurrently open* flows rather than the
+    capture length.
+    """
+
+    def __init__(self, engine: DpiEngine):
+        self._engine = engine
+        self._streams: Dict[FlowKey, Stream] = {}
+        self._before = engine.stats.copy()
+        self._fed = 0
+        self._flushed = False
+
+    @property
+    def fed(self) -> int:
+        """UDP records accepted so far (non-UDP feeds are ignored)."""
+        return self._fed
+
+    @property
+    def buffered(self) -> int:
+        """Datagrams currently held waiting for their stream to complete."""
+        return sum(len(s.packets) for s in self._streams.values())
+
+    @property
+    def open_streams(self) -> int:
+        return len(self._streams)
+
+    def feed(self, record: PacketRecord) -> None:
+        """Buffer one record into its stream (non-UDP records are dropped,
+        matching the ``analyze_records`` transport filter)."""
+        if self._flushed:
+            raise RuntimeError("feed() after flush()")
+        if record.transport != "UDP":
+            return
+        self._fed += 1
+        key = record.flow_key
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = Stream(key=key)
+            self._streams[key] = stream
+        stream.add(record)
+
+    def finish_stream(self, key: FlowKey) -> List[DatagramAnalysis]:
+        """Analyze one stream now and release its buffered payloads.
+
+        The caller asserts the flow is complete; datagrams fed to the same
+        key afterwards would start a fresh stream and be validated without
+        this one's context.
+        """
+        stream = self._streams.pop(key, None)
+        if stream is None:
+            return []
+        stream.sort()
+        return self._engine.analyze_stream(stream)
+
+    def flush(self) -> List[DatagramAnalysis]:
+        """Analyze every open stream; return analyses in timestamp order."""
+        if self._flushed:
+            return []
+        self._flushed = True
+        analyses: List[DatagramAnalysis] = []
+        for key in list(self._streams):
+            analyses.extend(self.finish_stream(key))
+        analyses.sort(key=lambda a: a.record.timestamp)
+        return analyses
+
+    def stats(self) -> DpiStats:
+        """Extraction-counter deltas accumulated by this session."""
+        return self._engine.stats.since(self._before)
+
+    def result(self) -> DpiResult:
+        """Flush and package everything as a batch-shaped ``DpiResult``."""
+        result = DpiResult(analyses=self.flush())
+        result.stats = self.stats()
+        result.cache_hits = result.stats.cache_hits
+        result.cache_misses = result.stats.cache_misses
+        return result

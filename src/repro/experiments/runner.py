@@ -21,6 +21,15 @@ from repro.dpi import DatagramClass, DpiEngine, DpiStats, Protocol
 from repro.dpi.messages import ExtractedMessage
 from repro.filtering import TwoStageFilter
 from repro.filtering.pipeline import FilterResult, StageCounts
+from repro.pipeline import (
+    CheckStage,
+    DpiStage,
+    FilterStage,
+    Pipeline,
+    StageStats,
+    merge_stage_stats,
+    ordered_verdicts,
+)
 
 #: Maximum example violations kept per (protocol, type) entry when merging.
 MAX_EXAMPLE_VIOLATIONS = 3
@@ -72,6 +81,9 @@ class ExperimentAggregate:
     filter_precision: float = 1.0
     filter_recall: float = 1.0
     dpi_stats: DpiStats = field(default_factory=DpiStats)
+    #: Per-stage streaming instrumentation, keyed by stage name
+    #: (records in/out, wall time, peak buffered); summed across cells.
+    stage_stats: Dict[str, StageStats] = field(default_factory=dict)
 
     def merge(self, other: "ExperimentAggregate") -> None:
         self.raw = _add_counts(self.raw, other.raw)
@@ -92,6 +104,7 @@ class ExperimentAggregate:
         self.filter_precision = min(self.filter_precision, other.filter_precision)
         self.filter_recall = min(self.filter_recall, other.filter_recall)
         self.dpi_stats.merge(other.dpi_stats)
+        merge_stage_stats(self.stage_stats, other.stage_stats.values())
 
     def message_distribution(self) -> Dict[str, float]:
         """Table 2's row: per-protocol message share incl. fully proprietary."""
@@ -174,6 +187,33 @@ class PipelineRun:
     filter_result: FilterResult
     dpi: "DpiResult"
     verdicts: List["MessageVerdict"]
+    stage_stats: Dict[str, StageStats] = field(default_factory=dict)
+
+
+def _cell_config(
+    network: NetworkCondition, config: ExperimentConfig, call_index: int
+) -> CallConfig:
+    return CallConfig(
+        network=network,
+        seed=config.seed,
+        call_index=call_index,
+        call_duration=config.call_duration,
+        media_scale=config.media_scale,
+        include_background=config.include_background,
+    )
+
+
+def filter_cell(
+    app: str,
+    network: NetworkCondition,
+    config: ExperimentConfig = ExperimentConfig(),
+    call_index: int = 0,
+) -> FilterResult:
+    """Simulate one cell and run only the two-stage filter over it."""
+    simulator = get_simulator(app)
+    call_config = _cell_config(network, config, call_index)
+    window = call_config.window()
+    return TwoStageFilter(window).apply(list(simulator.iter_records(call_config)))
 
 
 def run_cell_pipeline(
@@ -184,35 +224,37 @@ def run_cell_pipeline(
     engine: Optional[DpiEngine] = None,
     checker: Optional[ComplianceChecker] = None,
 ) -> PipelineRun:
-    """Simulate one cell and run it through filter → DPI → checker.
+    """Simulate one cell and stream it through filter → DPI → checker.
+
+    This is a thin batch adapter over the streaming pipeline core: records
+    flow from ``AppSimulator.iter_records`` through :class:`FilterStage`,
+    :class:`DpiStage` and :class:`CheckStage` one at a time, and the
+    collected outputs (filter accounting, ``DpiResult``, verdict order)
+    are bit-identical to the historical batch calls by construction.
 
     ``engine``/``checker`` default to *fresh* instances so callers that
     need controlled engine configurations (the conformance differ) are not
     coupled to the process-wide cached engines ``run_experiment`` uses.
     """
     simulator = get_simulator(app)
-    call_config = CallConfig(
-        network=network,
-        seed=config.seed,
-        call_index=call_index,
-        call_duration=config.call_duration,
-        media_scale=config.media_scale,
-        include_background=config.include_background,
-    )
-    trace = simulator.simulate(call_config)
-    filter_result = TwoStageFilter(trace.window).apply(trace.records)
+    call_config = _cell_config(network, config, call_index)
     if engine is None:
         engine = DpiEngine(max_offset=config.max_offset, fastpath=config.fastpath)
     if checker is None:
         checker = ComplianceChecker()
-    dpi = engine.analyze_records(filter_result.kept_records)
-    verdicts = checker.check(dpi.messages())
+    filter_stage = FilterStage(TwoStageFilter(call_config.window()))
+    dpi_stage = DpiStage(engine)
+    check_stage = CheckStage(checker)
+    pipeline = Pipeline([filter_stage, dpi_stage, check_stage])
+    indexed = pipeline.run(simulator.iter_records(call_config))
+    assert filter_stage.result is not None
     return PipelineRun(
         app=app,
         network=network,
-        filter_result=filter_result,
-        dpi=dpi,
-        verdicts=verdicts,
+        filter_result=filter_stage.result,
+        dpi=dpi_stage.result(),
+        verdicts=ordered_verdicts(indexed),
+        stage_stats={stat.name: stat for stat in pipeline.stats()},
     )
 
 
@@ -243,6 +285,7 @@ def run_experiment(
     aggregate.protocol_counts = dpi.protocol_counts()
     aggregate.summary = ComplianceSummary.from_verdicts(app, run.verdicts)
     aggregate.dpi_stats = dpi.stats.copy()
+    aggregate.stage_stats = run.stage_stats
     if filter_result.evaluation is not None:
         aggregate.filter_precision = filter_result.evaluation.precision
         aggregate.filter_recall = filter_result.evaluation.recall

@@ -7,6 +7,7 @@ from repro.filtering.heuristics import (
     SniFilter,
     ThreeTupleFilter,
 )
+from repro.filtering.online import OnlineTwoStageFilter
 from repro.filtering.pipeline import (
     FilterEvaluation,
     FilterResult,
@@ -23,6 +24,7 @@ __all__ = [
     "ThreeTupleFilter",
     "FilterEvaluation",
     "FilterResult",
+    "OnlineTwoStageFilter",
     "StageCounts",
     "TwoStageFilter",
     "TimespanFilter",

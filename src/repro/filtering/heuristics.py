@@ -41,8 +41,26 @@ class ThreeTupleFilter:
         for record in all_records:
             if window.extended_start <= record.timestamp <= window.extended_end:
                 continue
-            self._outside.add((record.src_ip, record.src_port, record.transport))
-            self._outside.add((record.dst_ip, record.dst_port, record.transport))
+            self.observe_outside(record)
+
+    @classmethod
+    def from_outside_tuples(
+        cls, outside: Iterable[EndpointTuple]
+    ) -> "ThreeTupleFilter":
+        """Build from an incrementally collected outside-window endpoint set.
+
+        The online filter feeds every out-of-window record through
+        :meth:`observe_outside` as it arrives instead of re-scanning a
+        materialized record list; the resulting set is identical.
+        """
+        instance = cls.__new__(cls)
+        instance._outside = set(outside)
+        return instance
+
+    def observe_outside(self, record: PacketRecord) -> None:
+        """Register one record already known to lie outside the window."""
+        self._outside.add((record.src_ip, record.src_port, record.transport))
+        self._outside.add((record.dst_ip, record.dst_port, record.transport))
 
     def keeps(self, stream: Stream) -> bool:
         (ip_a, port_a), (ip_b, port_b), transport = (
@@ -88,7 +106,20 @@ class LocalIpFilter:
         self._precall_pairs: Set[FrozenSet[str]] = set()
         for record in all_records:
             if record.timestamp < window.call_start:
-                self._precall_pairs.add(frozenset((record.src_ip, record.dst_ip)))
+                self.observe_precall(record)
+
+    @classmethod
+    def from_precall_pairs(
+        cls, pairs: Iterable[FrozenSet[str]]
+    ) -> "LocalIpFilter":
+        """Build from an incrementally collected pre-call IP-pair set."""
+        instance = cls.__new__(cls)
+        instance._precall_pairs = set(pairs)
+        return instance
+
+    def observe_precall(self, record: PacketRecord) -> None:
+        """Register one record already known to precede the call start."""
+        self._precall_pairs.add(frozenset((record.src_ip, record.dst_ip)))
 
     def keeps(self, stream: Stream) -> bool:
         ip_a, ip_b = stream.ips()

@@ -13,16 +13,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.apps.background import DEFAULT_SNI_BLOCKLIST
-from repro.filtering.heuristics import (
-    DEFAULT_EXCLUDED_PORTS,
-    LocalIpFilter,
-    PortFilter,
-    SniFilter,
-    ThreeTupleFilter,
-)
+from repro.filtering.heuristics import DEFAULT_EXCLUDED_PORTS
 from repro.filtering.timespan import TimespanFilter
 from repro.packets.packet import PacketRecord
-from repro.streams.flow import Stream, group_streams
+from repro.streams.flow import Stream
 from repro.streams.timeline import CallWindow
 
 
@@ -79,14 +73,26 @@ class FilterResult:
     kept_streams: List[Stream]
     removed_by: Dict[str, List[Stream]]
     evaluation: Optional[FilterEvaluation] = None
+    _kept_records: Optional[List[PacketRecord]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def kept_records(self) -> List[PacketRecord]:
-        records: List[PacketRecord] = []
-        for stream in self.kept_streams:
-            records.extend(stream.packets)
-        records.sort(key=lambda r: r.timestamp)
-        return records
+        """Every kept packet in timestamp order (computed once, then cached).
+
+        This sits on the hot path between filtering and DPI and is read
+        from ~10 call sites; re-concatenating and re-sorting the full
+        packet list on every access was pure waste.  Callers share the
+        cached list, so treat it as read-only.
+        """
+        if self._kept_records is None:
+            records: List[PacketRecord] = []
+            for stream in self.kept_streams:
+                records.extend(stream.packets)
+            records.sort(key=lambda r: r.timestamp)
+            self._kept_records = records
+        return self._kept_records
 
     def stage2_by_heuristic(self) -> Dict[str, StageCounts]:
         return {
@@ -121,53 +127,28 @@ class TwoStageFilter:
         self._enabled = tuple(enabled_heuristics)
 
     def apply(self, records: Sequence[PacketRecord]) -> FilterResult:
-        streams = list(group_streams(records).values())
-        raw = StageCounts.of(streams)
-        removed_by: Dict[str, List[Stream]] = {}
+        """Batch entry point: one pass of the online filter over *records*.
 
-        stage1 = TimespanFilter(self._window)
-        kept, removed = stage1.split(streams)
-        removed_by[stage1.name] = removed
-        stage1_counts = StageCounts.of(removed)
+        Batch and streaming callers share a single implementation (see
+        :mod:`repro.filtering.online`), so their results are identical by
+        construction rather than by parallel maintenance.
+        """
+        online = self.online()
+        for record in records:
+            online.observe(record)
+        return online.finalize()
 
-        heuristics = []
-        if "3tuple" in self._enabled:
-            heuristics.append(ThreeTupleFilter(records, self._window))
-        if "sni" in self._enabled:
-            heuristics.append(SniFilter(self._sni_blocklist))
-        if "local_ip" in self._enabled:
-            heuristics.append(LocalIpFilter(records, self._window))
-        if "port" in self._enabled:
-            heuristics.append(PortFilter(self._excluded_ports))
+    def online(self, low_memory: bool = False) -> "OnlineTwoStageFilter":
+        """An incremental filter session with this pipeline's configuration."""
+        from repro.filtering.online import OnlineTwoStageFilter
 
-        surviving: List[Stream] = []
-        for stream in kept:
-            verdict = None
-            for heuristic in heuristics:
-                if not heuristic.keeps(stream):
-                    verdict = heuristic.name
-                    break
-            if verdict is None:
-                surviving.append(stream)
-            else:
-                removed_by.setdefault(verdict, []).append(stream)
-
-        stage2_counts = StageCounts.of(
-            stream
-            for name, streams_ in removed_by.items()
-            if name != stage1.name
-            for stream in streams_
+        return OnlineTwoStageFilter(
+            window=self._window,
+            sni_blocklist=self._sni_blocklist,
+            excluded_ports=self._excluded_ports,
+            enabled_heuristics=self._enabled,
+            low_memory=low_memory,
         )
-        result = FilterResult(
-            raw=raw,
-            stage1_removed=stage1_counts,
-            stage2_removed=stage2_counts,
-            kept=StageCounts.of(surviving),
-            kept_streams=surviving,
-            removed_by=removed_by,
-            evaluation=_evaluate(surviving, removed_by),
-        )
-        return result
 
 
 def _evaluate(
@@ -181,6 +162,14 @@ def _evaluate(
         # background counts against precision.
         rtc = non_rtc = labelled = 0
         for stream in streams:
+            counts = getattr(stream, "truth_counts", None)
+            if counts is not None:
+                # Drained stream (low-memory online mode): packets were
+                # released, but the label counters were kept.
+                rtc += counts[0]
+                non_rtc += counts[1]
+                labelled += counts[0] + counts[1]
+                continue
             for record in stream.packets:
                 if record.truth is None:
                     continue

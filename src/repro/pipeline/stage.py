@@ -1,0 +1,168 @@
+"""The streaming pipeline core: a small stage protocol plus a composer.
+
+A :class:`Stage` consumes items one at a time (``process``) and may emit
+zero or more downstream items per input; whatever it withholds it must
+emit from ``flush`` when the source is exhausted.  :class:`Pipeline`
+chains stages, pushes every emission through the remaining stages
+immediately (no barrier between stages), and measures each stage's
+records in/out, wall time, and peak buffered items — the uniform
+instrumentation record every layer of the system reports through
+``ExperimentAggregate`` and ``rtc-compliance pipeline-stats``.
+
+The protocol is deliberately tiny so simulators, the two-stage filter,
+the DPI engine, and the compliance checker can all sit behind it without
+adapters owning any policy: batch callers feed a fully materialized
+record list and flush once; live callers feed records as they arrive.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Sequence
+
+
+@dataclass
+class StageStats:
+    """Uniform instrumentation record for one pipeline stage.
+
+    ``peak_buffered`` is the high-water mark of items the stage held
+    between ``process`` calls — the number a bounded-memory deployment
+    has to budget for, and the first thing to look at when a streaming
+    run's footprint is not flat.
+    """
+
+    name: str
+    records_in: int = 0
+    records_out: int = 0
+    wall_seconds: float = 0.0
+    peak_buffered: int = 0
+
+    def merge(self, other: "StageStats") -> None:
+        """Accumulate a same-named stage's counters (cells of one matrix)."""
+        self.records_in += other.records_in
+        self.records_out += other.records_out
+        self.wall_seconds += other.wall_seconds
+        self.peak_buffered = max(self.peak_buffered, other.peak_buffered)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "records_in": self.records_in,
+            "records_out": self.records_out,
+            "wall_seconds": self.wall_seconds,
+            "peak_buffered": self.peak_buffered,
+        }
+
+
+class Stage:
+    """One streaming transformation: records in, records out, state inside.
+
+    Subclasses override ``process`` (and usually ``flush``) and keep
+    ``buffered()`` honest about how many items they are holding — the
+    pipeline samples it after every call to track the high-water mark.
+    """
+
+    name: str = "stage"
+
+    def process(self, item: Any) -> Iterable[Any]:
+        """Consume one item; yield any items ready for the next stage."""
+        raise NotImplementedError
+
+    def flush(self) -> Iterable[Any]:
+        """Emit everything still held once the input is exhausted."""
+        return ()
+
+    def buffered(self) -> int:
+        """Items currently held back from downstream stages."""
+        return 0
+
+
+class Pipeline:
+    """Compose stages and push items through them with instrumentation.
+
+    There is no barrier between stages: an item emitted by stage *n*
+    reaches stage *n+1* within the same ``feed`` call, so wall-clock and
+    buffering are attributed to the stage that actually holds the data.
+    """
+
+    def __init__(self, stages: Sequence[Stage]):
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        self._stages = list(stages)
+        self._stats = [StageStats(name=stage.name) for stage in self._stages]
+        self._flushed = False
+
+    @property
+    def stages(self) -> List[Stage]:
+        return list(self._stages)
+
+    def stats(self) -> List[StageStats]:
+        """Per-stage instrumentation records, in pipeline order."""
+        return self._stats
+
+    def feed(self, item: Any) -> List[Any]:
+        """Push one item through every stage; return the final emissions."""
+        items: List[Any] = [item]
+        for stage, stats in zip(self._stages, self._stats):
+            if not items:
+                break
+            items = self._run(stage, stats, items)
+        return items
+
+    def run(self, source: Iterable[Any]) -> List[Any]:
+        """Feed every item of *source*, flush, and return all final output."""
+        out: List[Any] = []
+        for item in source:
+            out.extend(self.feed(item))
+        out.extend(self.flush())
+        return out
+
+    def flush(self) -> List[Any]:
+        """Flush every stage in order, cascading emissions downstream."""
+        if self._flushed:
+            return []
+        self._flushed = True
+        carried: List[Any] = []
+        for stage, stats in zip(self._stages, self._stats):
+            processed = self._run(stage, stats, carried) if carried else []
+            start = time.perf_counter()
+            flushed = list(stage.flush())
+            stats.wall_seconds += time.perf_counter() - start
+            stats.records_out += len(flushed)
+            stats.peak_buffered = max(stats.peak_buffered, stage.buffered())
+            carried = processed + flushed
+        return carried
+
+    @staticmethod
+    def _run(stage: Stage, stats: StageStats, items: List[Any]) -> List[Any]:
+        start = time.perf_counter()
+        out: List[Any] = []
+        for item in items:
+            out.extend(stage.process(item))
+        stats.wall_seconds += time.perf_counter() - start
+        stats.records_in += len(items)
+        stats.records_out += len(out)
+        buffered = stage.buffered()
+        if buffered > stats.peak_buffered:
+            stats.peak_buffered = buffered
+        return out
+
+
+def merge_stage_stats(
+    into: Dict[str, StageStats], stats: Iterable[StageStats]
+) -> Dict[str, StageStats]:
+    """Fold per-run stage stats into a name-keyed accumulator (in place)."""
+    for stat in stats:
+        existing = into.get(stat.name)
+        if existing is None:
+            into[stat.name] = StageStats(
+                name=stat.name,
+                records_in=stat.records_in,
+                records_out=stat.records_out,
+                wall_seconds=stat.wall_seconds,
+                peak_buffered=stat.peak_buffered,
+            )
+        else:
+            existing.merge(stat)
+    return into

@@ -1,0 +1,127 @@
+"""Concrete stages wiring the system's layers into the streaming core.
+
+Each adapter owns exactly one layer object — the online filter, a DPI
+stream session, a checker stream — and translates between the layer's
+incremental API and the :class:`~repro.pipeline.stage.Stage` protocol.
+The layers themselves never learn about the pipeline, and the batch
+entry points (``TwoStageFilter.apply``, ``DpiEngine.analyze_records``,
+``ComplianceChecker.check``) stay the single source of truth for what
+each transformation means: every adapter here drives the same
+implementation those batch calls drive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.checker import CheckerStream, ComplianceChecker
+from repro.core.verdict import MessageVerdict
+from repro.dpi.engine import DpiEngine, DpiResult, DpiStreamSession
+from repro.dpi.messages import DatagramAnalysis
+from repro.filtering.pipeline import FilterResult, TwoStageFilter
+from repro.packets.packet import PacketRecord
+from repro.pipeline.stage import Stage
+
+IndexedVerdict = Tuple[int, MessageVerdict]
+
+
+class FilterStage(Stage):
+    """Two-stage unrelated-traffic filtering as a pipeline stage.
+
+    Keep/drop decisions are provisional until the capture ends (see
+    :mod:`repro.filtering.online`), so this stage emits nothing from
+    ``process`` and releases every kept record, in timestamp order, at
+    flush.  After flush the full :class:`FilterResult` — Table 1
+    accounting included — is available as :attr:`result`.
+    """
+
+    name = "filter"
+
+    def __init__(self, filter_: TwoStageFilter, low_memory: bool = False):
+        self._online = filter_.online(low_memory=low_memory)
+        self.result: Optional[FilterResult] = None
+
+    def process(self, item: PacketRecord) -> Iterable[PacketRecord]:
+        self._online.observe(item)
+        return ()
+
+    def flush(self) -> Iterable[PacketRecord]:
+        self.result = self._online.finalize()
+        return self.result.kept_records
+
+    def buffered(self) -> int:
+        return self._online.buffered_packets
+
+
+class DpiStage(Stage):
+    """Per-datagram DPI as a pipeline stage.
+
+    Buffers records per stream (validation context is stream-scoped) and
+    emits every :class:`DatagramAnalysis`, in timestamp order, at flush.
+    With ``collect=True`` (the batch adapters' mode) the analyses are
+    additionally retained so :meth:`result` can package them as a
+    ``DpiResult``; pure-streaming consumers pass ``collect=False`` and
+    read only the per-session :meth:`stats`.
+    """
+
+    name = "dpi"
+
+    def __init__(self, engine: DpiEngine, collect: bool = True):
+        self._session: DpiStreamSession = engine.stream_session()
+        self._collect = collect
+        self._analyses: Optional[List[DatagramAnalysis]] = None
+
+    def process(self, item: PacketRecord) -> Iterable[DatagramAnalysis]:
+        self._session.feed(item)
+        return ()
+
+    def flush(self) -> Iterable[DatagramAnalysis]:
+        analyses = self._session.flush()
+        if self._collect:
+            self._analyses = analyses
+        return analyses
+
+    def buffered(self) -> int:
+        return self._session.buffered
+
+    def stats(self):
+        return self._session.stats()
+
+    def result(self) -> DpiResult:
+        """The flushed analyses as a batch-shaped ``DpiResult``."""
+        if self._analyses is None:
+            raise RuntimeError("result() requires collect=True and a flush")
+        result = DpiResult(analyses=self._analyses)
+        result.stats = self._session.stats()
+        result.cache_hits = result.stats.cache_hits
+        result.cache_misses = result.stats.cache_misses
+        return result
+
+
+class CheckStage(Stage):
+    """Compliance checking as a pipeline stage.
+
+    Emits ``(global_message_index, verdict)`` pairs — everything except
+    STUN/TURN immediately, the deferred STUN verdicts at flush.  Sorting
+    the collected pairs by index reproduces ``ComplianceChecker.check``'s
+    output order exactly (the indices number messages in analysis order).
+    """
+
+    name = "check"
+
+    def __init__(self, checker: ComplianceChecker):
+        self._stream: CheckerStream = checker.stream()
+
+    def process(self, item: DatagramAnalysis) -> Iterable[IndexedVerdict]:
+        return self._stream.feed(item.messages)
+
+    def flush(self) -> Iterable[IndexedVerdict]:
+        return self._stream.flush()
+
+    def buffered(self) -> int:
+        return self._stream.deferred
+
+
+def ordered_verdicts(indexed: Iterable[IndexedVerdict]) -> List[MessageVerdict]:
+    """Restore batch verdict order from a pipeline's indexed emissions."""
+    return [verdict for _, verdict in sorted(indexed, key=lambda pair: pair[0])]

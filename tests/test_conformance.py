@@ -51,9 +51,13 @@ class TestDifferentialCheck:
     def test_all_cells_and_engines_covered(self, corpus_report):
         assert corpus_report.cells_checked == 18
         assert corpus_report.engines == tuple(s.name for s in ENGINE_SPECS)
-        assert {"sweep", "fastpath", "cached", "fastpath-cached-shared"} == set(
-            corpus_report.engines
-        )
+        assert {
+            "sweep",
+            "fastpath",
+            "cached",
+            "fastpath-cached-shared",
+            "streaming",
+        } == set(corpus_report.engines)
 
 
 class TestSchemaStability:
