@@ -9,9 +9,11 @@ the trajectory.
 """
 
 import dataclasses
+import functools
 import gc
 import io
 import json
+import os
 import pathlib
 import time
 import tracemalloc
@@ -24,6 +26,7 @@ from repro.experiments import ExperimentConfig, run_matrix
 from repro.experiments.runner import default_engine
 from repro.packets.pcap import PcapReader, PcapWriter
 from repro.packets.packet import PacketRecord
+from repro.pipeline import DEFAULT_CHUNK_SIZE, run_streaming, run_streaming_sharded
 from repro.protocols.rtp.header import RtpPacket
 
 #: Filled by the tests below, flushed by ``test_emit_bench_json`` (last in
@@ -269,9 +272,88 @@ def test_streaming_memory_bounded():
     assert stream_ratio < 2.0, RESULTS["memory"]
 
 
+#: Streaming datagrams/second recorded in BENCH_pipeline.json by PR 4's
+#: per-record pipeline (memory block, cache and fast path off).  The
+#: chunked pipeline with production engine defaults must clear 1.5x this.
+PR4_STREAMING_BASELINE = 1864.3
+
+
+def test_sharded_parallel_throughput():
+    """Chunked and flow-sharded streaming throughput, with parity proof.
+
+    Measures datagrams/second for per-record (``chunk_size=1``) versus
+    chunked streaming, and for the flow-sharded executor at 1/2/4 shards
+    on a many-flow workload.  All five runs must produce bit-identical
+    verdicts.  The multi-core speedup assertions only fire on machines
+    with at least 4 CPUs — on smaller boxes the shard numbers are
+    recorded for the trajectory but process overhead makes a hard bar
+    meaningless.
+    """
+    flows, packets_per_flow = 96, 24
+    records = list(_rotating_flow_records(flows, packets_per_flow))
+
+    def fingerprint(verdicts):
+        return [
+            (verdict.message.protocol.value, verdict.compliant,
+             tuple((v.criterion, v.code) for v in verdict.violations))
+            for verdict in verdicts
+        ]
+
+    def timed_streaming(chunk_size):
+        best_dgs, reference = 0.0, None
+        for _ in range(2):
+            engine = DpiEngine()
+            start = time.perf_counter()
+            dpi, verdicts, _ = run_streaming(
+                records, engine, ComplianceChecker(), chunk_size=chunk_size
+            )
+            elapsed = time.perf_counter() - start
+            best_dgs = max(best_dgs, dpi.stats.datagrams / elapsed)
+            reference = fingerprint(verdicts)
+        return best_dgs, reference
+
+    per_record_dgs, per_record_fp = timed_streaming(1)
+    chunked_dgs, chunked_fp = timed_streaming(DEFAULT_CHUNK_SIZE)
+    assert chunked_fp == per_record_fp
+
+    shard_dgs = {}
+    for shards in (1, 2, 4):
+        start = time.perf_counter()
+        dpi, verdicts, _ = run_streaming_sharded(
+            records,
+            engine_factory=functools.partial(DpiEngine),
+            shards=shards,
+            workers=0 if shards == 1 else shards,
+        )
+        elapsed = time.perf_counter() - start
+        shard_dgs[shards] = dpi.stats.datagrams / elapsed
+        assert fingerprint(verdicts) == per_record_fp
+
+    cpus = os.cpu_count() or 1
+    RESULTS["parallel"] = {
+        "flows": flows,
+        "packets_per_flow": packets_per_flow,
+        "chunk_size": DEFAULT_CHUNK_SIZE,
+        "per_record_datagrams_per_second": round(per_record_dgs, 1),
+        "chunked_datagrams_per_second": round(chunked_dgs, 1),
+        "chunked_vs_pr4_baseline": round(chunked_dgs / PR4_STREAMING_BASELINE, 3),
+        "sharded_datagrams_per_second": {
+            str(shards): round(dgs, 1) for shards, dgs in shard_dgs.items()
+        },
+        "cpu_count": cpus,
+        "shard_speedup_4_vs_1": round(shard_dgs[4] / shard_dgs[1], 3),
+    }
+    assert chunked_dgs >= 1.5 * PR4_STREAMING_BASELINE, RESULTS["parallel"]
+    if cpus >= 4:
+        # CI runners have the cores; the sharded path must actually win.
+        assert shard_dgs[4] >= chunked_dgs, RESULTS["parallel"]
+        assert shard_dgs[4] >= 2.0 * shard_dgs[1], RESULTS["parallel"]
+
+
 def test_emit_bench_json():
     """Flush the numbers gathered above to ``BENCH_pipeline.json``."""
     assert "dpi" in RESULTS and "matrix_serial" in RESULTS and "memory" in RESULTS
+    assert "parallel" in RESULTS
     payload = dict(RESULTS)
     payload["trace"] = {
         "app": "zoom", "network": "wifi_relay",

@@ -46,6 +46,23 @@ def _workers(value: str) -> int:
     return workers
 
 
+def _chunk_size(value: str) -> int:
+    chunk = int(value)
+    if chunk < 1:
+        raise argparse.ArgumentTypeError("expected a positive integer")
+    return chunk
+
+
+def _add_sharding_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shard-workers", type=_workers, default=1,
+                        help="flow-shard each cell's streaming pipeline "
+                             "across N worker processes (default: 1, "
+                             "unsharded; results are identical)")
+    parser.add_argument("--chunk-size", type=_chunk_size, default=None,
+                        help="records per pipeline stage dispatch "
+                             "(default: 256; 1 = per-record feeding)")
+
+
 def _network(value: str) -> NetworkCondition:
     try:
         return NetworkCondition(value)
@@ -76,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     matrix_p.add_argument("--workers", type=_workers, default=None,
                           help="worker processes for matrix cells "
                                "(default: one per CPU core; 1 = serial)")
+    _add_sharding_flags(matrix_p)
 
     synth_p = sub.add_parser("synthesize", help="write a synthetic call trace to pcap")
     synth_p.add_argument("--app", choices=APP_NAMES, required=True)
@@ -99,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--workers", type=_workers, default=None,
                           help="worker processes for the matrix report "
                                "(default: one per CPU core; 1 = serial)")
+    _add_sharding_flags(report_p)
 
     dataset_p = sub.add_parser(
         "dataset", help="synthesize a pcap dataset with ground-truth manifest"
@@ -157,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     pstats_p.add_argument("--seed", type=int, default=0)
     pstats_p.add_argument("--json", action="store_true",
                           help="emit machine-readable JSON instead of a table")
+    _add_sharding_flags(pstats_p)
 
     conf_p = sub.add_parser(
         "conformance",
@@ -234,12 +254,20 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sharding_kwargs(args: argparse.Namespace) -> dict:
+    kwargs = {"shard_workers": args.shard_workers}
+    if args.chunk_size is not None:
+        kwargs["chunk_size"] = args.chunk_size
+    return kwargs
+
+
 def cmd_matrix(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
         call_duration=args.duration,
         media_scale=args.scale,
         repeats=args.repeats,
         seed=args.seed,
+        **_sharding_kwargs(args),
     )
     matrix = run_matrix(config=config, workers=args.workers)
     print(render_table1(table1(matrix)))
@@ -306,7 +334,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import aggregate_report, matrix_report
 
     config = ExperimentConfig(
-        call_duration=args.duration, media_scale=args.scale, seed=args.seed
+        call_duration=args.duration, media_scale=args.scale, seed=args.seed,
+        **_sharding_kwargs(args),
     )
     if args.app:
         aggregate = run_experiment(args.app, args.network, config)
@@ -443,7 +472,8 @@ def cmd_pipeline_stats(args: argparse.Namespace) -> int:
     from repro.pipeline import merge_stage_stats
 
     config = ExperimentConfig(
-        call_duration=args.duration, media_scale=args.scale, seed=args.seed
+        call_duration=args.duration, media_scale=args.scale, seed=args.seed,
+        **_sharding_kwargs(args),
     )
     apps = [args.app] if args.app else list(APP_NAMES)
     networks = [args.network] if args.network else list(NetworkCondition)
@@ -462,6 +492,8 @@ def cmd_pipeline_stats(args: argparse.Namespace) -> int:
                 "call_duration": config.call_duration,
                 "media_scale": config.media_scale,
                 "seed": config.seed,
+                "shard_workers": config.shard_workers,
+                "chunk_size": config.chunk_size,
                 "apps": apps,
                 "networks": [n.value for n in networks],
             },
@@ -474,21 +506,23 @@ def cmd_pipeline_stats(args: argparse.Namespace) -> int:
         print(json_module.dumps(payload, indent=2))
         return 0
     header = (f"{'stage':<8} {'records in':>12} {'records out':>12} "
-              f"{'wall (s)':>10} {'peak buffered':>14}")
-    for app, stats in per_app.items():
-        print(f"{app}:")
+              f"{'wall (s)':>10} {'peak buffered':>14} {'chunks':>8}")
+
+    def print_rows(stats) -> None:
         print(f"  {header}")
         for stat in stats.values():
             print(f"  {stat.name:<8} {stat.records_in:>12} "
                   f"{stat.records_out:>12} {stat.wall_seconds:>10.4f} "
-                  f"{stat.peak_buffered:>14}")
+                  f"{stat.peak_buffered:>14} {stat.chunks:>8}")
+
+    print(f"shard workers: {config.shard_workers}  "
+          f"chunk size: {config.chunk_size}")
+    for app, stats in per_app.items():
+        print(f"{app}:")
+        print_rows(stats)
     if len(per_app) > 1:
         print("total:")
-        print(f"  {header}")
-        for stat in totals.values():
-            print(f"  {stat.name:<8} {stat.records_in:>12} "
-                  f"{stat.records_out:>12} {stat.wall_seconds:>10.4f} "
-                  f"{stat.peak_buffered:>14}")
+        print_rows(totals)
     return 0
 
 

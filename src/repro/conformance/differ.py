@@ -5,9 +5,10 @@ truth under the reference sweep engine.  This module replays the exact
 same filtered records through every interesting engine configuration —
 plain sweep, flow-sticky fast path, dedup cache, a cached fast-path
 engine *shared* across all cells (the ``run_matrix`` serial production
-shape), and the streaming pipeline core (per-record feed, incremental
-checker) — and demands bit-identical verdicts, datagram classes, and
-metrics from each.  On mismatch it renders a drift report that names the
+shape), the streaming pipeline core (chunked feed, incremental checker),
+and the flow-sharded parallel streaming executor (hash-partitioned
+flows, per-shard engines, deterministic merge) — and demands
+bit-identical verdicts, datagram classes, and metrics from each.  On mismatch it renders a drift report that names the
 first divergent message: its index, timestamp, protocol, byte offset,
 and the ``(criterion, code)`` pairs on each side.
 """
@@ -55,6 +56,14 @@ class EngineSpec:
     incremental checker) instead of the batch
     ``analyze_records``/``check`` calls — the execution shape most likely
     to reorder or drop context.
+
+    ``shards > 1`` drives the flow-sharded parallel executor
+    (``repro.pipeline.run_streaming_sharded``): records hash-partitioned
+    by flow key, one engine/checker per shard, deterministic merge — the
+    execution shape most likely to renumber verdicts or interleave
+    analyses wrongly.  It runs in-process here so the differ stays
+    deterministic and cheap; pool and in-process shard execution share
+    one code path by construction.
     """
 
     name: str
@@ -62,6 +71,7 @@ class EngineSpec:
     cache_size: int
     shared: bool = False
     streaming: bool = False
+    shards: int = 1
 
     def build(self, max_offset: int) -> DpiEngine:
         return DpiEngine(
@@ -88,6 +98,13 @@ ENGINE_SPECS: Tuple[EngineSpec, ...] = (
         fastpath=True,
         cache_size=DEFAULT_CACHE_SIZE,
         streaming=True,
+    ),
+    EngineSpec(
+        "sharded-streaming",
+        fastpath=True,
+        cache_size=DEFAULT_CACHE_SIZE,
+        streaming=True,
+        shards=2,
     ),
 )
 
@@ -232,7 +249,23 @@ def check_corpus(
         records = cell_records(app, network, config)
         for spec in specs:
             engine = shared_engines.get(spec.name) or spec.build(config.max_offset)
-            if spec.streaming:
+            if spec.shards > 1:
+                from functools import partial
+
+                from repro.pipeline import run_streaming_sharded
+
+                dpi, verdicts, _stage_stats = run_streaming_sharded(
+                    records,
+                    engine_factory=partial(
+                        DpiEngine,
+                        max_offset=config.max_offset,
+                        cache_size=spec.cache_size,
+                        fastpath=spec.fastpath,
+                    ),
+                    shards=spec.shards,
+                    workers=0,
+                )
+            elif spec.streaming:
                 from repro.pipeline import run_streaming
 
                 dpi, verdicts, _stage_stats = run_streaming(

@@ -9,7 +9,16 @@ from repro.experiments.runner import (
     run_experiment,
     run_matrix,
 )
-from repro.experiments.parallel import matrix_cells, run_matrix_parallel
+from repro.experiments.parallel import (
+    expected_cell_cost,
+    matrix_cells,
+    run_matrix_parallel,
+)
+from repro.experiments.scheduler import (
+    shared_pool,
+    shutdown_shared_pool,
+    submission_order,
+)
 
 __all__ = [
     "ExperimentAggregate",
@@ -17,8 +26,12 @@ __all__ = [
     "MatrixResult",
     "default_checker",
     "default_engine",
+    "expected_cell_cost",
     "matrix_cells",
     "run_experiment",
     "run_matrix",
     "run_matrix_parallel",
+    "shared_pool",
+    "shutdown_shared_pool",
+    "submission_order",
 ]

@@ -12,6 +12,13 @@ which worker finished first, so the result is bit-identical to the serial
 path.  ``run_matrix(workers=...)`` in :mod:`repro.experiments.runner` is
 the public entry point; it delegates here.
 
+Scheduling: cells are submitted to the *shared* process pool (see
+:mod:`repro.experiments.scheduler`) largest-expected-cost-first — cost
+being the cell's call duration × media scale — so the most expensive
+cells start earliest and the pool tail does not idle behind one straggler
+submitted last.  The pool's initializer builds the process-wide default
+engine and checker once per worker process, not once per cell.
+
 Fallbacks: ``workers=1`` (or a single-cell matrix) never spawns processes,
 and pool failures caused by the environment — unpicklable configs, a
 broken/forbidden process pool — degrade to in-process execution instead of
@@ -21,8 +28,6 @@ failing the run.
 from __future__ import annotations
 
 import os
-import pickle
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,6 +37,12 @@ from repro.experiments.runner import (
     ExperimentConfig,
     MatrixResult,
     run_experiment,
+)
+from repro.experiments.scheduler import (
+    POOL_FALLBACK_ERRORS,
+    shared_pool,
+    shutdown_shared_pool,
+    submission_order,
 )
 
 #: One experiment cell: (app, network, repeat index).
@@ -56,6 +67,18 @@ def run_cell(cell: Cell, config: ExperimentConfig) -> ExperimentAggregate:
     """Run one matrix cell; module-level so process pools can pickle it."""
     app, network, repeat = cell
     return run_experiment(app, network, config, call_index=repeat)
+
+
+def expected_cell_cost(cell: Cell, config: ExperimentConfig) -> float:
+    """Relative cost estimate for scheduling: call duration × media scale.
+
+    Deliberately simple — both knobs scale the simulated record count
+    roughly linearly, and scheduling only needs a *ranking*, not a
+    prediction.  Within one homogeneous matrix every cell ties and
+    submission stays in enumeration order.
+    """
+    del cell  # all cells of one matrix share the config today
+    return config.call_duration * config.media_scale
 
 
 def run_matrix_parallel(
@@ -83,16 +106,32 @@ def run_matrix_parallel(
 def _run_pool(
     cells: Sequence[Cell], config: ExperimentConfig, workers: int
 ) -> Optional[List[ExperimentAggregate]]:
-    """Execute cells on a process pool; ``None`` means "fall back to serial".
+    """Execute cells on the shared pool; ``None`` means "fall back to serial".
 
-    ``Executor.map`` yields results in submission order, which is exactly
-    the deterministic merge order — completion order never leaks through.
+    Cells are *submitted* largest-expected-cost-first but *gathered* in
+    enumeration order, which is exactly the deterministic merge order —
+    neither submission nor completion order ever leaks through.
     """
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_cell, cells, [config] * len(cells)))
-    except (pickle.PicklingError, TypeError, AttributeError,
-            BrokenProcessPool, OSError, PermissionError):
+        import pickle
+
+        # Pre-flight the payload: a config that cannot cross a process
+        # boundary should degrade to serial, not poison the shared pool.
+        pickle.dumps(config)
+        pool = shared_pool(workers, config.max_offset, config.fastpath)
+        futures = {
+            index: pool.submit(run_cell, cells[index], config)
+            for index in submission_order(
+                cells, lambda cell: expected_cell_cost(cell, config)
+            )
+        }
+        return [futures[index].result() for index in range(len(cells))]
+    except BrokenProcessPool:
+        # The pool itself died (or could not spawn workers at all):
+        # discard it so the next caller gets a fresh one, run serially.
+        shutdown_shared_pool()
+        return None
+    except POOL_FALLBACK_ERRORS:
         # Unpicklable cell/config payloads or an environment where worker
         # processes cannot be spawned: run in-process instead.
         return None

@@ -11,7 +11,7 @@ small in memory even for long calls.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
+from functools import lru_cache, partial
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.apps import APP_NAMES, CallConfig, NetworkCondition, get_simulator
@@ -22,6 +22,7 @@ from repro.dpi.messages import ExtractedMessage
 from repro.filtering import TwoStageFilter
 from repro.filtering.pipeline import FilterResult, StageCounts
 from repro.pipeline import (
+    DEFAULT_CHUNK_SIZE,
     CheckStage,
     DpiStage,
     FilterStage,
@@ -29,6 +30,7 @@ from repro.pipeline import (
     StageStats,
     merge_stage_stats,
     ordered_verdicts,
+    run_cell_sharded,
 )
 
 #: Maximum example violations kept per (protocol, type) entry when merging.
@@ -53,7 +55,14 @@ def default_checker() -> ComplianceChecker:
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Parameters for one experiment cell (or a whole matrix)."""
+    """Parameters for one experiment cell (or a whole matrix).
+
+    ``shard_workers`` > 1 flow-shards each cell's streaming pipeline
+    across that many worker processes (see :mod:`repro.pipeline.sharded`);
+    results are bit-identical to ``shard_workers=1`` by construction.
+    ``chunk_size`` bounds the record batches the pipeline hands each
+    stage per dispatch (``1`` = historical per-record feeding).
+    """
 
     call_duration: float = 30.0
     media_scale: float = 0.5
@@ -62,6 +71,8 @@ class ExperimentConfig:
     max_offset: int = 200
     include_background: bool = True
     fastpath: bool = True
+    shard_workers: int = 1
+    chunk_size: int = DEFAULT_CHUNK_SIZE
 
 
 @dataclass
@@ -223,21 +234,55 @@ def run_cell_pipeline(
     call_index: int = 0,
     engine: Optional[DpiEngine] = None,
     checker: Optional[ComplianceChecker] = None,
+    shard_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> PipelineRun:
     """Simulate one cell and stream it through filter → DPI → checker.
 
     This is a thin batch adapter over the streaming pipeline core: records
     flow from ``AppSimulator.iter_records`` through :class:`FilterStage`,
-    :class:`DpiStage` and :class:`CheckStage` one at a time, and the
+    :class:`DpiStage` and :class:`CheckStage` in bounded chunks, and the
     collected outputs (filter accounting, ``DpiResult``, verdict order)
     are bit-identical to the historical batch calls by construction.
 
     ``engine``/``checker`` default to *fresh* instances so callers that
     need controlled engine configurations (the conformance differ) are not
     coupled to the process-wide cached engines ``run_experiment`` uses.
+
+    ``shard_workers``/``chunk_size`` default to the config's values.  With
+    ``shard_workers > 1`` the cell is flow-sharded across that many worker
+    processes (:func:`repro.pipeline.run_cell_sharded`) — available only
+    with the default (fresh) engine and checker, since a caller-supplied
+    instance cannot be split across processes; passing one keeps the cell
+    single-process.
     """
+    if shard_workers is None:
+        shard_workers = config.shard_workers
+    if chunk_size is None:
+        chunk_size = config.chunk_size
+    if shard_workers < 1:
+        raise ValueError("shard_workers must be a positive integer")
     simulator = get_simulator(app)
     call_config = _cell_config(network, config, call_index)
+    if shard_workers > 1 and engine is None and checker is None:
+        sharded = run_cell_sharded(
+            list(simulator.iter_records(call_config)),
+            TwoStageFilter(call_config.window()),
+            engine_factory=partial(
+                DpiEngine, max_offset=config.max_offset, fastpath=config.fastpath
+            ),
+            shards=shard_workers,
+            chunk_size=chunk_size,
+            workers=shard_workers,
+        )
+        return PipelineRun(
+            app=app,
+            network=network,
+            filter_result=sharded.filter_result,
+            dpi=sharded.dpi,
+            verdicts=sharded.verdicts,
+            stage_stats={stat.name: stat for stat in sharded.stage_stats},
+        )
     if engine is None:
         engine = DpiEngine(max_offset=config.max_offset, fastpath=config.fastpath)
     if checker is None:
@@ -245,7 +290,9 @@ def run_cell_pipeline(
     filter_stage = FilterStage(TwoStageFilter(call_config.window()))
     dpi_stage = DpiStage(engine)
     check_stage = CheckStage(checker)
-    pipeline = Pipeline([filter_stage, dpi_stage, check_stage])
+    pipeline = Pipeline(
+        [filter_stage, dpi_stage, check_stage], chunk_size=chunk_size
+    )
     indexed = pipeline.run(simulator.iter_records(call_config))
     assert filter_stage.result is not None
     return PipelineRun(
@@ -265,14 +312,19 @@ def run_experiment(
     call_index: int = 0,
 ) -> ExperimentAggregate:
     """Run one (app, network, call) cell through the full pipeline."""
-    run = run_cell_pipeline(
-        app,
-        network,
-        config,
-        call_index,
-        engine=default_engine(config.max_offset, config.fastpath),
-        checker=default_checker(),
-    )
+    if config.shard_workers > 1:
+        # Sharded cells build engines per worker process; the process-wide
+        # default engine cannot be shared across process boundaries.
+        run = run_cell_pipeline(app, network, config, call_index)
+    else:
+        run = run_cell_pipeline(
+            app,
+            network,
+            config,
+            call_index,
+            engine=default_engine(config.max_offset, config.fastpath),
+            checker=default_checker(),
+        )
     filter_result = run.filter_result
     dpi = run.dpi
 

@@ -1,0 +1,114 @@
+"""One shared process pool for every parallel axis of the system.
+
+Both parallelism levels — matrix cells (:mod:`repro.experiments.parallel`)
+and intra-cell flow shards (:mod:`repro.pipeline.sharded`) — schedule onto
+the single :class:`~concurrent.futures.ProcessPoolExecutor` owned here, so
+a run never oversubscribes the machine with one pool per axis and worker
+processes are spawned (and warmed) once per Python process, not once per
+call.
+
+The pool ``initializer`` pre-builds the process-wide default engine and
+checker (:func:`repro.experiments.runner.default_engine` /
+``default_checker``), so cell workers start with a warm payload-dedup
+cache holder instead of paying construction cost on their first cell.  It
+also marks the process as a pool worker: code that could otherwise nest a
+second pool (a sharded cell running *inside* a cell worker) checks
+:func:`in_pool_worker` and degrades to in-process shard execution instead
+of spawning grandchildren.
+
+``POOL_FALLBACK_ERRORS`` is the shared contract for "the environment, not
+the code, refused to parallelize": unpicklable payloads, broken pools,
+sandboxes that forbid ``fork``.  Callers catch it and fall back to
+in-process execution, which must produce bit-identical results anyway.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+#: Environment-caused pool failures that mean "run in-process instead".
+POOL_FALLBACK_ERRORS = (
+    pickle.PicklingError,
+    TypeError,
+    AttributeError,
+    BrokenProcessPool,
+    OSError,
+    PermissionError,
+)
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers: int = 0
+_in_pool_worker: bool = False
+
+
+def _warm_worker(max_offset: int, fastpath: bool) -> None:
+    """Pool initializer: flag the process and pre-build engine/checker."""
+    global _in_pool_worker
+    _in_pool_worker = True
+    from repro.experiments.runner import default_checker, default_engine
+
+    default_engine(max_offset, fastpath)
+    default_checker()
+
+
+def in_pool_worker() -> bool:
+    """True inside a pool worker process (never nest a second pool there)."""
+    return _in_pool_worker
+
+
+def shared_pool(
+    workers: Optional[int] = None,
+    max_offset: int = 200,
+    fastpath: bool = True,
+) -> ProcessPoolExecutor:
+    """The process-wide executor, grown (never shrunk) to ``workers``.
+
+    The first caller's engine parameters seed the worker warm-up; later
+    callers with different parameters still work — ``default_engine`` is
+    an LRU per ``(max_offset, fastpath)`` — they just build that engine on
+    first use instead of at worker start.
+    """
+    global _pool, _pool_workers
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError("workers must be a positive integer or None")
+    if _pool is None or _pool_workers < workers:
+        if _pool is not None:
+            _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_warm_worker,
+            initargs=(max_offset, fastpath),
+        )
+        _pool_workers = workers
+    return _pool
+
+
+def shutdown_shared_pool() -> None:
+    """Tear the shared pool down (broken pool recovery, test isolation)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+T = TypeVar("T")
+
+
+def submission_order(
+    items: Sequence[T], cost: Callable[[T], float]
+) -> List[int]:
+    """Indices of *items* sorted largest-expected-cost-first.
+
+    Ties keep enumeration order, so equal-cost workloads submit exactly
+    as they enumerate and the schedule stays deterministic.  Callers
+    submit in this order but still gather results in enumeration order —
+    scheduling must never leak into merge order.
+    """
+    return sorted(range(len(items)), key=lambda i: (-cost(items[i]), i))

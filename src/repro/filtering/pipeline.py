@@ -126,6 +126,10 @@ class TwoStageFilter:
         self._excluded_ports = frozenset(excluded_ports)
         self._enabled = tuple(enabled_heuristics)
 
+    @property
+    def window(self) -> CallWindow:
+        return self._window
+
     def apply(self, records: Sequence[PacketRecord]) -> FilterResult:
         """Batch entry point: one pass of the online filter over *records*.
 
@@ -138,8 +142,19 @@ class TwoStageFilter:
             online.observe(record)
         return online.finalize()
 
-    def online(self, low_memory: bool = False) -> "OnlineTwoStageFilter":
-        """An incremental filter session with this pipeline's configuration."""
+    def online(
+        self,
+        low_memory: bool = False,
+        seed_outside: Iterable = (),
+        seed_precall: Iterable = (),
+    ) -> "OnlineTwoStageFilter":
+        """An incremental filter session with this pipeline's configuration.
+
+        ``seed_outside``/``seed_precall`` pre-load the capture-global state
+        of the window heuristics — the flow-sharded executor uses them so
+        a session that observes only one shard still decides like one that
+        saw the whole capture (see :mod:`repro.pipeline.sharded`).
+        """
         from repro.filtering.online import OnlineTwoStageFilter
 
         return OnlineTwoStageFilter(
@@ -148,6 +163,8 @@ class TwoStageFilter:
             excluded_ports=self._excluded_ports,
             enabled_heuristics=self._enabled,
             low_memory=low_memory,
+            seed_outside=seed_outside,
+            seed_precall=seed_precall,
         )
 
 

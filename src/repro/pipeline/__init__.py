@@ -13,24 +13,41 @@ from repro.core.checker import ComplianceChecker
 from repro.core.verdict import MessageVerdict
 from repro.dpi.engine import DpiEngine, DpiResult
 from repro.packets.packet import PacketRecord
-from repro.pipeline.stage import Pipeline, Stage, StageStats, merge_stage_stats
+from repro.pipeline.stage import (
+    DEFAULT_CHUNK_SIZE,
+    Pipeline,
+    Stage,
+    StageStats,
+    merge_stage_stats,
+)
 from repro.pipeline.stages import (
     CheckStage,
     DpiStage,
     FilterStage,
     ordered_verdicts,
 )
+from repro.pipeline.sharded import (
+    ShardedCellRun,
+    flow_shard,
+    run_cell_sharded,
+    run_streaming_sharded,
+)
 
 __all__ = [
     "CheckStage",
+    "DEFAULT_CHUNK_SIZE",
     "DpiStage",
     "FilterStage",
     "Pipeline",
+    "ShardedCellRun",
     "Stage",
     "StageStats",
+    "flow_shard",
     "merge_stage_stats",
     "ordered_verdicts",
+    "run_cell_sharded",
     "run_streaming",
+    "run_streaming_sharded",
 ]
 
 
@@ -38,6 +55,7 @@ def run_streaming(
     records: Iterable[PacketRecord],
     engine: DpiEngine,
     checker: ComplianceChecker,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> Tuple[DpiResult, List[MessageVerdict], List[StageStats]]:
     """Stream pre-filtered *records* through DPI and compliance checking.
 
@@ -45,9 +63,10 @@ def run_streaming(
     ``ComplianceChecker.check`` order, and the per-stage instrumentation.
     The conformance differ uses this as its streaming engine
     configuration: the outputs must be bit-identical to the batch path.
+    ``chunk_size=1`` reproduces the historical per-record dispatch.
     """
     dpi = DpiStage(engine)
     check = CheckStage(checker)
-    pipeline = Pipeline([dpi, check])
+    pipeline = Pipeline([dpi, check], chunk_size=chunk_size)
     indexed = pipeline.run(records)
     return dpi.result(), ordered_verdicts(indexed), pipeline.stats()

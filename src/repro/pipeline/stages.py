@@ -12,12 +12,13 @@ implementation those batch calls drive.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.checker import CheckerStream, ComplianceChecker
 from repro.core.verdict import MessageVerdict
 from repro.dpi.engine import DpiEngine, DpiResult, DpiStreamSession
 from repro.dpi.messages import DatagramAnalysis
+from repro.filtering.online import OnlineTwoStageFilter
 from repro.filtering.pipeline import FilterResult, TwoStageFilter
 from repro.packets.packet import PacketRecord
 from repro.pipeline.stage import Stage
@@ -37,13 +38,28 @@ class FilterStage(Stage):
 
     name = "filter"
 
-    def __init__(self, filter_: TwoStageFilter, low_memory: bool = False):
-        self._online = filter_.online(low_memory=low_memory)
+    def __init__(
+        self,
+        filter_: Optional[TwoStageFilter] = None,
+        low_memory: bool = False,
+        online: Optional["OnlineTwoStageFilter"] = None,
+    ):
+        if online is None:
+            if filter_ is None:
+                raise ValueError("FilterStage needs a filter_ or an online session")
+            online = filter_.online(low_memory=low_memory)
+        self._online = online
         self.result: Optional[FilterResult] = None
 
     def process(self, item: PacketRecord) -> Iterable[PacketRecord]:
         self._online.observe(item)
         return ()
+
+    def process_chunk(self, items: Sequence[PacketRecord]) -> List[PacketRecord]:
+        observe = self._online.observe
+        for item in items:
+            observe(item)
+        return []
 
     def flush(self) -> Iterable[PacketRecord]:
         self.result = self._online.finalize()
@@ -74,6 +90,12 @@ class DpiStage(Stage):
     def process(self, item: PacketRecord) -> Iterable[DatagramAnalysis]:
         self._session.feed(item)
         return ()
+
+    def process_chunk(self, items: Sequence[PacketRecord]) -> List[DatagramAnalysis]:
+        feed = self._session.feed
+        for item in items:
+            feed(item)
+        return []
 
     def flush(self) -> Iterable[DatagramAnalysis]:
         analyses = self._session.flush()
@@ -114,6 +136,13 @@ class CheckStage(Stage):
 
     def process(self, item: DatagramAnalysis) -> Iterable[IndexedVerdict]:
         return self._stream.feed(item.messages)
+
+    def process_chunk(self, items: Sequence[DatagramAnalysis]) -> List[IndexedVerdict]:
+        out: List[IndexedVerdict] = []
+        feed = self._stream.feed
+        for item in items:
+            out.extend(feed(item.messages))
+        return out
 
     def flush(self) -> Iterable[IndexedVerdict]:
         return self._stream.flush()

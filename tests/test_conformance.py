@@ -57,6 +57,7 @@ class TestDifferentialCheck:
             "cached",
             "fastpath-cached-shared",
             "streaming",
+            "sharded-streaming",
         } == set(corpus_report.engines)
 
 
