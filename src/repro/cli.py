@@ -63,6 +63,14 @@ def _add_sharding_flags(parser: argparse.ArgumentParser) -> None:
                              "(default: 256; 1 = per-record feeding)")
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dpi-backend", choices=("scalar", "columnar"),
+                        default="scalar",
+                        help="stage-one sweep implementation (columnar = "
+                             "vectorized batch scan over whole chunks; "
+                             "results are bit-identical)")
+
+
 def _network(value: str) -> NetworkCondition:
     try:
         return NetworkCondition(value)
@@ -84,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--duration", type=float, default=30.0)
     run_p.add_argument("--scale", type=float, default=0.5)
     run_p.add_argument("--seed", type=int, default=0)
+    _add_backend_flag(run_p)
 
     matrix_p = sub.add_parser("matrix", help="run the full experiment matrix")
     matrix_p.add_argument("--duration", type=float, default=30.0)
@@ -94,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes for matrix cells "
                                "(default: one per CPU core; 1 = serial)")
     _add_sharding_flags(matrix_p)
+    _add_backend_flag(matrix_p)
 
     synth_p = sub.add_parser("synthesize", help="write a synthetic call trace to pcap")
     synth_p.add_argument("--app", choices=APP_NAMES, required=True)
@@ -106,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     pcap_p = sub.add_parser("pcap", help="analyze an existing pcap capture")
     pcap_p.add_argument("path")
     pcap_p.add_argument("--max-offset", type=int, default=200)
+    _add_backend_flag(pcap_p)
 
     report_p = sub.add_parser("report", help="write a markdown compliance report")
     report_p.add_argument("--app", choices=APP_NAMES)
@@ -118,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes for the matrix report "
                                "(default: one per CPU core; 1 = serial)")
     _add_sharding_flags(report_p)
+    _add_backend_flag(report_p)
 
     dataset_p = sub.add_parser(
         "dataset", help="synthesize a pcap dataset with ground-truth manifest"
@@ -162,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.add_argument("--seed", type=int, default=0)
     stats_p.add_argument("--no-fastpath", action="store_true",
                          help="disable the flow-sticky fast path (sweep only)")
+    _add_backend_flag(stats_p)
 
     pstats_p = sub.add_parser(
         "pipeline-stats",
@@ -177,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     pstats_p.add_argument("--json", action="store_true",
                           help="emit machine-readable JSON instead of a table")
     _add_sharding_flags(pstats_p)
+    _add_backend_flag(pstats_p)
 
     conf_p = sub.add_parser(
         "conformance",
@@ -245,7 +259,8 @@ def _print_summary(summary: ComplianceSummary) -> None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
-        call_duration=args.duration, media_scale=args.scale, seed=args.seed
+        call_duration=args.duration, media_scale=args.scale, seed=args.seed,
+        dpi_backend=args.dpi_backend,
     )
     aggregate = run_experiment(args.app, args.network, config)
     _print_summary(aggregate.summary)
@@ -255,7 +270,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def _sharding_kwargs(args: argparse.Namespace) -> dict:
-    kwargs = {"shard_workers": args.shard_workers}
+    kwargs = {"shard_workers": args.shard_workers,
+              "dpi_backend": args.dpi_backend}
     if args.chunk_size is not None:
         kwargs["chunk_size"] = args.chunk_size
     return kwargs
@@ -316,7 +332,7 @@ def cmd_pcap(args: argparse.Namespace) -> int:
     if not records:
         print("no decodable packets found", file=sys.stderr)
         return 1
-    engine = DpiEngine(max_offset=args.max_offset)
+    engine = DpiEngine(max_offset=args.max_offset, backend=args.dpi_backend)
     result = engine.analyze_records(records)
     verdicts = ComplianceChecker().check(result.messages())
     summary = ComplianceSummary.from_verdicts(args.path, verdicts)
@@ -449,6 +465,7 @@ def cmd_dpi_stats(args: argparse.Namespace) -> int:
         media_scale=args.scale,
         seed=args.seed,
         fastpath=not args.no_fastpath,
+        dpi_backend=args.dpi_backend,
     )
     apps = [args.app] if args.app else list(APP_NAMES)
     networks = [args.network] if args.network else list(NetworkCondition)
@@ -469,12 +486,16 @@ def cmd_dpi_stats(args: argparse.Namespace) -> int:
 def cmd_pipeline_stats(args: argparse.Namespace) -> int:
     import json as json_module
 
+    from repro.experiments.scheduler import plan_shard_workers
     from repro.pipeline import merge_stage_stats
 
     config = ExperimentConfig(
         call_duration=args.duration, media_scale=args.scale, seed=args.seed,
         **_sharding_kwargs(args),
     )
+    # The same resolution the sharded executor applies per cell (shards ==
+    # workers == shard_workers), surfaced so a clamped request is visible.
+    shard_plan = plan_shard_workers(config.shard_workers, config.shard_workers)
     apps = [args.app] if args.app else list(APP_NAMES)
     networks = [args.network] if args.network else list(NetworkCondition)
     per_app = {}
@@ -493,7 +514,9 @@ def cmd_pipeline_stats(args: argparse.Namespace) -> int:
                 "media_scale": config.media_scale,
                 "seed": config.seed,
                 "shard_workers": config.shard_workers,
+                "shard_plan": shard_plan.as_dict(),
                 "chunk_size": config.chunk_size,
+                "dpi_backend": config.dpi_backend,
                 "apps": apps,
                 "networks": [n.value for n in networks],
             },
@@ -515,8 +538,8 @@ def cmd_pipeline_stats(args: argparse.Namespace) -> int:
                   f"{stat.records_out:>12} {stat.wall_seconds:>10.4f} "
                   f"{stat.peak_buffered:>14} {stat.chunks:>8}")
 
-    print(f"shard workers: {config.shard_workers}  "
-          f"chunk size: {config.chunk_size}")
+    print(f"shard workers: {config.shard_workers} ({shard_plan.describe()})  "
+          f"chunk size: {config.chunk_size}  dpi backend: {config.dpi_backend}")
     for app, stats in per_app.items():
         print(f"{app}:")
         print_rows(stats)

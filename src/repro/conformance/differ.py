@@ -72,12 +72,14 @@ class EngineSpec:
     shared: bool = False
     streaming: bool = False
     shards: int = 1
+    backend: str = "scalar"
 
     def build(self, max_offset: int) -> DpiEngine:
         return DpiEngine(
             max_offset=max_offset,
             cache_size=self.cache_size,
             fastpath=self.fastpath,
+            backend=self.backend,
         )
 
 
@@ -106,6 +108,9 @@ ENGINE_SPECS: Tuple[EngineSpec, ...] = (
         streaming=True,
         shards=2,
     ),
+    # Batch stage-one scanner under the same cacheless-sweep conditions as
+    # the reference spec, so its DpiStats are also held to exact equality.
+    EngineSpec("columnar", fastpath=False, cache_size=0, backend="columnar"),
 )
 
 
@@ -261,6 +266,7 @@ def check_corpus(
                         max_offset=config.max_offset,
                         cache_size=spec.cache_size,
                         fastpath=spec.fastpath,
+                        backend=spec.backend,
                     ),
                     shards=spec.shards,
                     workers=0,
@@ -275,7 +281,9 @@ def check_corpus(
                 dpi = engine.analyze_records(records)
                 verdicts = checker.check(dpi.messages())
             actual = build_facts(app, network, dpi, verdicts)
-            exact_stats = spec.name == "sweep" and not spec.shared
+            # Both cacheless sweep configurations — scalar reference and
+            # columnar — must reproduce the recorded counters exactly.
+            exact_stats = spec.name in ("sweep", "columnar") and not spec.shared
             for kind, detail in _compare_facts(golden, actual, exact_stats):
                 report.drifts.append(Drift(name, spec.name, kind, detail))
             for problem in dpi.stats.invariant_violations():

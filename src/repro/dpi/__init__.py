@@ -8,6 +8,11 @@ pairing, QUIC connection IDs) to kill false positives, then resolves byte
 ownership between overlapping candidates.
 """
 
+from repro.dpi.columnar import (
+    HAVE_NUMPY,
+    ColumnarScanner,
+    ColumnarStats,
+)
 from repro.dpi.engine import (
     DEFAULT_CACHE_SIZE,
     DEFAULT_MAX_OFFSET,
@@ -33,7 +38,10 @@ __all__ = [
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_MAX_OFFSET",
     "DEFAULT_SIGNATURE_K",
+    "HAVE_NUMPY",
     "CandidateCache",
+    "ColumnarScanner",
+    "ColumnarStats",
     "DpiEngine",
     "DpiResult",
     "DpiStats",

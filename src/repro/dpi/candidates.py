@@ -70,13 +70,15 @@ _QUIC_ANCHOR = re.compile(
 _RTP_FIELDS = struct.Struct("!HII")
 
 
-@dataclass
+@dataclass(slots=True)
 class Candidate:
     """A structurally plausible message found at some payload offset.
 
     RTP candidates defer full parsing (``message`` is None) because the scan
     may surface many of them per datagram; the cheap header fields needed
     for validation live in ``rtp_ssrc``/``rtp_seq``/``rtp_timestamp``.
+    ``slots=True`` because sweeps materialize these by the hundred
+    thousand; slot storage trims both construction time and footprint.
     """
 
     protocol: Protocol

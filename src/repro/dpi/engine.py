@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.dpi.candidates import MATCHERS, Candidate, rtp_candidates
+from repro.dpi.columnar import ColumnarScanner, ColumnarStats
 from repro.dpi.fastpath import (
     DEFAULT_SIGNATURE_K,
     SignatureLearner,
@@ -37,6 +38,11 @@ DEFAULT_MAX_OFFSET = 200
 #: dominated by repeated keepalive/probe datagrams (STUN binding requests,
 #: RTCP receiver reports), so a modest LRU collapses their stage-one scans.
 DEFAULT_CACHE_SIZE = 4096
+
+#: Columnar look-ahead while a fast-path learner is still unlocked: large
+#: enough to batch the pre-lock sweeps, small enough that the scans wasted
+#: when the lock lands stay negligible.
+_PRELOCK_LOOKAHEAD = 32
 
 #: An RTP SSRC group must show this many packets with continuous sequence
 #: numbers before its candidates are believed.
@@ -78,6 +84,26 @@ class CandidateCache:
             payload, digest_size=16
         ).digest()
 
+    @staticmethod
+    def digest_many(payloads: Sequence[bytes]) -> List[bytes]:
+        """Cache keys for a whole batch of payloads in one pass.
+
+        The columnar path keys each stream's payloads exactly once and
+        then uses the keyed accessors below, instead of digesting every
+        payload twice (once in ``get``, again in ``put``).
+        """
+        blake2b = hashlib.blake2b
+        return [
+            len(payload).to_bytes(4, "big")
+            + blake2b(payload, digest_size=16).digest()
+            for payload in payloads
+        ]
+
+    def contains_key(self, key: bytes) -> bool:
+        """Presence probe that counts nothing and touches no LRU order —
+        a scheduling heuristic, not a lookup."""
+        return key in self._store
+
     def __len__(self) -> int:
         return len(self._store)
 
@@ -91,7 +117,11 @@ class CandidateCache:
         return self.hits / total if total else 0.0
 
     def get(self, payload: bytes) -> Optional[List[Candidate]]:
-        key = self._key(payload)
+        return self.get_keyed(self._key(payload))
+
+    def get_keyed(self, key: bytes) -> Optional[List[Candidate]]:
+        """``get`` for a pre-computed key: identical hit/miss and LRU
+        semantics, no digest."""
         cached = self._store.get(key)
         if cached is None:
             self.misses += 1
@@ -103,11 +133,33 @@ class CandidateCache:
     def put(self, payload: bytes, candidates: Sequence[Candidate]) -> None:
         if self._maxsize == 0:
             return
-        key = self._key(payload)
+        self.put_keyed(self._key(payload), candidates)
+
+    def put_keyed(self, key: bytes, candidates: Sequence[Candidate]) -> None:
+        if self._maxsize == 0:
+            return
         self._store[key] = tuple(copy.copy(c) for c in candidates)
         self._store.move_to_end(key)
         while len(self._store) > self._maxsize:
             self._store.popitem(last=False)
+
+    def get_many(
+        self, payloads: Sequence[bytes]
+    ) -> Tuple[List[bytes], List[Optional[List[Candidate]]]]:
+        """Digest-once batch lookup: the keys plus per-payload results,
+        counting hits/misses exactly as sequential ``get`` calls would."""
+        keys = self.digest_many(payloads)
+        return keys, [self.get_keyed(key) for key in keys]
+
+    def put_many(
+        self, entries: Iterable[Tuple[bytes, Sequence[Candidate]]]
+    ) -> None:
+        """Store ``(key, candidates)`` pairs in order (later wins), with
+        the same eviction behaviour as sequential ``put`` calls."""
+        if self._maxsize == 0:
+            return
+        for key, candidates in entries:
+            self.put_keyed(key, candidates)
 
 
 @dataclass
@@ -295,11 +347,14 @@ class DpiEngine:
         cache_size: int = DEFAULT_CACHE_SIZE,
         fastpath: bool = True,
         fastpath_k: int = DEFAULT_SIGNATURE_K,
+        backend: str = "scalar",
     ):
         if max_offset < 0:
             raise ValueError("max_offset must be non-negative")
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
+        if backend not in ("scalar", "columnar"):
+            raise ValueError(f"unknown DPI backend: {backend!r}")
         self._max_offset = max_offset
         self._protocols = tuple(protocols)
         self._cache = CandidateCache(cache_size) if cache_size else None
@@ -307,11 +362,26 @@ class DpiEngine:
         # protocol set there is nothing to learn.
         self._fastpath = bool(fastpath) and Protocol.RTP in self._protocols
         self._fastpath_k = fastpath_k
+        self._backend = backend
+        self._columnar = (
+            ColumnarScanner(max_offset, self._protocols)
+            if backend == "columnar"
+            else None
+        )
         self.stats = DpiStats()
 
     @property
     def max_offset(self) -> int:
         return self._max_offset
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def columnar_stats(self) -> Optional[ColumnarStats]:
+        """Batch-scanner counters, or None on the scalar backend."""
+        return self._columnar.stats if self._columnar is not None else None
 
     @property
     def fastpath_enabled(self) -> bool:
@@ -399,10 +469,13 @@ class DpiEngine:
             # signature was wrong in a way the per-datagram checks could not
             # see, so redo the whole stream with unconditional sweeps.
             self.stats.fastpath_redos += 1
-            per_datagram = [
-                (record, self._resweep(record.payload))
-                for record in stream.packets
-            ]
+            if self._columnar is not None:
+                per_datagram = self._resweep_stream(stream)
+            else:
+                per_datagram = [
+                    (record, self._resweep(record.payload))
+                    for record in stream.packets
+                ]
             accepted, rtp_scores = self._validate_stream(per_datagram)
 
         analyses: List[DatagramAnalysis] = []
@@ -426,6 +499,8 @@ class DpiEngine:
         hit, its index and the ``(offset, SSRC, end)`` spans it predicted —
         stage two uses those to confirm the predictions after validation.
         """
+        if self._columnar is not None:
+            return self._extract_stream_columnar(stream)
         stats = self.stats
         learner = (
             SignatureLearner(self._fastpath_k) if self._fastpath else None
@@ -469,14 +544,105 @@ class DpiEngine:
             per_datagram.append((record, candidates))
         return per_datagram, predicted
 
+    def _extract_stream_columnar(
+        self, stream: Stream
+    ) -> Tuple[
+        List[Tuple[PacketRecord, List[Candidate]]],
+        List[Tuple[int, Tuple[Tuple[int, int, int], ...]]],
+    ]:
+        """``_extract_stream`` with sweeps served by the batch scanner.
+
+        The per-record control flow (cache probe, fast-path probe, stats
+        accounting) is kept byte-for-byte: only the *source* of a sweep's
+        candidate list changes, and the batch scan is pure in the payload,
+        so computing it ahead of time cannot alter any observable state.
+        Payloads are keyed once up front (``digest_many``) and the keyed
+        cache accessors replace the digesting ones.
+        """
+        stats = self.stats
+        learner = (
+            SignatureLearner(self._fastpath_k) if self._fastpath else None
+        )
+        cache = self._cache
+        payloads = [record.payload for record in stream.packets]
+        keys = (
+            CandidateCache.digest_many(payloads) if cache is not None else None
+        )
+        sweeper = _StreamSweeper(self, payloads, keys)
+        per_datagram: List[Tuple[PacketRecord, List[Candidate]]] = []
+        predicted: List[Tuple[int, Tuple[Tuple[int, int, int], ...]]] = []
+        for index, record in enumerate(stream.packets):
+            payload = record.payload
+            stats.datagrams += 1
+            if cache is not None:
+                cached = cache.get_keyed(keys[index])
+                if cached is not None:
+                    stats.cache_hits += 1
+                    if learner is not None:
+                        learner.observe(cached)
+                    per_datagram.append((record, cached))
+                    continue
+                stats.cache_misses += 1
+            locked = False
+            if learner is not None and learner.locked:
+                locked = True
+                candidates = self._extract_predicted(payload, learner)
+                if candidates is not None:
+                    stats.fastpath_hits += 1
+                    learner.record_hit()
+                    spans = tuple(
+                        (c.offset, c.rtp_ssrc, c.end)
+                        for c in candidates
+                        if c.protocol is Protocol.RTP
+                    )
+                    predicted.append((len(per_datagram), spans))
+                    if cache is not None:
+                        cache.put_keyed(keys[index], candidates)
+                    per_datagram.append((record, candidates))
+                    continue
+                stats.fastpath_fallbacks += 1
+                learner.record_miss()
+            self._count_sweep()
+            if locked:
+                # Post-lock sweeps are rare fallbacks; look-ahead would
+                # scan payloads the fast path will serve.
+                budget = 1
+            elif learner is not None:
+                # The learner usually locks within ~k datagrams, so a full
+                # chunk of look-ahead would mostly be wasted.
+                budget = _PRELOCK_LOOKAHEAD
+            else:
+                budget = self._columnar.batch_size
+            candidates = sweeper.sweep(index, budget)
+            if learner is not None:
+                learner.observe(candidates)
+            if cache is not None:
+                cache.put_keyed(keys[index], candidates)
+            per_datagram.append((record, candidates))
+        return per_datagram, predicted
+
     def _sweep(self, payload: bytes) -> List[Candidate]:
         """Full stage-one scan: every matcher over offsets 0..k."""
+        self._count_sweep()
+        return self._scan(payload)
+
+    def _count_sweep(self) -> None:
+        """Account one full sweep, however its scan is computed.
+
+        The columnar backend counts exactly like the scalar one — a gated
+        matcher was still logically invoked — so ``DpiStats`` stays
+        bit-identical across backends.
+        """
         stats = self.stats
         stats.sweeps += 1
         calls = stats.matcher_calls
-        candidates: List[Candidate] = []
         for protocol in self._protocols:
             calls[protocol.value] = calls.get(protocol.value, 0) + 1
+
+    def _scan(self, payload: bytes) -> List[Candidate]:
+        """The sweep's pure scan: every matcher, merged and stable-sorted."""
+        candidates: List[Candidate] = []
+        for protocol in self._protocols:
             candidates.extend(MATCHERS[protocol](payload, self._max_offset))
         candidates.sort(key=lambda c: (c.offset, -c.length))
         return candidates
@@ -493,6 +659,36 @@ class DpiEngine:
         if self._cache is not None:
             self._cache.put(payload, candidates)
         return candidates
+
+    def _resweep_stream(
+        self, stream: Stream
+    ) -> List[Tuple[PacketRecord, List[Candidate]]]:
+        """Batched redo: unconditional sweeps for a whole stream.
+
+        Like ``_resweep`` this must not read the cache (the first pass
+        cached the fast path's possibly-wrong lists) but does write the
+        fresh results back over them, in record order.
+        """
+        scanner = self._columnar
+        payloads = [record.payload for record in stream.packets]
+        keys = (
+            CandidateCache.digest_many(payloads)
+            if self._cache is not None
+            else None
+        )
+        out: List[Tuple[PacketRecord, List[Candidate]]] = []
+        for base in range(0, len(payloads), scanner.batch_size):
+            results = scanner.scan_batch(payloads[base:base + scanner.batch_size])
+            for step, scanned in enumerate(results):
+                index = base + step
+                self._count_sweep()
+                candidates = (
+                    scanned if scanned is not None else self._scan(payloads[index])
+                )
+                if self._cache is not None:
+                    self._cache.put_keyed(keys[index], candidates)
+                out.append((stream.packets[index], candidates))
+        return out
 
     def _extract_predicted(
         self, payload: bytes, learner: SignatureLearner
@@ -789,6 +985,75 @@ def _overlaps(a: Candidate, b: Candidate) -> bool:
     return a.offset < b.end and b.offset < a.end
 
 
+class _StreamSweeper:
+    """Serves one stream's sweeps from look-ahead columnar batches.
+
+    When a sweep is requested for record *i*, the sweeper batch-scans *i*
+    together with upcoming payloads likely to need a sweep themselves —
+    skipping those whose key is already cached (they will almost surely
+    hit).  The skip is only a scheduling heuristic: a wrong guess just
+    means a payload is scanned in a later batch (or scanned and never
+    consumed), never a behaviour change, because the scan is pure and all
+    stats/cache accounting happens at consumption time in the caller.
+
+    Once the fast-path learner locks, sweeps become rare fallbacks, so
+    look-ahead would mostly scan payloads the fast path will serve;
+    the sweeper then scans just the requested payload.
+    """
+
+    __slots__ = ("_engine", "_payloads", "_keys", "_ready", "_cursor")
+
+    def __init__(
+        self,
+        engine: DpiEngine,
+        payloads: Sequence[bytes],
+        keys: Optional[Sequence[bytes]],
+    ):
+        self._engine = engine
+        self._payloads = payloads
+        self._keys = keys
+        self._ready: Dict[int, List[Candidate]] = {}
+        self._cursor = 0
+
+    def sweep(self, index: int, budget: int) -> List[Candidate]:
+        candidates = self._ready.pop(index, None)
+        if candidates is not None:
+            return candidates
+        self._fill(index, budget)
+        candidates = self._ready.pop(index, None)
+        if candidates is None:
+            # The batch scanner flagged this payload as irregular.
+            candidates = self._engine._scan(self._payloads[index])
+        return candidates
+
+    def _fill(self, index: int, budget: int) -> None:
+        if self._ready:
+            # Entries behind the current record were pre-scanned but then
+            # served by the cache or fast path; they can never be consumed.
+            for stale in [i for i in self._ready if i < index]:
+                del self._ready[stale]
+        take = [index]
+        cache = self._engine._cache
+        keys = self._keys
+        total = len(self._payloads)
+        cursor = max(self._cursor, index + 1)
+        while len(take) < budget and cursor < total:
+            if (
+                cache is None
+                or keys is None
+                or not cache.contains_key(keys[cursor])
+            ):
+                take.append(cursor)
+            cursor += 1
+        self._cursor = cursor
+        results = self._engine._columnar.scan_batch(
+            [self._payloads[i] for i in take]
+        )
+        for i, scanned in zip(take, results):
+            if scanned is not None:
+                self._ready[i] = scanned
+
+
 class DpiStreamSession:
     """Incremental DPI over an interleaved record feed.
 
@@ -842,6 +1107,17 @@ class DpiStreamSession:
             stream = Stream(key=key)
             self._streams[key] = stream
         stream.add(record)
+
+    def feed_many(self, records: Iterable[PacketRecord]) -> None:
+        """Feed a whole chunk of records (the pipeline's unit of work).
+
+        Grouping is per-record either way; the batch win comes at analysis
+        time, when each completed stream's sweeps run through the columnar
+        scanner in chunk-sized batches.
+        """
+        feed = self.feed
+        for record in records:
+            feed(record)
 
     def finish_stream(self, key: FlowKey) -> List[DatagramAnalysis]:
         """Analyze one stream now and release its buffered payloads.

@@ -15,6 +15,8 @@ from repro.experiments.parallel import (
     run_matrix_parallel,
 )
 from repro.experiments.scheduler import (
+    ShardPlan,
+    plan_shard_workers,
     shared_pool,
     shutdown_shared_pool,
     submission_order,
@@ -24,10 +26,12 @@ __all__ = [
     "ExperimentAggregate",
     "ExperimentConfig",
     "MatrixResult",
+    "ShardPlan",
     "default_checker",
     "default_engine",
     "expected_cell_cost",
     "matrix_cells",
+    "plan_shard_workers",
     "run_experiment",
     "run_matrix",
     "run_matrix_parallel",

@@ -38,13 +38,15 @@ MAX_EXAMPLE_VIOLATIONS = 3
 
 
 @lru_cache(maxsize=8)
-def default_engine(max_offset: int, fastpath: bool = True) -> DpiEngine:
-    """Process-wide ``DpiEngine`` per ``(max_offset, fastpath)``.
+def default_engine(
+    max_offset: int, fastpath: bool = True, backend: str = "scalar"
+) -> DpiEngine:
+    """Process-wide ``DpiEngine`` per ``(max_offset, fastpath, backend)``.
 
     Reusing one engine across cells keeps its payload-dedup cache warm, so
     repeated keepalive/probe datagrams are only scanned once per process.
     """
-    return DpiEngine(max_offset=max_offset, fastpath=fastpath)
+    return DpiEngine(max_offset=max_offset, fastpath=fastpath, backend=backend)
 
 
 @lru_cache(maxsize=1)
@@ -62,6 +64,8 @@ class ExperimentConfig:
     results are bit-identical to ``shard_workers=1`` by construction.
     ``chunk_size`` bounds the record batches the pipeline hands each
     stage per dispatch (``1`` = historical per-record feeding).
+    ``dpi_backend`` selects the stage-one sweep implementation
+    (``"scalar"`` or ``"columnar"``); outputs are bit-identical.
     """
 
     call_duration: float = 30.0
@@ -73,6 +77,7 @@ class ExperimentConfig:
     fastpath: bool = True
     shard_workers: int = 1
     chunk_size: int = DEFAULT_CHUNK_SIZE
+    dpi_backend: str = "scalar"
 
 
 @dataclass
@@ -269,7 +274,10 @@ def run_cell_pipeline(
             list(simulator.iter_records(call_config)),
             TwoStageFilter(call_config.window()),
             engine_factory=partial(
-                DpiEngine, max_offset=config.max_offset, fastpath=config.fastpath
+                DpiEngine,
+                max_offset=config.max_offset,
+                fastpath=config.fastpath,
+                backend=config.dpi_backend,
             ),
             shards=shard_workers,
             chunk_size=chunk_size,
@@ -284,7 +292,11 @@ def run_cell_pipeline(
             stage_stats={stat.name: stat for stat in sharded.stage_stats},
         )
     if engine is None:
-        engine = DpiEngine(max_offset=config.max_offset, fastpath=config.fastpath)
+        engine = DpiEngine(
+            max_offset=config.max_offset,
+            fastpath=config.fastpath,
+            backend=config.dpi_backend,
+        )
     if checker is None:
         checker = ComplianceChecker()
     filter_stage = FilterStage(TwoStageFilter(call_config.window()))
@@ -322,7 +334,9 @@ def run_experiment(
             network,
             config,
             call_index,
-            engine=default_engine(config.max_offset, config.fastpath),
+            engine=default_engine(
+                config.max_offset, config.fastpath, config.dpi_backend
+            ),
             checker=default_checker(),
         )
     filter_result = run.filter_result

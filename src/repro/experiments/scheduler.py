@@ -28,6 +28,7 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 #: Environment-caused pool failures that mean "run in-process instead".
@@ -96,6 +97,68 @@ def shutdown_shared_pool() -> None:
         _pool.shutdown(wait=False, cancel_futures=True)
         _pool = None
         _pool_workers = 0
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The resolved worker count for a sharded run, plus why.
+
+    ``effective`` is what actually runs: the requested count (or the CPU
+    count when unspecified), capped by the task count and by the CPU
+    count.  The CPU cap exists because process-parallel sharding *loses*
+    throughput once workers exceed cores — the PR 5 bench measured a
+    4-shard run at 0.087x on a 1-CPU box — so oversubscription is a cliff,
+    not a tradeoff.  ``in_process`` means no pool is used at all
+    (``effective <= 1``); results are bit-identical either way.
+    """
+
+    requested: Optional[int]
+    effective: int
+    cpu_count: int
+    clamped: bool
+    in_process: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "requested": self.requested,
+            "effective": self.effective,
+            "cpu_count": self.cpu_count,
+            "clamped": self.clamped,
+            "in_process": self.in_process,
+        }
+
+    def describe(self) -> str:
+        """One-line human rendering for CLI output."""
+        mode = "in-process" if self.in_process else f"{self.effective} workers"
+        note = f" (clamped to {self.cpu_count} cpu)" if self.clamped else ""
+        return f"{mode}{note}"
+
+
+def plan_shard_workers(
+    requested: Optional[int], tasks: int, cpu_count: Optional[int] = None
+) -> ShardPlan:
+    """Resolve a shard worker request against the machine and task count.
+
+    ``requested=None`` auto-sizes to the CPU count; ``0``/``1`` force
+    in-process execution.  Anything larger is capped at the task count
+    (idle workers are pointless) and then clamped to the CPU count (see
+    :class:`ShardPlan`).  ``cpu_count`` is injectable for tests.
+    """
+    if requested is not None and requested < 0:
+        raise ValueError("workers must be >= 0 or None")
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if cpus < 1:
+        raise ValueError("cpu_count must be positive")
+    want = cpus if requested is None else requested
+    capped = min(want, tasks)
+    effective = min(capped, cpus)
+    return ShardPlan(
+        requested=requested,
+        effective=effective,
+        cpu_count=cpus,
+        clamped=effective < capped,
+        in_process=effective <= 1,
+    )
 
 
 T = TypeVar("T")

@@ -240,14 +240,15 @@ def _partition(
 
 
 def _resolve_workers(workers: Optional[int], tasks: int) -> int:
-    """Worker processes to use: 0/1 means in-process, ``None`` auto-sizes."""
-    import os
+    """Worker processes to use: 0/1 means in-process, ``None`` auto-sizes.
 
-    if workers is None:
-        workers = os.cpu_count() or 1
-    if workers < 0:
-        raise ValueError("workers must be >= 0 or None")
-    return min(workers, tasks)
+    Delegates to :func:`repro.experiments.scheduler.plan_shard_workers`,
+    which additionally clamps to the CPU count — oversubscribed shard
+    pools are a measured throughput cliff, not a tradeoff.
+    """
+    from repro.experiments.scheduler import plan_shard_workers
+
+    return plan_shard_workers(workers, tasks).effective
 
 
 def _execute_tasks(

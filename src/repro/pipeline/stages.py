@@ -92,9 +92,7 @@ class DpiStage(Stage):
         return ()
 
     def process_chunk(self, items: Sequence[PacketRecord]) -> List[DatagramAnalysis]:
-        feed = self._session.feed
-        for item in items:
-            feed(item)
+        self._session.feed_many(items)
         return []
 
     def flush(self) -> Iterable[DatagramAnalysis]:

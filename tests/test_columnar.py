@@ -1,0 +1,273 @@
+"""Columnar batch DPI backend: bit-exact parity with the scalar sweep.
+
+The columnar scanner's whole contract is that its candidate lists are
+bit-identical to the scalar matchers for every payload — golden traffic,
+adversarial edge cases, any batch split — on both the numpy and the
+pure-Python path.  These tests pin that contract, plus the pieces riding
+along: engine-level backend parity (verdicts *and* DpiStats), the
+digest-once CandidateCache batch API, and the CLI flag.
+"""
+
+from functools import partial
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps import CallConfig, NetworkCondition, get_simulator
+from repro.dpi import HAVE_NUMPY, ColumnarScanner, DpiEngine
+from repro.dpi.engine import CandidateCache
+from repro.dpi.messages import Protocol
+from repro.filtering import TwoStageFilter
+
+#: Both scanner paths where available; numpy-less installs still run the
+#: mandatory pure-Python path.
+MODES = [False] + ([True] if HAVE_NUMPY else [])
+MODE_IDS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+
+#: Bytes that start (or sit inside) real anchors: RTP/RTCP version bytes,
+#: RTCP packet types, the STUN magic cookie, QUIC long/short first bytes.
+_ANCHOR_ALPHABET = (
+    b"\x80\x81\x90\xb5\xc8\xc9\xca\xcb\xcc\xcd"
+    b"\x21\x12\xa4\x42\x40\x4f\x42\xc0\xff\x00\x01\x02"
+)
+
+_payloads = st.one_of(
+    st.binary(max_size=8),  # empty / 1-byte / truncated headers
+    st.binary(max_size=240),
+    # anchor-byte spam: every position looks like a match start
+    st.integers(min_value=0, max_value=200).flatmap(
+        lambda n: st.lists(
+            st.sampled_from(_ANCHOR_ALPHABET), min_size=n, max_size=n
+        ).map(bytes)
+    ),
+    # a STUN cookie planted at an arbitrary depth
+    st.tuples(st.binary(max_size=48), st.binary(max_size=48)).map(
+        lambda t: t[0] + b"\x21\x12\xa4\x42" + t[1]
+    ),
+)
+
+
+@pytest.fixture(scope="module", params=MODES, ids=MODE_IDS)
+def scanner(request):
+    return ColumnarScanner(max_offset=200, use_numpy=request.param)
+
+
+@pytest.fixture(scope="module")
+def kept_records():
+    trace = get_simulator("zoom").simulate(
+        CallConfig(network=NetworkCondition.WIFI_RELAY, seed=1,
+                   call_duration=6.0, media_scale=0.3)
+    )
+    return TwoStageFilter(trace.window).apply(trace.records).kept_records
+
+
+class TestScannerParity:
+    @given(batch=st.lists(_payloads, max_size=24))
+    def test_scan_batch_matches_scalar(self, scanner, batch):
+        results = scanner.scan_batch(batch)
+        assert len(results) == len(batch)
+        for payload, got in zip(batch, results):
+            assert got == scanner.scan_payload(payload)
+
+    @given(batch=st.lists(_payloads, min_size=1, max_size=16),
+           split=st.integers(min_value=0, max_value=16))
+    def test_batch_split_invariance(self, scanner, batch, split):
+        split = min(split, len(batch))
+        whole = scanner.scan_batch(batch)
+        parts = scanner.scan_batch(batch[:split]) + scanner.scan_batch(
+            batch[split:]
+        )
+        assert whole == parts
+
+    def test_edge_payloads(self, scanner):
+        cookie = b"\x21\x12\xa4\x42"
+        edges = [
+            b"",
+            b"\x80",
+            b"\x80" * 300,            # RTP anchor spam past max_offset
+            b"\xc8" * 300,            # RTCP anchor spam
+            b"\x40" * 30,             # QUIC short-header / ChannelData range
+            cookie,                   # cookie with no room for a header
+            b"\x00" * 4 + cookie,     # cookie exactly at the modern anchor
+            b"\x00" * 204 + cookie + b"\x00" * 40,  # cookie past max_offset
+            b"\x00\x01\x00\x00" + cookie + b"\x00" * 12,  # classic+modern
+            b"\x80\xc8\x00\x01" + b"\x00" * 8,  # RTCP inside an RTP start
+            bytes(range(256)),
+        ]
+        # One batch: exercises the vector path's shared anchor pass.
+        for got, payload in zip(scanner.scan_batch(edges), edges):
+            assert got == scanner.scan_payload(payload)
+
+    def test_seam_artifacts_filtered(self, scanner):
+        # The joined buffer contains a cookie and a QUIC anchor straddling
+        # the seam between the two payloads; neither may produce a flag.
+        left = b"\x00" * 8 + b"\x21\x12"
+        right = b"\xa4\x42" + b"\x00" * 8
+        results = scanner.scan_batch([left, right])
+        assert results[0] == scanner.scan_payload(left)
+        assert results[1] == scanner.scan_payload(right)
+
+    def test_non_bytes_payload_falls_back(self, scanner):
+        before = scanner.stats.fallbacks
+        results = scanner.scan_batch([b"\x80" * 16, memoryview(b"\x80" * 16)])
+        assert results[0] == scanner.scan_payload(b"\x80" * 16)
+        assert results[1] is None
+        assert scanner.stats.fallbacks == before + 1
+        assert scanner.stats.fallback_rate > 0.0
+
+    def test_protocol_subset_and_order(self):
+        # A scanner restricted to a protocol subset (and a non-default
+        # order) must still match its own scalar oracle.
+        payload = b"\x00\x01\x00\x00\x21\x12\xa4\x42" + b"\x00" * 12
+        for protocols in (
+            (Protocol.RTP,),
+            (Protocol.QUIC, Protocol.RTP),
+            (Protocol.RTCP, Protocol.STUN_TURN),
+        ):
+            for mode in MODES:
+                scanner = ColumnarScanner(
+                    200, protocols=protocols, use_numpy=mode
+                )
+                batch = [payload, b"\x80" * 40, b"", b"\xc8\x00\x00\x01"]
+                for got, p in zip(scanner.scan_batch(batch), batch):
+                    assert got == scanner.scan_payload(p)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ColumnarScanner(-1)
+        with pytest.raises(ValueError):
+            ColumnarScanner(200, batch_size=0)
+        if not HAVE_NUMPY:
+            with pytest.raises(RuntimeError):
+                ColumnarScanner(200, use_numpy=True)
+
+    def test_stats_counters(self, scanner):
+        fresh = ColumnarScanner(200, use_numpy=scanner.vectorized)
+        fresh.scan_batch([b"\x80" * 16] * 8)
+        fresh.scan_batch([])
+        assert fresh.stats.batches == 2
+        assert fresh.stats.payloads == 8
+        assert fresh.stats.fallbacks == 0
+        merged = ColumnarScanner(200).stats
+        merged.merge(fresh.stats)
+        assert merged.batches == 2 and merged.payloads == 8
+        assert set(fresh.stats.as_dict()) == {
+            "batches", "payloads", "fallbacks", "vector_errors",
+            "fallback_rate",
+        }
+
+
+class TestEngineBackendParity:
+    @pytest.mark.parametrize("fastpath", [False, True])
+    @pytest.mark.parametrize("cache_size", [0, 4096])
+    def test_backend_bit_identical(self, kept_records, fastpath, cache_size):
+        scalar = DpiEngine(fastpath=fastpath, cache_size=cache_size)
+        columnar = DpiEngine(
+            fastpath=fastpath, cache_size=cache_size, backend="columnar"
+        )
+        a = scalar.analyze_records(kept_records)
+        b = columnar.analyze_records(kept_records)
+        assert a.analyses == b.analyses
+        # DpiStats — sweeps, matcher calls, cache and fast-path counters —
+        # must match exactly, not just the verdicts.
+        assert a.stats.as_dict() == b.stats.as_dict()
+        assert columnar.columnar_stats.fallbacks == 0
+
+    def test_streaming_session_parity(self, kept_records):
+        scalar = DpiEngine()
+        columnar = DpiEngine(backend="columnar")
+        batch = scalar.analyze_records(kept_records)
+        session = columnar.stream_session()
+        session.feed_many(kept_records)
+        streamed = session.result()
+        assert batch.analyses == streamed.analyses
+        assert batch.stats.as_dict() == streamed.stats.as_dict()
+
+    def test_backend_property_and_validation(self):
+        assert DpiEngine().backend == "scalar"
+        assert DpiEngine().columnar_stats is None
+        engine = DpiEngine(backend="columnar")
+        assert engine.backend == "columnar"
+        assert engine.columnar_stats is not None
+        with pytest.raises(ValueError):
+            DpiEngine(backend="simd")
+
+
+class TestCandidateCacheBatchApi:
+    def test_digest_many_matches_scalar_key(self):
+        payloads = [b"", b"a", b"\x80" * 40, b"a"]
+        assert CandidateCache.digest_many(payloads) == [
+            CandidateCache._key(p) for p in payloads
+        ]
+
+    def test_batch_api_equivalent_to_scalar(self):
+        # Same op sequence through the payload API and the keyed batch
+        # API: identical hits, misses, contents, and eviction order.
+        scanner = ColumnarScanner(200, use_numpy=False)
+        payloads = [bytes([i]) * (i + 1) for i in range(6)]
+        ops = payloads + payloads[:3] + payloads[4:] + [b"\x80" * 20]
+        a = CandidateCache(maxsize=4)
+        b = CandidateCache(maxsize=4)
+        for payload in ops:
+            got_a = a.get(payload)
+            if got_a is None:
+                a.put(payload, scanner.scan_payload(payload))
+        keys, results = b.get_many(ops)
+        misses = [
+            (key, scanner.scan_payload(payload))
+            for key, payload, got in zip(keys, ops, results)
+            if got is None
+        ]
+        b.put_many(misses)
+        assert (a.hits, a.misses) == (b.hits, b.misses)
+        assert list(a._store) == list(b._store)
+
+    def test_get_many_hits_within_one_batch_after_put(self):
+        cache = CandidateCache(maxsize=8)
+        payload = b"\x80" * 16
+        keys, results = cache.get_many([payload, payload])
+        assert results == [None, None]
+        assert keys[0] == keys[1]
+        cache.put_many([(keys[0], [])])
+        _, results = cache.get_many([payload])
+        assert results == [[]]
+
+    def test_contains_key_is_pure(self):
+        cache = CandidateCache(maxsize=2)
+        key_a, key_b = CandidateCache.digest_many([b"a", b"b"])
+        cache.put_keyed(key_a, [])
+        cache.put_keyed(key_b, [])
+        hits, misses = cache.hits, cache.misses
+        assert cache.contains_key(key_a)
+        assert not cache.contains_key(b"\x00" * 20)
+        # No counter moved and no LRU touch: "a" is still the eviction
+        # victim even though it was just probed.
+        assert (cache.hits, cache.misses) == (hits, misses)
+        cache.put_keyed(CandidateCache._key(b"c"), [])
+        assert not cache.contains_key(key_a)
+        assert cache.contains_key(key_b)
+
+    def test_zero_capacity_put_many_is_noop(self):
+        cache = CandidateCache(maxsize=0)
+        cache.put_many([(CandidateCache._key(b"a"), [])])
+        assert not cache.contains_key(CandidateCache._key(b"a"))
+
+
+class TestCliBackendFlag:
+    def test_backend_flag_parses(self):
+        from repro.cli import build_parser
+
+        for command in ("run --app zoom", "matrix", "report",
+                        "dpi-stats", "pipeline-stats", "pcap x.pcap"):
+            argv = command.split()
+            args = build_parser().parse_args(argv + ["--dpi-backend",
+                                                     "columnar"])
+            assert args.dpi_backend == "columnar"
+            assert build_parser().parse_args(argv).dpi_backend == "scalar"
+
+    def test_backend_flag_rejects_unknown(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["matrix", "--dpi-backend", "simd"])

@@ -58,6 +58,7 @@ class TestDifferentialCheck:
             "fastpath-cached-shared",
             "streaming",
             "sharded-streaming",
+            "columnar",
         } == set(corpus_report.engines)
 
 

@@ -17,6 +17,7 @@ from repro.dpi import DpiEngine
 from repro.experiments import (
     ExperimentConfig,
     expected_cell_cost,
+    plan_shard_workers,
     submission_order,
 )
 from repro.experiments.runner import run_cell_pipeline
@@ -258,6 +259,64 @@ class TestScheduler:
 
         with pytest.raises(ValueError):
             shared_pool(0)
+
+
+class TestShardPlan:
+    def test_auto_sizes_to_cpu_count(self):
+        plan = plan_shard_workers(None, tasks=8, cpu_count=4)
+        assert plan.effective == 4
+        assert not plan.clamped and not plan.in_process
+
+    def test_clamps_to_cpu_count(self):
+        # The sharding cliff: 4 requested workers on a 1-CPU box must
+        # degrade to in-process execution, not oversubscribe.
+        plan = plan_shard_workers(4, tasks=4, cpu_count=1)
+        assert plan.effective == 1
+        assert plan.clamped and plan.in_process
+        assert "clamped to 1 cpu" in plan.describe()
+        assert plan.describe().startswith("in-process")
+
+    def test_caps_at_task_count_without_clamp_flag(self):
+        plan = plan_shard_workers(8, tasks=2, cpu_count=16)
+        assert plan.effective == 2
+        assert not plan.clamped
+        assert plan.describe() == "2 workers"
+
+    def test_zero_and_one_force_in_process(self):
+        for requested in (0, 1):
+            plan = plan_shard_workers(requested, tasks=8, cpu_count=8)
+            assert plan.in_process
+            assert plan.effective == requested
+
+    def test_as_dict_round_trips_the_decision(self):
+        plan = plan_shard_workers(4, tasks=4, cpu_count=2)
+        assert plan.as_dict() == {
+            "requested": 4, "effective": 2, "cpu_count": 2,
+            "clamped": True, "in_process": False,
+        }
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            plan_shard_workers(-1, tasks=4)
+        with pytest.raises(ValueError):
+            plan_shard_workers(2, tasks=4, cpu_count=0)
+
+    def test_executor_applies_the_plan(self, kept_records):
+        # A wildly oversubscribed request must behave exactly like the
+        # in-process reference on this machine (and on any machine:
+        # bit-identical by contract, clamped by the plan).
+        reference = run_streaming_sharded(
+            kept_records, engine_factory=partial(DpiEngine),
+            shards=2, workers=0,
+        )
+        clamped = run_streaming_sharded(
+            kept_records, engine_factory=partial(DpiEngine),
+            shards=2, workers=64,
+        )
+        assert _verdict_fingerprint(clamped[1]) == _verdict_fingerprint(
+            reference[1]
+        )
+        assert clamped[0].stats.datagrams == reference[0].stats.datagrams
 
 
 class TestConformanceSpec:
