@@ -63,6 +63,18 @@ def _add_sharding_flags(parser: argparse.ArgumentParser) -> None:
                              "(default: 256; 1 = per-record feeding)")
 
 
+def _add_plan_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--plan", choices=("auto", "fixed"), default="fixed",
+                        help="execution planning mode: auto lets the adaptive "
+                             "planner pick shard workers, chunk size and DPI "
+                             "backend per cell from calibrated stage rates "
+                             "(default: fixed, use the flags as given)")
+    parser.add_argument("--calibration-file", default=None,
+                        help="planner calibration cache path (default: "
+                             "$RTC_COMPLIANCE_CALIBRATION or "
+                             "~/.cache/rtc-compliance/calibration.json)")
+
+
 def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dpi-backend", choices=("scalar", "columnar"),
                         default="scalar",
@@ -104,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default: one per CPU core; 1 = serial)")
     _add_sharding_flags(matrix_p)
     _add_backend_flag(matrix_p)
+    _add_plan_flags(matrix_p)
 
     synth_p = sub.add_parser("synthesize", help="write a synthetic call trace to pcap")
     synth_p.add_argument("--app", choices=APP_NAMES, required=True)
@@ -130,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default: one per CPU core; 1 = serial)")
     _add_sharding_flags(report_p)
     _add_backend_flag(report_p)
+    _add_plan_flags(report_p)
 
     dataset_p = sub.add_parser(
         "dataset", help="synthesize a pcap dataset with ground-truth manifest"
@@ -191,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit machine-readable JSON instead of a table")
     _add_sharding_flags(pstats_p)
     _add_backend_flag(pstats_p)
+    _add_plan_flags(pstats_p)
 
     conf_p = sub.add_parser(
         "conformance",
@@ -271,7 +286,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def _sharding_kwargs(args: argparse.Namespace) -> dict:
     kwargs = {"shard_workers": args.shard_workers,
-              "dpi_backend": args.dpi_backend}
+              "dpi_backend": args.dpi_backend,
+              "plan": getattr(args, "plan", "fixed"),
+              "calibration_file": getattr(args, "calibration_file", None)}
     if args.chunk_size is not None:
         kwargs["chunk_size"] = args.chunk_size
     return kwargs
@@ -499,13 +516,17 @@ def cmd_pipeline_stats(args: argparse.Namespace) -> int:
     apps = [args.app] if args.app else list(APP_NAMES)
     networks = [args.network] if args.network else list(NetworkCondition)
     per_app = {}
+    plans_by_app = {}
     totals = {}
     for app in apps:
         stats = {}
+        plans = []
         for network in networks:
             aggregate = run_experiment(app, network, config)
             merge_stage_stats(stats, aggregate.stage_stats.values())
+            plans.extend(aggregate.plans)
         per_app[app] = stats
+        plans_by_app[app] = plans
         merge_stage_stats(totals, stats.values())
     if args.json:
         payload = {
@@ -517,8 +538,14 @@ def cmd_pipeline_stats(args: argparse.Namespace) -> int:
                 "shard_plan": shard_plan.as_dict(),
                 "chunk_size": config.chunk_size,
                 "dpi_backend": config.dpi_backend,
+                "plan": config.plan,
+                "calibration_file": config.calibration_file,
                 "apps": apps,
                 "networks": [n.value for n in networks],
+            },
+            "planner": {
+                "mode": config.plan,
+                "per_app": plans_by_app,
             },
             "per_app": {
                 app: {name: stat.as_dict() for name, stat in stats.items()}
@@ -538,10 +565,20 @@ def cmd_pipeline_stats(args: argparse.Namespace) -> int:
                   f"{stat.records_out:>12} {stat.wall_seconds:>10.4f} "
                   f"{stat.peak_buffered:>14} {stat.chunks:>8}")
 
-    print(f"shard workers: {config.shard_workers} ({shard_plan.describe()})  "
-          f"chunk size: {config.chunk_size}  dpi backend: {config.dpi_backend}")
+    if config.plan == "auto":
+        print("plan: auto (per-cell adaptive planner)")
+    else:
+        print(f"shard workers: {config.shard_workers} "
+              f"({shard_plan.describe()})  "
+              f"chunk size: {config.chunk_size}  "
+              f"dpi backend: {config.dpi_backend}")
     for app, stats in per_app.items():
         print(f"{app}:")
+        for plan in plans_by_app[app]:
+            rationale = "; ".join(plan.get("rationale", []))
+            print(f"  plan: shard_workers={plan['shard_workers']} "
+                  f"chunk_size={plan['chunk_size']} "
+                  f"dpi_backend={plan['dpi_backend']} [{rationale}]")
         print_rows(stats)
     if len(per_app) > 1:
         print("total:")

@@ -1,0 +1,423 @@
+"""Measured-cost model for the adaptive execution planner.
+
+The planner (:func:`repro.experiments.scheduler.plan_execution`) needs
+per-stage throughput constants — records/second for the filter, the
+scalar and columnar DPI sweeps, and the checker — to turn observable
+workload signals into modeled wall-clock.  This module owns where those
+constants come from:
+
+1. **Calibration cache.**  Every completed run reports its per-stage
+   :class:`~repro.pipeline.stage.StageStats` (and its cell wall seconds)
+   back here; the rates are folded into an exponential moving average and
+   persisted as versioned JSON, so the second run of a matrix plans from
+   *this machine's* measured throughput, not from shipped constants.
+   The cache also keeps per-``(app, network)`` measured cell costs, which
+   :func:`repro.experiments.parallel.expected_cell_cost` uses to submit
+   largest-measured-cost-first instead of guessing from the config.
+
+2. **Micro-probe.**  When no calibration exists yet (fresh machine,
+   fresh cache file), :func:`probe_records` streams the first N records
+   of the cell through a fully instrumented in-process pipeline and
+   derives the rates from its ``StageStats``.  The probe runs on
+   throwaway engine/checker/filter instances and never mutates shared
+   state, so replaying the *same* records through whatever plan gets
+   chosen produces output bit-identical to an unprobed run.
+
+3. **Shipped defaults.**  Before any measurement, :data:`DEFAULT_RATES`
+   (derived from the repo's own ``BENCH_pipeline.json`` trajectory)
+   keeps the model sane; they only matter until the first probe.
+
+Persistence is atomic (write-temp-then-replace), so concurrent pool
+workers updating the same cache file cannot corrupt it — the last
+writer wins, which is fine for a moving average.  A file written by a
+different :data:`CALIBRATION_VERSION` is discarded and rebuilt rather
+than misread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.packets.packet import PacketRecord
+from repro.pipeline.stage import StageStats
+
+#: Bump when the calibration-file layout changes; other versions are
+#: discarded on load (a stale cache must never steer the planner).
+CALIBRATION_VERSION = 1
+
+#: Weight of the newest observation in the exponential moving average.
+EMA_ALPHA = 0.3
+
+#: Records the micro-probe streams through the instrumented pipeline.
+PROBE_RECORDS = 512
+
+#: Rate keys the cost model understands (records/second each).
+RATE_KEYS = ("filter", "dpi_scalar", "dpi_columnar", "check")
+
+#: Shipped fallback rates (records/second) used before any calibration
+#: or probe exists, taken from the BENCH_pipeline.json trajectory on the
+#: reference dev box.  Only the *ratios* matter for plan selection, and
+#: only until the first probe replaces them with local measurements.
+DEFAULT_RATES: Dict[str, float] = {
+    "filter": 80000.0,
+    "dpi_scalar": 13000.0,
+    "dpi_columnar": 42000.0,
+    "check": 30000.0,
+}
+
+#: Stage wall times below this are timer noise, not throughput signal.
+_MIN_WALL_SECONDS = 1e-5
+
+
+def default_calibration_path() -> Path:
+    """Where the calibration cache lives unless a caller overrides it.
+
+    ``RTC_COMPLIANCE_CALIBRATION`` wins when set (CI points it at the
+    workspace so the file can be archived as an artifact); otherwise the
+    conventional per-user cache directory.
+    """
+    env = os.environ.get("RTC_COMPLIANCE_CALIBRATION")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "rtc-compliance" / "calibration.json"
+
+
+def cell_key(app: str, network_value: str) -> str:
+    """Calibration-cache key for one (app, network) cell family."""
+    return f"{app}|{network_value}"
+
+
+@dataclass
+class Calibration:
+    """Everything the planner has learned about this machine so far.
+
+    ``rates`` maps :data:`RATE_KEYS` to records/second; ``cell_unit_seconds``
+    maps :func:`cell_key` to measured wall seconds per unit of configured
+    work (``call_duration × media_scale``), so a cost estimate scales to
+    configs the cache has never seen.
+    """
+
+    rates: Dict[str, float] = field(default_factory=dict)
+    cell_unit_seconds: Dict[str, float] = field(default_factory=dict)
+    runs: int = 0
+
+    @property
+    def calibrated(self) -> bool:
+        """True once at least one DPI rate is a measurement, not a default."""
+        return "dpi_scalar" in self.rates or "dpi_columnar" in self.rates
+
+    def rate(self, key: str) -> float:
+        """The calibrated rate for *key*, or the shipped default."""
+        return self.rates.get(key, DEFAULT_RATES[key])
+
+    def effective_rates(self) -> Dict[str, float]:
+        """Defaults overlaid with every calibrated rate."""
+        merged = dict(DEFAULT_RATES)
+        merged.update(self.rates)
+        return merged
+
+    def observe_rate(self, key: str, rate: float) -> None:
+        """Fold one measured rate into the moving average for *key*."""
+        if key not in DEFAULT_RATES:
+            raise KeyError(f"unknown rate key: {key!r}")
+        if rate <= 0:
+            return
+        previous = self.rates.get(key)
+        if previous is None:
+            self.rates[key] = rate
+        else:
+            self.rates[key] = previous + EMA_ALPHA * (rate - previous)
+
+    def observe_cell(self, key: str, seconds: float, units: float) -> None:
+        """Fold one measured cell wall-clock into the per-cell history."""
+        if seconds <= 0 or units <= 0:
+            return
+        per_unit = seconds / units
+        previous = self.cell_unit_seconds.get(key)
+        if previous is None:
+            self.cell_unit_seconds[key] = per_unit
+        else:
+            self.cell_unit_seconds[key] = previous + EMA_ALPHA * (
+                per_unit - previous
+            )
+
+    def expected_cell_seconds(self, key: str, units: float) -> Optional[float]:
+        """Measured cost estimate for a cell, or ``None`` without history."""
+        per_unit = self.cell_unit_seconds.get(key)
+        if per_unit is None:
+            return None
+        return per_unit * units
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": CALIBRATION_VERSION,
+            "rates": dict(self.rates),
+            "cell_unit_seconds": dict(self.cell_unit_seconds),
+            "runs": self.runs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Calibration":
+        """Parse a cache file; anything unusable yields a fresh calibration.
+
+        Version drift, missing keys, or non-numeric values all reset to
+        empty rather than raising — a corrupt cache must degrade to the
+        uncalibrated path, never break a run.
+        """
+        if not isinstance(payload, Mapping):
+            return cls()
+        if payload.get("version") != CALIBRATION_VERSION:
+            return cls()
+        rates = payload.get("rates")
+        cells = payload.get("cell_unit_seconds")
+        runs = payload.get("runs")
+        calibration = cls()
+        if isinstance(rates, Mapping):
+            calibration.rates = {
+                key: float(value)
+                for key, value in rates.items()
+                if key in DEFAULT_RATES
+                and isinstance(value, (int, float)) and value > 0
+            }
+        if isinstance(cells, Mapping):
+            calibration.cell_unit_seconds = {
+                str(key): float(value)
+                for key, value in cells.items()
+                if isinstance(value, (int, float)) and value > 0
+            }
+        calibration.runs = runs if isinstance(runs, int) and runs >= 0 else 0
+        return calibration
+
+
+def load_calibration(path: Path) -> Calibration:
+    """Load the cache at *path*; missing or unreadable files come up empty."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return Calibration()
+    return Calibration.from_dict(payload)
+
+
+def save_calibration(calibration: Calibration, path: Path) -> None:
+    """Atomically persist *calibration* (concurrent writers last-win).
+
+    A filesystem that refuses the write (read-only checkout, missing
+    home) silently skips persistence: calibration is an optimization,
+    never a correctness dependency.
+    """
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name, suffix=".tmp", dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w") as fileobj:
+                json.dump(calibration.as_dict(), fileobj, indent=2, sort_keys=True)
+                fileobj.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass
+
+
+class CalibrationStore:
+    """One calibration cache file plus its in-process working copy.
+
+    ``update_from_run`` folds a completed run's measurements into the
+    moving averages and persists immediately, so even a single CLI
+    invocation leaves the next one calibrated.
+    """
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._calibration: Optional[Calibration] = None
+
+    @property
+    def calibration(self) -> Calibration:
+        if self._calibration is None:
+            self._calibration = load_calibration(self.path)
+        return self._calibration
+
+    def reload(self) -> Calibration:
+        self._calibration = load_calibration(self.path)
+        return self._calibration
+
+    def update_from_run(
+        self,
+        stage_stats: Mapping[str, StageStats],
+        dpi_backend: str,
+        cell: Optional[str] = None,
+        wall_seconds: float = 0.0,
+        units: float = 0.0,
+    ) -> None:
+        """Fold one run's per-stage rates and cell cost in, then persist."""
+        calibration = self.calibration
+        for key, rate in rates_from_stage_stats(stage_stats, dpi_backend).items():
+            calibration.observe_rate(key, rate)
+        if cell is not None:
+            calibration.observe_cell(cell, wall_seconds, units)
+        calibration.runs += 1
+        save_calibration(calibration, self.path)
+
+
+_stores: Dict[Path, CalibrationStore] = {}
+
+
+def get_store(path: Optional[os.PathLike] = None) -> CalibrationStore:
+    """Process-wide store per cache path (default: the machine cache)."""
+    resolved = Path(path) if path is not None else default_calibration_path()
+    store = _stores.get(resolved)
+    if store is None:
+        store = CalibrationStore(resolved)
+        _stores[resolved] = store
+    return store
+
+
+def reset_stores() -> None:
+    """Drop every cached store (test isolation)."""
+    _stores.clear()
+
+
+def rates_from_stage_stats(
+    stage_stats: Mapping[str, StageStats], dpi_backend: str
+) -> Dict[str, float]:
+    """Per-stage records/second from one run's instrumentation.
+
+    The DPI stage's rate lands under ``dpi_scalar`` or ``dpi_columnar``
+    according to which backend produced it.  Stages with negligible wall
+    time (timer noise) or no input contribute nothing.
+    """
+    rates: Dict[str, float] = {}
+    for name, stat in stage_stats.items():
+        if stat.wall_seconds < _MIN_WALL_SECONDS or stat.records_in <= 0:
+            continue
+        if name == "filter":
+            key = "filter"
+        elif name == "dpi":
+            key = "dpi_columnar" if dpi_backend == "columnar" else "dpi_scalar"
+        elif name == "check":
+            key = "check"
+        else:
+            continue
+        rates[key] = stat.records_in / stat.wall_seconds
+    return rates
+
+
+@dataclass(frozen=True)
+class WorkloadSignals:
+    """Cheap observable facts about one cell's records.
+
+    Everything here is derivable from a single O(n) pass — no DPI, no
+    checking — which is exactly the point: the right knob settings are
+    predictable from flow structure and volume alone.
+    """
+
+    records: int
+    flows: int
+    max_flow_records: int
+    mean_payload_bytes: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "records": self.records,
+            "flows": self.flows,
+            "max_flow_records": self.max_flow_records,
+            "mean_payload_bytes": round(self.mean_payload_bytes, 1),
+        }
+
+
+def workload_signals(records: Sequence[PacketRecord]) -> WorkloadSignals:
+    """One pass over *records*: flow histogram and payload-size signal."""
+    per_flow: Dict[object, int] = {}
+    payload_bytes = 0
+    for record in records:
+        key = record.flow_key
+        per_flow[key] = per_flow.get(key, 0) + 1
+        payload_bytes += len(record.payload)
+    count = len(records)
+    return WorkloadSignals(
+        records=count,
+        flows=len(per_flow),
+        max_flow_records=max(per_flow.values(), default=0),
+        mean_payload_bytes=(payload_bytes / count) if count else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class ProbeReport:
+    """What the micro-probe measured on the first N records of a cell."""
+
+    probed_records: int
+    kept_records: int
+    rates: Dict[str, float]
+    probe_seconds: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "probed_records": self.probed_records,
+            "kept_records": self.kept_records,
+            "rates": {key: round(rate, 1) for key, rate in self.rates.items()},
+            "probe_seconds": round(self.probe_seconds, 6),
+        }
+
+
+def probe_records(
+    records: Sequence[PacketRecord],
+    window,
+    max_offset: int = 200,
+    fastpath: bool = True,
+    probe_limit: int = PROBE_RECORDS,
+) -> ProbeReport:
+    """Run the first ``probe_limit`` records through an instrumented pipeline.
+
+    Builds throwaway filter/engine/checker instances (scalar backend —
+    the reference the columnar ratio is applied to), streams the slice
+    through the real :class:`~repro.pipeline.stage.Pipeline`, and derives
+    per-stage rates from its ``StageStats``.  Nothing the probe touches
+    is shared with the subsequent real run, so a probed cell's output is
+    bit-identical to an unprobed one by construction.
+    """
+    from repro.core.checker import ComplianceChecker
+    from repro.dpi.engine import DpiEngine
+    from repro.filtering.pipeline import TwoStageFilter
+    from repro.pipeline.stage import Pipeline
+    from repro.pipeline.stages import CheckStage, DpiStage, FilterStage
+
+    sample = list(records[:probe_limit])
+    filter_stage = FilterStage(TwoStageFilter(window))
+    dpi_stage = DpiStage(
+        DpiEngine(max_offset=max_offset, fastpath=fastpath, backend="scalar")
+    )
+    pipeline = Pipeline([filter_stage, dpi_stage, CheckStage(ComplianceChecker())])
+    start = time.perf_counter()
+    pipeline.run(sample)
+    probe_seconds = time.perf_counter() - start
+    stage_stats = {stat.name: stat for stat in pipeline.stats()}
+    rates = rates_from_stage_stats(stage_stats, "scalar")
+    # The probe never runs the columnar scanner; scale the measured scalar
+    # rate by the shipped columnar ratio so backend choice reflects this
+    # machine's baseline until a real columnar run calibrates it.
+    if "dpi_scalar" in rates and "dpi_columnar" not in rates:
+        ratio = DEFAULT_RATES["dpi_columnar"] / DEFAULT_RATES["dpi_scalar"]
+        rates["dpi_columnar"] = rates["dpi_scalar"] * ratio
+    kept = stage_stats["filter"].records_out if "filter" in stage_stats else 0
+    return ProbeReport(
+        probed_records=len(sample),
+        kept_records=kept,
+        rates=rates,
+        probe_seconds=probe_seconds,
+    )

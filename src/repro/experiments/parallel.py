@@ -70,15 +70,27 @@ def run_cell(cell: Cell, config: ExperimentConfig) -> ExperimentAggregate:
 
 
 def expected_cell_cost(cell: Cell, config: ExperimentConfig) -> float:
-    """Relative cost estimate for scheduling: call duration × media scale.
+    """Expected cost of one cell, for largest-cost-first submission.
 
-    Deliberately simple — both knobs scale the simulated record count
-    roughly linearly, and scheduling only needs a *ranking*, not a
-    prediction.  Within one homogeneous matrix every cell ties and
-    submission stays in enumeration order.
+    Prefers *measured* history: every completed :func:`run_experiment`
+    records its cell's wall seconds into the calibration cache
+    (:mod:`repro.experiments.costmodel`), keyed by ``(app, network)`` and
+    normalized per unit of configured work, so apps that are genuinely
+    heavier (more media streams, more background flows) rank above light
+    ones instead of tying.  Without history the static fallback — call
+    duration × media scale — preserves the old behavior: every cell of a
+    homogeneous matrix ties and submission stays in enumeration order.
+    Scheduling only needs a ranking; it never leaks into merge order.
     """
-    del cell  # all cells of one matrix share the config today
-    return config.call_duration * config.media_scale
+    from repro.experiments import costmodel
+
+    app, network, _repeat = cell
+    units = config.call_duration * config.media_scale
+    measured = costmodel.get_store(config.calibration_file).calibration
+    expected = measured.expected_cell_seconds(
+        costmodel.cell_key(app, network.value), units
+    )
+    return expected if expected is not None else units
 
 
 def run_matrix_parallel(

@@ -1,0 +1,493 @@
+"""Adaptive execution planner: cost model, micro-probe, plan selection.
+
+Covers the ISSUE 7 planner stack end to end: calibration-cache
+round-trips and version drift, probe parity against the golden
+conformance corpus (a probed cell must be bit-identical to its
+unprobed golden), planner determinism, measured-history cell costs,
+shared-pool finalization, and the ``--plan``/``--calibration-file``
+CLI surface.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.apps import NetworkCondition
+from repro.cli import build_parser, main as cli_main
+from repro.conformance import CorpusConfig, default_corpus_dir, load_cell
+from repro.conformance.differ import _VERDICT_KEYS
+from repro.conformance.golden import (
+    build_facts,
+    cell_name,
+    corpus_cells,
+    experiment_config,
+    load_manifest,
+)
+from repro.experiments import (
+    ExperimentConfig,
+    expected_cell_cost,
+    run_experiment,
+    submission_order,
+)
+from repro.experiments import costmodel
+from repro.experiments.costmodel import (
+    CALIBRATION_VERSION,
+    DEFAULT_RATES,
+    EMA_ALPHA,
+    Calibration,
+    CalibrationStore,
+    cell_key,
+    load_calibration,
+    probe_records,
+    rates_from_stage_stats,
+    save_calibration,
+    workload_signals,
+)
+from repro.experiments.runner import run_cell_pipeline
+from repro.experiments.scheduler import (
+    POOL_FALLBACK_ERRORS,
+    ExecutionPlan,
+    PlanSignals,
+    PoolClosedError,
+    _DEFAULT_CHUNK_SIZE,
+    fixed_plan,
+    plan_cell_execution,
+    plan_execution,
+    reopen_shared_pool,
+    shared_pool,
+    shutdown_shared_pool,
+)
+from repro.pipeline import DEFAULT_CHUNK_SIZE
+from repro.pipeline.stage import StageStats
+
+
+@pytest.fixture(autouse=True)
+def _isolated_stores():
+    """Never let one test's calibration store leak into another."""
+    costmodel.reset_stores()
+    yield
+    costmodel.reset_stores()
+
+
+def _signals(**overrides):
+    base = dict(
+        records=4000,
+        kept_records=3600,
+        flows=64,
+        max_flow_records=200,
+        cpu_count=4,
+        rates=dict(DEFAULT_RATES),
+        columnar_available=True,
+        fastpath=True,
+        cells=1,
+        rate_source="default",
+    )
+    base.update(overrides)
+    return PlanSignals(**base)
+
+
+class TestCalibration:
+    def test_round_trip(self, tmp_path):
+        calibration = Calibration()
+        calibration.observe_rate("dpi_scalar", 9000.0)
+        calibration.observe_rate("filter", 70000.0)
+        calibration.observe_cell("zoom|wifi_relay", 0.08, 2.0)
+        calibration.runs = 3
+        path = tmp_path / "calibration.json"
+        save_calibration(calibration, path)
+        loaded = load_calibration(path)
+        assert loaded.as_dict() == calibration.as_dict()
+        assert loaded.calibrated
+
+    def test_version_drift_resets(self, tmp_path):
+        path = tmp_path / "calibration.json"
+        payload = Calibration(rates={"dpi_scalar": 9000.0}, runs=5).as_dict()
+        payload["version"] = CALIBRATION_VERSION + 1
+        path.write_text(json.dumps(payload))
+        loaded = load_calibration(path)
+        assert loaded.rates == {}
+        assert loaded.runs == 0
+        assert not loaded.calibrated
+
+    def test_corrupt_or_missing_file_comes_up_empty(self, tmp_path):
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        assert load_calibration(garbage).rates == {}
+        assert load_calibration(tmp_path / "absent.json").rates == {}
+        # Wrong-typed values are dropped, not propagated.
+        path = tmp_path / "typed.json"
+        path.write_text(json.dumps({
+            "version": CALIBRATION_VERSION,
+            "rates": {"dpi_scalar": "fast", "filter": -5, "bogus_key": 10.0},
+            "cell_unit_seconds": {"zoom|wifi_relay": "slow"},
+            "runs": "many",
+        }))
+        loaded = load_calibration(path)
+        assert loaded.rates == {}
+        assert loaded.cell_unit_seconds == {}
+        assert loaded.runs == 0
+
+    def test_ema_moves_toward_new_observation(self):
+        calibration = Calibration()
+        calibration.observe_rate("dpi_scalar", 10000.0)
+        assert calibration.rates["dpi_scalar"] == 10000.0
+        calibration.observe_rate("dpi_scalar", 20000.0)
+        expected = 10000.0 + EMA_ALPHA * 10000.0
+        assert calibration.rates["dpi_scalar"] == pytest.approx(expected)
+        # Non-positive observations are ignored, unknown keys rejected.
+        calibration.observe_rate("dpi_scalar", 0.0)
+        assert calibration.rates["dpi_scalar"] == pytest.approx(expected)
+        with pytest.raises(KeyError):
+            calibration.observe_rate("warp_drive", 1.0)
+
+    def test_expected_cell_seconds_scales_with_units(self):
+        calibration = Calibration()
+        assert calibration.expected_cell_seconds("zoom|wifi_relay", 4.0) is None
+        calibration.observe_cell("zoom|wifi_relay", 0.2, 4.0)
+        assert calibration.expected_cell_seconds(
+            "zoom|wifi_relay", 4.0
+        ) == pytest.approx(0.2)
+        assert calibration.expected_cell_seconds(
+            "zoom|wifi_relay", 8.0
+        ) == pytest.approx(0.4)
+
+    def test_rates_from_stage_stats_maps_backend(self):
+        stats = {
+            "filter": StageStats("filter", records_in=1000, wall_seconds=0.01),
+            "dpi": StageStats("dpi", records_in=900, wall_seconds=0.09),
+            "check": StageStats("check", records_in=800, wall_seconds=0.004),
+            # Timer noise and unknown stages contribute nothing.
+            "noise": StageStats("noise", records_in=10, wall_seconds=1.0),
+            "dpi2": StageStats("dpi2", records_in=10, wall_seconds=0.0),
+        }
+        scalar = rates_from_stage_stats(stats, "scalar")
+        assert scalar["filter"] == pytest.approx(100000.0)
+        assert scalar["dpi_scalar"] == pytest.approx(10000.0)
+        assert "dpi_columnar" not in scalar
+        columnar = rates_from_stage_stats(stats, "columnar")
+        assert columnar["dpi_columnar"] == pytest.approx(10000.0)
+        assert "dpi_scalar" not in columnar
+
+    def test_store_update_persists(self, tmp_path):
+        path = tmp_path / "calibration.json"
+        store = CalibrationStore(path)
+        stats = {
+            "dpi": StageStats("dpi", records_in=900, wall_seconds=0.09),
+        }
+        store.update_from_run(
+            stats, "scalar",
+            cell=cell_key("zoom", "wifi_relay"),
+            wall_seconds=0.5, units=2.0,
+        )
+        reloaded = load_calibration(path)
+        assert reloaded.calibrated
+        assert reloaded.runs == 1
+        assert reloaded.cell_unit_seconds[
+            "zoom|wifi_relay"
+        ] == pytest.approx(0.25)
+
+
+class TestProbe:
+    @pytest.fixture(scope="class")
+    def cell(self):
+        from repro.apps import get_simulator
+        from repro.experiments.runner import _cell_config
+
+        config = experiment_config(CorpusConfig())
+        call_config = _cell_config(NetworkCondition.WIFI_RELAY, config, 0)
+        records = list(get_simulator("zoom").iter_records(call_config))
+        return records, call_config.window()
+
+    def test_probe_measures_rates_and_kept_ratio(self, cell):
+        records, window = cell
+        report = probe_records(records, window)
+        assert 0 < report.probed_records <= costmodel.PROBE_RECORDS
+        assert 0 < report.kept_records <= report.probed_records
+        assert report.rates["dpi_scalar"] > 0
+        # The probe never runs columnar; the rate is extrapolated from
+        # the shipped ratio so backend selection still has a signal.
+        ratio = DEFAULT_RATES["dpi_columnar"] / DEFAULT_RATES["dpi_scalar"]
+        assert report.rates["dpi_columnar"] == pytest.approx(
+            report.rates["dpi_scalar"] * ratio
+        )
+
+    def test_workload_signals_single_pass_facts(self, cell):
+        records, _ = cell
+        signals = workload_signals(records)
+        assert signals.records == len(records)
+        assert 0 < signals.flows <= signals.records
+        assert signals.max_flow_records <= signals.records
+        assert signals.mean_payload_bytes > 0
+        assert workload_signals([]).records == 0
+
+
+class TestPlanExecution:
+    def test_identical_signals_identical_plan(self):
+        first = plan_execution(_signals())
+        second = plan_execution(_signals())
+        assert first == second
+        assert first.as_dict() == second.as_dict()
+
+    def test_single_cpu_never_shards(self):
+        plan = plan_execution(_signals(cpu_count=1))
+        assert plan.shard_workers == 1
+        assert any("clamped" in option or option == "in-process"
+                   for option, _ in plan.costs)
+
+    def test_multi_cpu_large_workload_shards(self):
+        plan = plan_execution(_signals(
+            records=400000, kept_records=380000, flows=512,
+            max_flow_records=2000, cpu_count=8,
+        ))
+        assert plan.shard_workers > 1
+
+    def test_narrow_sweep_window_stays_scalar(self):
+        # One flow under fastpath: the pre-lock sweep window is tiny, so
+        # the columnar batch pass cannot amortize.
+        plan = plan_execution(_signals(
+            records=100000, kept_records=100000, flows=1,
+            max_flow_records=100000, cpu_count=1,
+        ))
+        assert plan.dpi_backend == "scalar"
+        assert any("too narrow" in reason for reason in plan.rationale)
+
+    def test_columnar_unavailable_stays_scalar(self):
+        plan = plan_execution(_signals(columnar_available=False))
+        assert plan.dpi_backend == "scalar"
+
+    def test_small_capture_shrinks_chunk(self):
+        plan = plan_execution(_signals(
+            records=100, kept_records=90, flows=4, max_flow_records=50
+        ))
+        assert plan.chunk_size == 100
+        big = plan_execution(_signals())
+        assert big.chunk_size == _DEFAULT_CHUNK_SIZE
+
+    def test_matrix_workers_disable_cell_sharding(self):
+        plan = plan_execution(_signals(
+            records=400000, kept_records=380000, flows=512,
+            max_flow_records=2000, cpu_count=8, cells=18,
+        ))
+        assert plan.workers == 8
+        assert plan.shard_workers == 1
+
+    def test_plan_dict_is_json_and_rationale_nonempty(self):
+        plan = plan_execution(_signals())
+        payload = plan.as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["rationale"]
+        assert payload["costs"]
+        assert payload["signals"]["rate_source"] == "default"
+
+    def test_default_chunk_constant_pins_pipeline_default(self):
+        # scheduler duplicates the pipeline default to stay import-light;
+        # this is the test the comment there promises.
+        assert _DEFAULT_CHUNK_SIZE == DEFAULT_CHUNK_SIZE
+
+    def test_fixed_plan_echoes_knobs(self):
+        plan = fixed_plan(2, 3, 128, "columnar")
+        assert (plan.workers, plan.shard_workers) == (2, 3)
+        assert (plan.chunk_size, plan.dpi_backend) == (128, "columnar")
+        assert plan.mode == "fixed"
+
+
+class TestPlanCellExecution:
+    def test_cold_cache_probes_then_calibration_takes_over(self, tmp_path):
+        from repro.apps import get_simulator
+        from repro.experiments.runner import _cell_config
+
+        config = dataclasses.replace(
+            experiment_config(CorpusConfig()),
+            plan="auto",
+            calibration_file=str(tmp_path / "calibration.json"),
+        )
+        call_config = _cell_config(NetworkCondition.WIFI_RELAY, config, 0)
+        records = list(get_simulator("zoom").iter_records(call_config))
+        window = call_config.window()
+
+        cold = plan_cell_execution(records, window, config)
+        assert cold.signals.rate_source == "probe"
+        assert cold.probe is not None
+
+        store = costmodel.get_store(config.calibration_file)
+        store.update_from_run(
+            {"dpi": StageStats("dpi", records_in=900, wall_seconds=0.09)},
+            "scalar",
+        )
+        warm = plan_cell_execution(records, window, config)
+        assert warm.signals.rate_source == "calibration"
+        assert warm.probe is None
+
+    def test_experiment_feeds_calibration_cache(self, tmp_path):
+        path = tmp_path / "calibration.json"
+        config = ExperimentConfig(
+            call_duration=4.0, media_scale=0.2, seed=1,
+            calibration_file=str(path),
+        )
+        aggregate = run_experiment("zoom", NetworkCondition.WIFI_RELAY, config)
+        assert aggregate.wall_seconds > 0
+        assert aggregate.cells == 1
+        assert aggregate.plans == []  # fixed mode records no plan
+        calibration = load_calibration(path)
+        assert calibration.calibrated
+        assert cell_key("zoom", "wifi_relay") in calibration.cell_unit_seconds
+
+    def test_invalid_plan_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(plan="bogus")
+
+
+class TestMeasuredCellCost:
+    def test_fresh_cache_falls_back_to_static_cost(self, tmp_path):
+        config = ExperimentConfig(
+            call_duration=10.0, media_scale=0.5,
+            calibration_file=str(tmp_path / "calibration.json"),
+        )
+        cell = ("zoom", NetworkCondition.WIFI_RELAY, 0)
+        assert expected_cell_cost(cell, config) == pytest.approx(5.0)
+
+    def test_measured_history_orders_submission(self, tmp_path):
+        path = tmp_path / "calibration.json"
+        config = ExperimentConfig(
+            call_duration=10.0, media_scale=0.5, calibration_file=str(path)
+        )
+        store = costmodel.get_store(str(path))
+        # Measured history says meet is 3x heavier than zoom per unit.
+        store.calibration.observe_cell(cell_key("zoom", "wifi_relay"), 1.0, 5.0)
+        store.calibration.observe_cell(cell_key("meet", "wifi_relay"), 3.0, 5.0)
+        zoom = ("zoom", NetworkCondition.WIFI_RELAY, 0)
+        meet = ("meet", NetworkCondition.WIFI_RELAY, 0)
+        assert expected_cell_cost(meet, config) > expected_cell_cost(zoom, config)
+        cells = [zoom, meet]
+        order = submission_order(
+            cells, lambda cell: expected_cell_cost(cell, config)
+        )
+        assert order == [1, 0]
+
+
+class TestPoolFinalization:
+    def test_pool_not_recreated_after_final_shutdown(self):
+        try:
+            shutdown_shared_pool(final=True)
+            with pytest.raises(PoolClosedError):
+                shared_pool(2)
+            # Still closed on a second attempt — no silent re-creation.
+            with pytest.raises(PoolClosedError):
+                shared_pool(1)
+            assert PoolClosedError in POOL_FALLBACK_ERRORS
+        finally:
+            reopen_shared_pool()
+
+    def test_matrix_degrades_in_process_after_final_shutdown(self):
+        from repro.experiments import run_matrix
+
+        config = ExperimentConfig(call_duration=2.0, media_scale=0.2, seed=1)
+        try:
+            shutdown_shared_pool(final=True)
+            result = run_matrix(
+                apps=("zoom",),
+                networks=(NetworkCondition.WIFI_RELAY,
+                          NetworkCondition.CELLULAR),
+                config=config,
+                workers=2,
+            )
+            assert set(result.per_app) == {"zoom"}
+            assert result.per_app["zoom"].summary is not None
+        finally:
+            reopen_shared_pool()
+
+
+class TestProbeParity:
+    """Probed runs must be bit-identical to the golden corpus, all 18 cells."""
+
+    def test_probed_auto_cells_match_goldens(self, tmp_path):
+        directory = default_corpus_dir()
+        manifest = load_manifest(directory)
+        cells = corpus_cells(manifest)
+        assert len(cells) == 18
+        base = experiment_config(CorpusConfig())
+        for app, network in cells:
+            # A fresh calibration file per cell forces the probe path on
+            # every one of the 18 cells, not just the first.
+            config = dataclasses.replace(
+                base,
+                plan="auto",
+                calibration_file=str(
+                    tmp_path / f"{cell_name(app, network)}.json"
+                ),
+            )
+            run = run_cell_pipeline(app, network, config)
+            assert run.plan is not None
+            assert run.plan.probe is not None, "cold cache must probe"
+            facts = build_facts(app, network, run.dpi, run.verdicts)
+            golden = load_cell(directory, cell_name(app, network))
+            for key in _VERDICT_KEYS:
+                assert facts[key] == golden[key], (
+                    f"probed {app}/{network.value} diverged on {key!r}"
+                )
+
+
+class TestCliFlags:
+    def test_plan_flags_parse_with_defaults(self):
+        parser = build_parser()
+        for command in ("matrix", "report", "pipeline-stats"):
+            args = parser.parse_args([command])
+            assert args.plan == "fixed"
+            assert args.calibration_file is None
+            args = parser.parse_args(
+                [command, "--plan", "auto", "--calibration-file", "cal.json"]
+            )
+            assert args.plan == "auto"
+            assert args.calibration_file == "cal.json"
+
+    def test_bad_plan_value_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["matrix", "--plan", "greedy"])
+        capsys.readouterr()
+
+    def test_pipeline_stats_auto_emits_rationale(self, tmp_path, capsys):
+        code = cli_main([
+            "pipeline-stats", "--app", "zoom", "--network", "wifi_relay",
+            "--duration", "4", "--scale", "0.2",
+            "--plan", "auto",
+            "--calibration-file", str(tmp_path / "calibration.json"),
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["plan"] == "auto"
+        planner = payload["planner"]
+        assert planner["mode"] == "auto"
+        plans = [plan for plans in planner["per_app"].values() for plan in plans]
+        assert plans, "auto mode must record a plan per cell"
+        for plan in plans:
+            assert plan["rationale"], "plan rationale must be non-empty"
+            assert plan["mode"] == "auto"
+        assert (tmp_path / "calibration.json").exists()
+
+    def test_pipeline_stats_fixed_records_no_plans(self, capsys, tmp_path):
+        code = cli_main([
+            "pipeline-stats", "--app", "zoom", "--network", "wifi_relay",
+            "--duration", "4", "--scale", "0.2",
+            "--calibration-file", str(tmp_path / "calibration.json"),
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["planner"]["mode"] == "fixed"
+        assert all(
+            plans == [] for plans in payload["planner"]["per_app"].values()
+        )
+
+    def test_pipeline_stats_auto_text_mode_prints_plan(self, tmp_path, capsys):
+        code = cli_main([
+            "pipeline-stats", "--app", "zoom", "--network", "wifi_relay",
+            "--duration", "4", "--scale", "0.2",
+            "--plan", "auto",
+            "--calibration-file", str(tmp_path / "calibration.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan: auto" in out
+        assert "shard_workers=" in out
