@@ -14,6 +14,7 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.netem import build_impairer, get_profile
 from repro.packets.packet import Direction, PacketRecord, TrafficCategory, Truth
 from repro.protocols.rtp.extensions import HeaderExtension
 from repro.protocols.rtp.header import RtpPacket
@@ -55,6 +56,11 @@ class CallConfig:
     work): SFU-based applications (Zoom, Google Meet, Discord) fan in one
     additional inbound audio+video stream pair per extra participant.  The
     P2P-oriented simulators reject group configurations explicitly.
+
+    ``impairment`` names a :mod:`repro.netem` profile applied to the
+    record stream post-synthesis (loss, reordering, duplication, NAT
+    rebinding, UDP blackout).  ``"none"`` — the default — keeps the
+    historical clean-path behavior exactly.
     """
 
     network: NetworkCondition
@@ -64,10 +70,13 @@ class CallConfig:
     media_scale: float = 1.0      # multiplier on media packet rates
     include_background: bool = True
     participants: int = 2
+    impairment: str = "none"
 
     def __post_init__(self) -> None:
         if self.participants < 2:
             raise ValueError("a call needs at least 2 participants")
+        # Fail at configuration time, not mid-simulation.
+        get_profile(self.impairment)
 
     @property
     def extra_participants(self) -> int:
@@ -195,8 +204,21 @@ class AppSimulator(abc.ABC):
         ever see one record at a time, so a subclass backed by a live
         capture can override this without touching the rest of the
         pipeline.
+
+        ``config.impairment`` is applied *here*, between synthesis and
+        the pipeline: per-app ``simulate`` stays clean-path, and every
+        consumer — batch, streaming, sharded, planner-probed — sees the
+        same impaired sequence because they all source from this method.
         """
-        yield from self.simulate(config).records
+        records = self.simulate(config).records
+        impairer = build_impairer(
+            config.impairment,
+            config.seed,
+            f"{self.name}/{config.network.value}/{config.call_index}",
+        )
+        if impairer is not None:
+            records = impairer.apply(records)
+        yield from records
 
     # -- common helpers ------------------------------------------------------
 

@@ -83,6 +83,17 @@ def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
                              "results are bit-identical)")
 
 
+def _add_impairment_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.netem import PROFILE_NAMES
+
+    parser.add_argument("--impairment", choices=PROFILE_NAMES, default="none",
+                        help="network-impairment profile applied to every "
+                             "cell's record stream post-synthesis (loss, "
+                             "burst loss, reordering, duplication, NAT "
+                             "rebinding, UDP blackout with TURN-over-TCP "
+                             "fallback; default: none)")
+
+
 def _network(value: str) -> NetworkCondition:
     try:
         return NetworkCondition(value)
@@ -105,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--scale", type=float, default=0.5)
     run_p.add_argument("--seed", type=int, default=0)
     _add_backend_flag(run_p)
+    _add_impairment_flag(run_p)
 
     matrix_p = sub.add_parser("matrix", help="run the full experiment matrix")
     matrix_p.add_argument("--duration", type=float, default=30.0)
@@ -117,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sharding_flags(matrix_p)
     _add_backend_flag(matrix_p)
     _add_plan_flags(matrix_p)
+    _add_impairment_flag(matrix_p)
 
     synth_p = sub.add_parser("synthesize", help="write a synthetic call trace to pcap")
     synth_p.add_argument("--app", choices=APP_NAMES, required=True)
@@ -125,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
     synth_p.add_argument("--scale", type=float, default=0.5)
     synth_p.add_argument("--seed", type=int, default=0)
     synth_p.add_argument("--out", required=True)
+    _add_impairment_flag(synth_p)
 
     pcap_p = sub.add_parser("pcap", help="analyze an existing pcap capture")
     pcap_p.add_argument("path")
@@ -144,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sharding_flags(report_p)
     _add_backend_flag(report_p)
     _add_plan_flags(report_p)
+    _add_impairment_flag(report_p)
 
     dataset_p = sub.add_parser(
         "dataset", help="synthesize a pcap dataset with ground-truth manifest"
@@ -189,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.add_argument("--no-fastpath", action="store_true",
                          help="disable the flow-sticky fast path (sweep only)")
     _add_backend_flag(stats_p)
+    _add_impairment_flag(stats_p)
 
     pstats_p = sub.add_parser(
         "pipeline-stats",
@@ -206,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sharding_flags(pstats_p)
     _add_backend_flag(pstats_p)
     _add_plan_flags(pstats_p)
+    _add_impairment_flag(pstats_p)
 
     conf_p = sub.add_parser(
         "conformance",
@@ -226,6 +243,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="override simulation seed (default: corpus standard)")
     record_p.add_argument("--apps", nargs="*", choices=APP_NAMES, default=None)
     record_p.add_argument("--networks", nargs="*", type=_network, default=None)
+    _add_impairment_flag(record_p)
+    record_p.add_argument("--impaired", action="store_true",
+                          help="record the standard impaired sibling corpora "
+                               "(impaired-<profile>/ next to the clean corpus) "
+                               "instead of the clean corpus")
 
     check_p = conf_sub.add_parser(
         "check", help="replay the corpus through every engine config and diff"
@@ -236,6 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--networks", nargs="*", type=_network, default=None)
     check_p.add_argument("--report-out",
                          help="also write the drift report to this file")
+    check_p.add_argument("--impaired", action="store_true",
+                         help="check the impaired sibling corpora "
+                              "(impaired-<profile>/) instead of the clean "
+                              "corpus")
 
     fuzz_p = conf_sub.add_parser(
         "fuzz", help="criterion-targeted mutation fuzzing with exact oracle"
@@ -275,7 +301,7 @@ def _print_summary(summary: ComplianceSummary) -> None:
 def cmd_run(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
         call_duration=args.duration, media_scale=args.scale, seed=args.seed,
-        dpi_backend=args.dpi_backend,
+        dpi_backend=args.dpi_backend, impairment=args.impairment,
     )
     aggregate = run_experiment(args.app, args.network, config)
     _print_summary(aggregate.summary)
@@ -288,7 +314,8 @@ def _sharding_kwargs(args: argparse.Namespace) -> dict:
     kwargs = {"shard_workers": args.shard_workers,
               "dpi_backend": args.dpi_backend,
               "plan": getattr(args, "plan", "fixed"),
-              "calibration_file": getattr(args, "calibration_file", None)}
+              "calibration_file": getattr(args, "calibration_file", None),
+              "impairment": getattr(args, "impairment", "none")}
     if args.chunk_size is not None:
         kwargs["chunk_size"] = args.chunk_size
     return kwargs
@@ -331,15 +358,18 @@ def cmd_matrix(args: argparse.Namespace) -> int:
 
 def cmd_synthesize(args: argparse.Namespace) -> int:
     simulator = get_simulator(args.app)
-    trace = simulator.simulate(
-        CallConfig(
-            network=args.network,
-            seed=args.seed,
-            call_duration=args.duration,
-            media_scale=args.scale,
+    records = list(
+        simulator.iter_records(
+            CallConfig(
+                network=args.network,
+                seed=args.seed,
+                call_duration=args.duration,
+                media_scale=args.scale,
+                impairment=args.impairment,
+            )
         )
     )
-    count = write_pcap(args.out, trace.records)
+    count = write_pcap(args.out, records)
     print(f"wrote {count} packets to {args.out}")
     return 0
 
@@ -483,6 +513,7 @@ def cmd_dpi_stats(args: argparse.Namespace) -> int:
         seed=args.seed,
         fastpath=not args.no_fastpath,
         dpi_backend=args.dpi_backend,
+        impairment=args.impairment,
     )
     apps = [args.app] if args.app else list(APP_NAMES)
     networks = [args.network] if args.network else list(NetworkCondition)
@@ -540,6 +571,7 @@ def cmd_pipeline_stats(args: argparse.Namespace) -> int:
                 "dpi_backend": config.dpi_backend,
                 "plan": config.plan,
                 "calibration_file": config.calibration_file,
+                "impairment": config.impairment,
                 "apps": apps,
                 "networks": [n.value for n in networks],
             },
@@ -608,9 +640,11 @@ def cmd_conformance(args: argparse.Namespace) -> int:
         CorpusConfig,
         GoldenMismatchError,
         check_corpus,
+        check_impaired_corpora,
         default_corpus_dir,
         fuzz,
         record_corpus,
+        record_impaired_corpora,
     )
 
     directory = _conformance_dir(args)
@@ -625,8 +659,19 @@ def cmd_conformance(args: argparse.Namespace) -> int:
             )
             if value is not None
         }
+        if args.impairment != "none":
+            overrides["impairment"] = args.impairment
         if overrides:
             config = dc_replace(config, **overrides)
+        if args.impaired:
+            manifests = record_impaired_corpora(
+                base=directory, config=config,
+                apps=tuple(args.apps) if args.apps else APP_NAMES,
+                progress=print,
+            )
+            total = sum(len(m["cells"]) for m in manifests.values())
+            print(f"recorded {total} impaired cells under {directory}")
+            return 0
         kwargs = {}
         if args.apps:
             kwargs["apps"] = tuple(args.apps)
@@ -637,9 +682,15 @@ def cmd_conformance(args: argparse.Namespace) -> int:
         return 0
     if args.conformance_command == "check":
         try:
-            report = check_corpus(
-                directory, apps=args.apps or None, networks=args.networks or None
-            )
+            if args.impaired:
+                report = check_impaired_corpora(
+                    base=directory, apps=args.apps or None
+                )
+            else:
+                report = check_corpus(
+                    directory, apps=args.apps or None,
+                    networks=args.networks or None,
+                )
         except GoldenMismatchError as exc:
             print(f"conformance check failed: {exc}", file=sys.stderr)
             return 1

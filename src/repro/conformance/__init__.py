@@ -19,6 +19,7 @@ from repro.conformance.differ import (
     DriftReport,
     EngineSpec,
     check_corpus,
+    check_impaired_corpora,
 )
 from repro.conformance.fuzzer import (
     MUTATORS,
@@ -36,6 +37,7 @@ from repro.conformance.fuzzer import (
     run_oracle,
 )
 from repro.conformance.golden import (
+    IMPAIRED_CORPORA,
     RERECORD_HINT,
     SCHEMA_VERSION,
     CorpusConfig,
@@ -44,14 +46,17 @@ from repro.conformance.golden import (
     cell_name,
     default_corpus_dir,
     facts_digest,
+    impaired_corpus_dir,
     load_cell,
     load_manifest,
     record_cell,
     record_corpus,
+    record_impaired_corpora,
 )
 
 __all__ = [
     "ENGINE_SPECS",
+    "IMPAIRED_CORPORA",
     "MUTATORS",
     "RERECORD_HINT",
     "SCHEMA_VERSION",
@@ -70,15 +75,18 @@ __all__ = [
     "builtin_seeds",
     "cell_name",
     "check_corpus",
+    "check_impaired_corpora",
     "default_corpus_dir",
     "facts_digest",
     "fuzz",
     "harvest_seeds",
+    "impaired_corpus_dir",
     "load_cell",
     "load_manifest",
     "minimize_wire",
     "record_cell",
     "record_corpus",
+    "record_impaired_corpora",
     "rewrap",
     "run_oracle",
 ]

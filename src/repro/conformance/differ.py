@@ -24,6 +24,7 @@ from repro.core import ComplianceChecker
 from repro.dpi import DpiEngine
 from repro.dpi.engine import DEFAULT_CACHE_SIZE
 from repro.conformance.golden import (
+    IMPAIRED_CORPORA,
     RERECORD_HINT,
     CorpusConfig,
     GoldenMismatchError,
@@ -32,6 +33,7 @@ from repro.conformance.golden import (
     cell_records,
     corpus_cells,
     facts_digest,
+    impaired_corpus_dir,
     load_cell,
     load_manifest,
 )
@@ -291,3 +293,39 @@ def check_corpus(
                     Drift(name, spec.name, "stats-invariant", problem)
                 )
     return report
+
+
+def check_impaired_corpora(
+    base: Optional[Path] = None,
+    apps: Optional[Iterable[str]] = None,
+    profiles: Optional[Iterable[str]] = None,
+    specs: Sequence[EngineSpec] = ENGINE_SPECS,
+) -> DriftReport:
+    """Run :func:`check_corpus` over every impaired sibling corpus.
+
+    Each ``impaired-<profile>/`` directory carries its own manifest whose
+    ``config.impairment`` re-applies the profile at replay time, so every
+    engine configuration is diffed against goldens recorded from the same
+    deterministic impaired stream.  Cell names are prefixed with the
+    profile in the merged report so drift stays attributable.
+    """
+    from repro.conformance.golden import default_corpus_dir
+
+    root = Path(base) if base is not None else default_corpus_dir()
+    merged = DriftReport(engines=tuple(spec.name for spec in specs))
+    for profile in profiles if profiles is not None else IMPAIRED_CORPORA:
+        directory = impaired_corpus_dir(profile, root)
+        try:
+            report = check_corpus(directory, apps=apps, specs=specs)
+        except GoldenMismatchError as exc:
+            merged.drifts.append(
+                Drift(f"impaired-{profile}", "-", "golden-file", str(exc))
+            )
+            continue
+        merged.cells_checked += report.cells_checked
+        merged.drifts.extend(
+            Drift(f"{profile}/{drift.cell}", drift.engine, drift.kind,
+                  drift.detail)
+            for drift in report.drifts
+        )
+    return merged

@@ -10,6 +10,13 @@ expected violation code: one violation, right criterion, right code.
 Anything else (compliant, wrong criterion, extra violations, a parse
 crash) is a mis-attribution failure, reported with the offending payload
 and a delta-debugged minimal reproduction.
+
+The ``netem-*`` mutators stage *network* faults instead of byte faults:
+a dropped response must surface as ``unanswered-retransmission``, while
+benign transport behavior — duplicated requests that were answered, a
+response delivered before its own request — must stay fully compliant
+(``expect_compliant=True`` flips the oracle to demand zero violations
+across the whole message set).
 """
 
 from __future__ import annotations
@@ -200,7 +207,13 @@ def _single(protocol: Protocol, wire: bytes) -> Mutated:
 
 @dataclass(frozen=True)
 class Mutator:
-    """One criterion-targeted mutation with its expected attribution."""
+    """One criterion-targeted mutation with its expected attribution.
+
+    ``expect_compliant=True`` inverts the oracle: the mutation models a
+    benign network perturbation (duplication, reordering) and **every**
+    message in the set must come back compliant — any violation is a
+    robustness failure of the checker, not of the traffic.
+    """
 
     name: str
     protocol: Protocol
@@ -208,6 +221,7 @@ class Mutator:
     codes: frozenset
     kinds: Tuple[str, ...]
     apply: Callable[[Seed, DeterministicRandom], Optional[Mutated]]
+    expect_compliant: bool = False
 
 
 # --- STUN/TURN mutators -----------------------------------------------------
@@ -382,6 +396,96 @@ def _mut_stun_allocate_pingpong(seed: Seed, rng: DeterministicRandom) -> Mutated
             return Mutated(messages=[])
         messages.append(extracted)
     return Mutated(messages=messages)
+
+
+# --- Network-impairment stream mutators --------------------------------------
+#
+# These perturb message *delivery* rather than message bytes, mirroring
+# what :mod:`repro.netem` does to whole record streams: drop, duplicate,
+# reorder.  Drops of a response must be attributed exactly like any other
+# violation; duplication and reordering of answered exchanges must not
+# produce any violation at all.
+
+def _response_wire_for(request: StunMessage) -> Optional[bytes]:
+    """A success response answering *request*, or ``None`` if one cannot
+    be built compliant (non-request seed, exotic harvested framing)."""
+    if request.msg_type & 0x0110:
+        return None
+    try:
+        response = dataclasses.replace(
+            request,
+            msg_type=request.msg_type | 0x0100,
+            attributes=[
+                StunAttribute(
+                    int(_A.XOR_MAPPED_ADDRESS),
+                    encode_xor_address(
+                        "192.0.2.15", 40000, request.transaction_id
+                    ),
+                )
+            ],
+        )
+        wire = response.build()
+    except (StunParseError, ValueError):
+        return None
+    if not _standalone_compliant("stun-response", wire, ComplianceChecker()):
+        return None
+    return wire
+
+
+def _mut_netem_drop_response(
+    seed: Seed, rng: DeterministicRandom
+) -> Optional[Mutated]:
+    request = _parse_stun(seed)
+    if _response_wire_for(request) is None:
+        return None  # nothing answerable to drop
+    # The client retransmits across the repeat threshold; the network
+    # delivered every copy but ate the answer.
+    messages: List[ExtractedMessage] = []
+    for i in range(6):
+        extracted = rewrap(Protocol.STUN_TURN, seed.data, timestamp=2.5 * i)
+        if extracted is None:
+            return Mutated(messages=[])
+        messages.append(extracted)
+    return Mutated(messages=messages)
+
+
+def _mut_netem_duplicate_answered(
+    seed: Seed, rng: DeterministicRandom
+) -> Optional[Mutated]:
+    request = _parse_stun(seed)
+    response_wire = _response_wire_for(request)
+    if response_wire is None:
+        return None
+    messages: List[ExtractedMessage] = []
+    for i in range(6):  # enough copies/span to trip the repeat detector
+        extracted = rewrap(Protocol.STUN_TURN, seed.data, timestamp=2.5 * i)
+        if extracted is None:
+            return Mutated(messages=[])
+        messages.append(extracted)
+    answer = rewrap(
+        Protocol.STUN_TURN, response_wire, timestamp=rng.uniform(0.0, 15.0)
+    )
+    if answer is None:
+        return Mutated(messages=[])
+    messages.append(answer)
+    return Mutated(messages=messages)
+
+
+def _mut_netem_reorder_response_first(
+    seed: Seed, rng: DeterministicRandom
+) -> Optional[Mutated]:
+    request = _parse_stun(seed)
+    response_wire = _response_wire_for(request)
+    if response_wire is None:
+        return None
+    answer = rewrap(Protocol.STUN_TURN, response_wire, timestamp=0.0)
+    delayed = rewrap(
+        Protocol.STUN_TURN, seed.data,
+        timestamp=0.001 + rng.uniform(0.0, 0.05),
+    )
+    if answer is None or delayed is None:
+        return Mutated(messages=[])
+    return Mutated(messages=[answer, delayed])
 
 
 # --- TURN ChannelData mutators ----------------------------------------------
@@ -586,8 +690,13 @@ def _mut_quic_cid_too_long(seed: Seed, rng: DeterministicRandom) -> Mutated:
 _STUN_KINDS = ("stun-request", "stun-response", "stun-indication")
 
 
-def _mutator(name, protocol, criterion, codes, kinds, fn) -> Mutator:
-    return Mutator(name, protocol, criterion, frozenset(codes), tuple(kinds), fn)
+def _mutator(
+    name, protocol, criterion, codes, kinds, fn, expect_compliant=False
+) -> Mutator:
+    return Mutator(
+        name, protocol, criterion, frozenset(codes), tuple(kinds), fn,
+        expect_compliant,
+    )
 
 
 MUTATORS: Tuple[Mutator, ...] = (
@@ -678,6 +787,17 @@ MUTATORS: Tuple[Mutator, ...] = (
     _mutator("quic-cid-too-long", Protocol.QUIC,
              Criterion.HEADER_FIELDS, {"cid-too-long"},
              ("quic-long",), _mut_quic_cid_too_long),
+    _mutator("netem-drop-response", Protocol.STUN_TURN,
+             Criterion.SEMANTICS, {"unanswered-retransmission"},
+             ("stun-request",), _mut_netem_drop_response),
+    _mutator("netem-duplicate-answered", Protocol.STUN_TURN,
+             Criterion.SEMANTICS, frozenset(),
+             ("stun-request",), _mut_netem_duplicate_answered,
+             expect_compliant=True),
+    _mutator("netem-reorder-response-first", Protocol.STUN_TURN,
+             Criterion.SEMANTICS, frozenset(),
+             ("stun-request",), _mut_netem_reorder_response_first,
+             expect_compliant=True),
 )
 
 
@@ -860,7 +980,27 @@ class OracleResult:
 def run_oracle(
     mutator: Mutator, mutated: Mutated, checker: ComplianceChecker
 ) -> OracleResult:
-    """Exactly one violation, on the targeted criterion, with a known code."""
+    """Exactly one violation, on the targeted criterion, with a known code.
+
+    For ``expect_compliant`` mutators the contract flips: *every* message
+    of the set must be judged compliant — the mutation models transport
+    behavior (duplication, reordering) the checker must tolerate.
+    """
+    if mutator.expect_compliant:
+        expected = "every message compliant (benign network perturbation)"
+        if not mutated.messages:
+            return OracleResult(
+                False, expected,
+                "mutated payload did not re-parse into a message",
+            )
+        flagged = [
+            verdict.violation_keys()
+            for verdict in checker.check(mutated.messages)
+            if not verdict.compliant
+        ]
+        if flagged:
+            return OracleResult(False, expected, f"violations {flagged}")
+        return OracleResult(True, expected, "compliant")
     expected = (
         f"exactly one violation with criterion C{int(mutator.criterion)} "
         f"and code in {sorted(mutator.codes)}"

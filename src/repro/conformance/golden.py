@@ -67,18 +67,37 @@ class CorpusConfig:
     seed: int = 1
     max_offset: int = 200
     include_background: bool = True
+    impairment: str = "none"
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "CorpusConfig":
+        # Manifests recorded before the impairment axis simply lack the
+        # key and load as clean-path corpora.
         return cls(**data)
+
+
+#: The impaired golden corpora: profile -> the single network condition
+#: each one is recorded under.  ``lossy`` (random loss + reorder + dup)
+#: rides the TURN relay path; ``rebind`` (mid-call NAT port rotation)
+#: rides the P2P path where flow-sticky fast-path locks are longest-lived.
+IMPAIRED_CORPORA: Dict[str, NetworkCondition] = {
+    "lossy": NetworkCondition.WIFI_RELAY,
+    "rebind": NetworkCondition.WIFI_P2P,
+}
 
 
 def default_corpus_dir() -> Path:
     """``tests/golden/conformance`` relative to the repository root."""
     return Path(__file__).resolve().parents[3] / "tests" / "golden" / "conformance"
+
+
+def impaired_corpus_dir(profile: str, base: Optional[Path] = None) -> Path:
+    """``<base>/impaired-<profile>`` — a sibling corpus per impairment."""
+    root = Path(base) if base is not None else default_corpus_dir()
+    return root / f"impaired-{profile}"
 
 
 def cell_name(app: str, network: NetworkCondition) -> str:
@@ -105,6 +124,7 @@ def experiment_config(config: CorpusConfig) -> "ExperimentConfig":
         seed=config.seed,
         max_offset=config.max_offset,
         include_background=config.include_background,
+        impairment=config.impairment,
     )
 
 
@@ -224,6 +244,37 @@ def record_corpus(
     }
     _write_json(directory / "manifest.json", manifest)
     return manifest
+
+
+def record_impaired_corpora(
+    base: Optional[Path] = None,
+    config: CorpusConfig = CorpusConfig(),
+    apps: Sequence[str] = APP_NAMES,
+    profiles: Optional[Iterable[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Record the standard impaired corpora (one sibling dir per profile).
+
+    Each profile gets its own self-contained corpus — manifest included —
+    under ``impaired-<profile>/``, recorded with the reference engine on
+    the impaired record stream.  The clean corpus is never touched.
+    """
+    from dataclasses import replace as dc_replace
+
+    manifests: Dict[str, Dict[str, object]] = {}
+    for profile in profiles if profiles is not None else IMPAIRED_CORPORA:
+        network = IMPAIRED_CORPORA[profile]
+        directory = impaired_corpus_dir(profile, base)
+        if progress is not None:
+            progress(f"impaired-{profile} ({network.value}):")
+        manifests[profile] = record_corpus(
+            directory,
+            dc_replace(config, impairment=profile),
+            apps=apps,
+            networks=(network,),
+            progress=progress,
+        )
+    return manifests
 
 
 def load_manifest(directory: Path) -> Dict[str, object]:

@@ -6,6 +6,9 @@ actually specified for TCP transport:
 
 - STUN/TURN over TCP (RFC 8489 §7.2.2): messages are self-delimiting via
   the header length field, sent back to back;
+- TURN ChannelData over TCP (RFC 8656 §12.4): 4-byte header, payload,
+  then padding up to the next 4-byte boundary (legal on stream
+  transports, unlike UDP);
 - RTP/RTCP over a connection-oriented transport (RFC 4571): each packet is
   prefixed with a 2-byte big-endian length.
 
@@ -24,7 +27,12 @@ from repro.dpi.messages import ExtractedMessage, Protocol
 from repro.packets.packet import Direction, PacketRecord
 from repro.protocols.rtcp.packets import RtcpHeader, RtcpParseError
 from repro.protocols.rtp.header import RtpPacket, RtpParseError, looks_like_rtp
-from repro.protocols.stun.message import StunMessage, StunParseError, looks_like_stun
+from repro.protocols.stun.message import (
+    ChannelData,
+    StunMessage,
+    StunParseError,
+    looks_like_stun,
+)
 from repro.streams.flow import group_streams
 
 
@@ -75,6 +83,10 @@ def _analyze_direction(
         if consumed:
             pos += consumed
             continue
+        consumed = _try_channeldata(buffer, pos, carrier, analysis)
+        if consumed:
+            pos += consumed
+            continue
         consumed = _try_rfc4571(buffer, pos, carrier, analysis)
         if consumed:
             pos += consumed
@@ -109,6 +121,43 @@ def _try_stun(buffer: bytes, pos: int, carrier: PacketRecord,
         )
     )
     return message.wire_length
+
+
+def _try_channeldata(buffer: bytes, pos: int, carrier: PacketRecord,
+                     analysis: TcpAnalysis) -> int:
+    """TURN ChannelData framing at *pos*; returns bytes consumed (0 = no).
+
+    Over TCP the frame is padded to the next 4-byte boundary (RFC 8656
+    §12.4).  The padding is *consumed* but kept out of the message's
+    trailer: the compliance layer flags trailer bytes as the
+    padding-over-UDP violation, and over TCP they are simply framing.
+    """
+    if pos + ChannelData.HEADER_LEN > len(buffer):
+        return 0
+    # Client-allocated channel range only (0x4000-0x4FFF), mirroring the
+    # UDP candidate matcher — reserved channels would collide with RFC
+    # 4571 length prefixes of large frames.
+    if not 0x40 <= buffer[pos] <= 0x4F:
+        return 0
+    length = int.from_bytes(buffer[pos + 2:pos + 4], "big")
+    end = pos + ChannelData.HEADER_LEN + length
+    if end > len(buffer):
+        return 0
+    frame = ChannelData(
+        channel=int.from_bytes(buffer[pos:pos + 2], "big"),
+        data=buffer[pos + ChannelData.HEADER_LEN:end],
+    )
+    analysis.messages.append(
+        ExtractedMessage(
+            protocol=Protocol.STUN_TURN,
+            offset=pos,
+            length=frame.wire_length,
+            message=frame,
+            record=carrier,
+        )
+    )
+    padding = min(-length % 4, len(buffer) - end)
+    return frame.wire_length + padding
 
 
 def _try_rfc4571(buffer: bytes, pos: int, carrier: PacketRecord,

@@ -90,9 +90,16 @@ def default_calibration_path() -> Path:
     return base / "rtc-compliance" / "calibration.json"
 
 
-def cell_key(app: str, network_value: str) -> str:
-    """Calibration-cache key for one (app, network) cell family."""
-    return f"{app}|{network_value}"
+def cell_key(app: str, network_value: str, impairment: str = "none") -> str:
+    """Calibration-cache key for one (app, network[, impairment]) family.
+
+    Clean cells keep the historical two-part key, so existing caches
+    stay valid; impaired cells get their own history because their
+    per-unit cost profile (relearn churn, TCP fallback) differs.
+    """
+    if impairment == "none":
+        return f"{app}|{network_value}"
+    return f"{app}|{network_value}|{impairment}"
 
 
 @dataclass

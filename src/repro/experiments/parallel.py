@@ -81,14 +81,25 @@ def expected_cell_cost(cell: Cell, config: ExperimentConfig) -> float:
     duration × media scale — preserves the old behavior: every cell of a
     homogeneous matrix ties and submission stays in enumeration order.
     Scheduling only needs a ranking; it never leaks into merge order.
+
+    Impaired cells scale their configured units by the profile's expected
+    volume factor (duplication and rebind-relearn churn inflate records,
+    loss and UDP blackout deflate them) and read their own measured
+    history key, so ``submission_order`` and ``--plan auto`` neither
+    under- nor over-model an impaired matrix.
     """
     from repro.experiments import costmodel
+    from repro.netem import get_profile
 
     app, network, _repeat = cell
-    units = config.call_duration * config.media_scale
+    units = (
+        config.call_duration
+        * config.media_scale
+        * get_profile(config.impairment).volume_factor()
+    )
     measured = costmodel.get_store(config.calibration_file).calibration
     expected = measured.expected_cell_seconds(
-        costmodel.cell_key(app, network.value), units
+        costmodel.cell_key(app, network.value, config.impairment), units
     )
     return expected if expected is not None else units
 

@@ -77,6 +77,13 @@ class ExperimentConfig:
     configuration by construction.  ``calibration_file`` overrides where
     the calibration cache lives (default:
     :func:`repro.experiments.costmodel.default_calibration_path`).
+
+    ``impairment`` names a :mod:`repro.netem` profile applied to every
+    cell's record stream post-synthesis — the fourth matrix axis next
+    to app, network, and repeat.  Outputs under any profile remain
+    bit-identical across execution shapes (sharded, streaming, either
+    DPI backend), because the impaired records are produced once by
+    ``AppSimulator.iter_records`` before the pipeline ever runs.
     """
 
     call_duration: float = 30.0
@@ -91,10 +98,14 @@ class ExperimentConfig:
     dpi_backend: str = "scalar"
     plan: str = "fixed"
     calibration_file: Optional[str] = None
+    impairment: str = "none"
 
     def __post_init__(self):
         if self.plan not in ("fixed", "auto"):
             raise ValueError(f"unknown plan mode: {self.plan!r}")
+        from repro.netem import get_profile
+
+        get_profile(self.impairment)
 
 
 @dataclass
@@ -247,6 +258,7 @@ def _cell_config(
         call_duration=config.call_duration,
         media_scale=config.media_scale,
         include_background=config.include_background,
+        impairment=config.impairment,
     )
 
 
@@ -449,14 +461,23 @@ def _record_calibration(
     filesystem degrades to in-memory history for this process only.
     """
     from repro.experiments import costmodel
+    from repro.netem import get_profile
 
     backend = run.plan.dpi_backend if run.plan is not None else config.dpi_backend
+    # Units scale by the impairment's expected volume factor, and impaired
+    # cells key separately, so clean-cell history is never skewed by (and
+    # never mis-prices) impaired workloads.
+    units = (
+        config.call_duration
+        * config.media_scale
+        * get_profile(config.impairment).volume_factor()
+    )
     costmodel.get_store(config.calibration_file).update_from_run(
         run.stage_stats,
         backend,
-        cell=costmodel.cell_key(app, network.value),
+        cell=costmodel.cell_key(app, network.value, config.impairment),
         wall_seconds=wall_seconds,
-        units=config.call_duration * config.media_scale,
+        units=units,
     )
 
 

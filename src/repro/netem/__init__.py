@@ -1,0 +1,29 @@
+"""Deterministic network-impairment layer (the fourth matrix axis).
+
+``repro.netem`` transforms a simulated record stream post-synthesis:
+loss (random and Gilbert-Elliott bursts), bounded reordering,
+duplication, mid-call NAT rebinding, and UDP blackout with
+TURN-over-TCP fallback — each a pure, seeded ``records -> records``
+transform that composes with every pipeline execution shape unchanged.
+"""
+
+from repro.netem.impair import Impairer, build_impairer
+from repro.netem.profiles import (
+    PROFILE_NAMES,
+    PROFILES,
+    GilbertElliott,
+    ImpairmentProfile,
+    NatRebind,
+    get_profile,
+)
+
+__all__ = [
+    "GilbertElliott",
+    "Impairer",
+    "ImpairmentProfile",
+    "NatRebind",
+    "PROFILES",
+    "PROFILE_NAMES",
+    "build_impairer",
+    "get_profile",
+]

@@ -366,6 +366,57 @@ class TestMeasuredCellCost:
         assert order == [1, 0]
 
 
+class TestImpairedCellCost:
+    """Impairment is a planner input: its own cache key, scaled units."""
+
+    def test_cell_key_back_compat(self):
+        # Clean cells keep the historical two-part key so existing
+        # calibration caches stay valid; impaired cells get their own.
+        assert cell_key("zoom", "wifi_relay") == "zoom|wifi_relay"
+        assert cell_key("zoom", "wifi_relay", "none") == "zoom|wifi_relay"
+        assert cell_key("zoom", "wifi_relay", "lossy") == "zoom|wifi_relay|lossy"
+
+    def test_static_cost_scales_with_volume_factor(self, tmp_path):
+        from repro.netem import PROFILES
+
+        cell = ("zoom", NetworkCondition.WIFI_RELAY, 0)
+
+        def cost(impairment):
+            config = ExperimentConfig(
+                call_duration=10.0, media_scale=0.5, impairment=impairment,
+                calibration_file=str(tmp_path / "calibration.json"),
+            )
+            return expected_cell_cost(cell, config)
+
+        assert cost("none") == pytest.approx(5.0)
+        for name in ("lossy", "burst", "rebind", "udp_blocked"):
+            assert cost(name) == pytest.approx(
+                5.0 * PROFILES[name].volume_factor()
+            )
+        # udp_blocked's explicit cost_scale halves the modeled work.
+        assert cost("udp_blocked") == pytest.approx(2.5)
+
+    def test_impaired_history_key_is_separate(self, tmp_path):
+        path = tmp_path / "calibration.json"
+        clean = ExperimentConfig(
+            call_duration=10.0, media_scale=0.5, calibration_file=str(path)
+        )
+        impaired = dataclasses.replace(clean, impairment="rebind")
+        cell = ("zoom", NetworkCondition.WIFI_RELAY, 0)
+        store = costmodel.get_store(str(path))
+        # Measured history for the *impaired* family only: the clean
+        # cell must keep its static estimate, the impaired one must use
+        # the measurement (1.0 s/unit x scaled units).
+        store.calibration.observe_cell(
+            cell_key("zoom", "wifi_relay", "rebind"), 5.0, 5.0
+        )
+        assert expected_cell_cost(cell, clean) == pytest.approx(5.0)
+        from repro.netem import PROFILES
+
+        units = 5.0 * PROFILES["rebind"].volume_factor()
+        assert expected_cell_cost(cell, impaired) == pytest.approx(units)
+
+
 class TestPoolFinalization:
     def test_pool_not_recreated_after_final_shutdown(self):
         try:
