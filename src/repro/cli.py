@@ -53,45 +53,89 @@ def _chunk_size(value: str) -> int:
     return chunk
 
 
-def _add_sharding_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--shard-workers", type=_workers, default=1,
-                        help="flow-shard each cell's streaming pipeline "
-                             "across N worker processes (default: 1, "
-                             "unsharded; results are identical)")
-    parser.add_argument("--chunk-size", type=_chunk_size, default=None,
-                        help="records per pipeline stage dispatch "
-                             "(default: 256; 1 = per-record feeding)")
+def add_execution_flags(
+    parser: argparse.ArgumentParser,
+    workers: bool = False,
+    sharding: bool = False,
+    plan: bool = False,
+    backend: bool = False,
+    impairment: bool = False,
+) -> None:
+    """Attach the shared execution-matrix flags to *parser*.
+
+    One definition per flag — ``--workers``, ``--shard-workers``,
+    ``--chunk-size``, ``--plan``, ``--calibration-file``,
+    ``--dpi-backend``, ``--impairment`` — so every subcommand (including
+    ``serve``) wires the same names, types, defaults, and help text, and
+    :func:`config_from_args` can rebuild an :class:`ExperimentConfig`
+    from any of them.
+    """
+    if workers:
+        parser.add_argument("--workers", type=_workers, default=None,
+                            help="worker processes for matrix cells "
+                                 "(default: one per CPU core; 1 = serial)")
+    if sharding:
+        parser.add_argument("--shard-workers", type=_workers, default=1,
+                            help="flow-shard each cell's streaming pipeline "
+                                 "across N worker processes (default: 1, "
+                                 "unsharded; results are identical)")
+        parser.add_argument("--chunk-size", type=_chunk_size, default=None,
+                            help="records per pipeline stage dispatch "
+                                 "(default: 256; 1 = per-record feeding)")
+    if plan:
+        parser.add_argument("--plan", choices=("auto", "fixed"), default="fixed",
+                            help="execution planning mode: auto lets the "
+                                 "adaptive planner pick shard workers, chunk "
+                                 "size and DPI backend per cell from "
+                                 "calibrated stage rates (default: fixed, "
+                                 "use the flags as given)")
+        parser.add_argument("--calibration-file", default=None,
+                            help="planner calibration cache path (default: "
+                                 "$RTC_COMPLIANCE_CALIBRATION or "
+                                 "~/.cache/rtc-compliance/calibration.json)")
+    if backend:
+        parser.add_argument("--dpi-backend", choices=("scalar", "columnar"),
+                            default="scalar",
+                            help="stage-one sweep implementation (columnar = "
+                                 "vectorized batch scan over whole chunks; "
+                                 "results are bit-identical)")
+    if impairment:
+        from repro.netem import PROFILE_NAMES
+
+        parser.add_argument("--impairment", choices=PROFILE_NAMES,
+                            default="none",
+                            help="network-impairment profile applied to every "
+                                 "cell's record stream post-synthesis (loss, "
+                                 "burst loss, reordering, duplication, NAT "
+                                 "rebinding, UDP blackout with TURN-over-TCP "
+                                 "fallback; default: none)")
 
 
-def _add_plan_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--plan", choices=("auto", "fixed"), default="fixed",
-                        help="execution planning mode: auto lets the adaptive "
-                             "planner pick shard workers, chunk size and DPI "
-                             "backend per cell from calibrated stage rates "
-                             "(default: fixed, use the flags as given)")
-    parser.add_argument("--calibration-file", default=None,
-                        help="planner calibration cache path (default: "
-                             "$RTC_COMPLIANCE_CALIBRATION or "
-                             "~/.cache/rtc-compliance/calibration.json)")
+def config_from_args(args: argparse.Namespace, **overrides) -> ExperimentConfig:
+    """Build an :class:`ExperimentConfig` from whatever flags *args* has.
 
-
-def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--dpi-backend", choices=("scalar", "columnar"),
-                        default="scalar",
-                        help="stage-one sweep implementation (columnar = "
-                             "vectorized batch scan over whole chunks; "
-                             "results are bit-identical)")
-
-
-def _add_impairment_flag(parser: argparse.ArgumentParser) -> None:
-    from repro.netem import PROFILE_NAMES
-
-    parser.add_argument("--impairment", choices=PROFILE_NAMES, default="none",
-                        help="network-impairment profile applied to every "
-                             "cell's record stream post-synthesis (loss, "
-                             "burst loss, reordering, duplication, NAT "
-                             "rebinding, UDP blackout with TURN-over-TCP "
-                             "fallback; default: none)")
+    Tolerant of subcommands that attach only a subset of the execution
+    flags: anything missing falls back to the config's own default, so
+    every command resolves its config through this one helper.
+    """
+    kwargs = {
+        "call_duration": getattr(args, "duration", 30.0),
+        "media_scale": getattr(args, "scale", 0.5),
+        "seed": getattr(args, "seed", 0),
+        "repeats": getattr(args, "repeats", 1),
+        "shard_workers": getattr(args, "shard_workers", 1),
+        "dpi_backend": getattr(args, "dpi_backend", "scalar"),
+        "plan": getattr(args, "plan", "fixed"),
+        "calibration_file": getattr(args, "calibration_file", None),
+        "impairment": getattr(args, "impairment", "none"),
+    }
+    chunk_size = getattr(args, "chunk_size", None)
+    if chunk_size is not None:
+        kwargs["chunk_size"] = chunk_size
+    if getattr(args, "no_fastpath", False):
+        kwargs["fastpath"] = False
+    kwargs.update(overrides)
+    return ExperimentConfig(**kwargs)
 
 
 def _network(value: str) -> NetworkCondition:
@@ -115,21 +159,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--duration", type=float, default=30.0)
     run_p.add_argument("--scale", type=float, default=0.5)
     run_p.add_argument("--seed", type=int, default=0)
-    _add_backend_flag(run_p)
-    _add_impairment_flag(run_p)
+    add_execution_flags(run_p, backend=True, impairment=True)
 
     matrix_p = sub.add_parser("matrix", help="run the full experiment matrix")
     matrix_p.add_argument("--duration", type=float, default=30.0)
     matrix_p.add_argument("--scale", type=float, default=0.5)
     matrix_p.add_argument("--repeats", type=int, default=1)
     matrix_p.add_argument("--seed", type=int, default=0)
-    matrix_p.add_argument("--workers", type=_workers, default=None,
-                          help="worker processes for matrix cells "
-                               "(default: one per CPU core; 1 = serial)")
-    _add_sharding_flags(matrix_p)
-    _add_backend_flag(matrix_p)
-    _add_plan_flags(matrix_p)
-    _add_impairment_flag(matrix_p)
+    add_execution_flags(matrix_p, workers=True, sharding=True,
+                        plan=True, backend=True, impairment=True)
 
     synth_p = sub.add_parser("synthesize", help="write a synthetic call trace to pcap")
     synth_p.add_argument("--app", choices=APP_NAMES, required=True)
@@ -138,12 +176,12 @@ def build_parser() -> argparse.ArgumentParser:
     synth_p.add_argument("--scale", type=float, default=0.5)
     synth_p.add_argument("--seed", type=int, default=0)
     synth_p.add_argument("--out", required=True)
-    _add_impairment_flag(synth_p)
+    add_execution_flags(synth_p, impairment=True)
 
     pcap_p = sub.add_parser("pcap", help="analyze an existing pcap capture")
     pcap_p.add_argument("path")
     pcap_p.add_argument("--max-offset", type=int, default=200)
-    _add_backend_flag(pcap_p)
+    add_execution_flags(pcap_p, backend=True)
 
     report_p = sub.add_parser("report", help="write a markdown compliance report")
     report_p.add_argument("--app", choices=APP_NAMES)
@@ -152,13 +190,8 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--scale", type=float, default=0.5)
     report_p.add_argument("--seed", type=int, default=0)
     report_p.add_argument("--out", help="output file (default: stdout)")
-    report_p.add_argument("--workers", type=_workers, default=None,
-                          help="worker processes for the matrix report "
-                               "(default: one per CPU core; 1 = serial)")
-    _add_sharding_flags(report_p)
-    _add_backend_flag(report_p)
-    _add_plan_flags(report_p)
-    _add_impairment_flag(report_p)
+    add_execution_flags(report_p, workers=True, sharding=True,
+                        plan=True, backend=True, impairment=True)
 
     dataset_p = sub.add_parser(
         "dataset", help="synthesize a pcap dataset with ground-truth manifest"
@@ -203,8 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.add_argument("--seed", type=int, default=0)
     stats_p.add_argument("--no-fastpath", action="store_true",
                          help="disable the flow-sticky fast path (sweep only)")
-    _add_backend_flag(stats_p)
-    _add_impairment_flag(stats_p)
+    add_execution_flags(stats_p, backend=True, impairment=True)
 
     pstats_p = sub.add_parser(
         "pipeline-stats",
@@ -219,10 +251,17 @@ def build_parser() -> argparse.ArgumentParser:
     pstats_p.add_argument("--seed", type=int, default=0)
     pstats_p.add_argument("--json", action="store_true",
                           help="emit machine-readable JSON instead of a table")
-    _add_sharding_flags(pstats_p)
-    _add_backend_flag(pstats_p)
-    _add_plan_flags(pstats_p)
-    _add_impairment_flag(pstats_p)
+    add_execution_flags(pstats_p, sharding=True, plan=True,
+                        backend=True, impairment=True)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the always-on compliance service (HTTP + SSE)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8787,
+                         help="listen port (0 = pick a free port)")
+    add_execution_flags(serve_p, sharding=True, plan=True,
+                        backend=True, impairment=True)
 
     conf_p = sub.add_parser(
         "conformance",
@@ -243,7 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="override simulation seed (default: corpus standard)")
     record_p.add_argument("--apps", nargs="*", choices=APP_NAMES, default=None)
     record_p.add_argument("--networks", nargs="*", type=_network, default=None)
-    _add_impairment_flag(record_p)
+    add_execution_flags(record_p, impairment=True)
     record_p.add_argument("--impaired", action="store_true",
                           help="record the standard impaired sibling corpora "
                                "(impaired-<profile>/ next to the clean corpus) "
@@ -299,10 +338,7 @@ def _print_summary(summary: ComplianceSummary) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    config = ExperimentConfig(
-        call_duration=args.duration, media_scale=args.scale, seed=args.seed,
-        dpi_backend=args.dpi_backend, impairment=args.impairment,
-    )
+    config = config_from_args(args)
     aggregate = run_experiment(args.app, args.network, config)
     _print_summary(aggregate.summary)
     print(f"Filter precision: {aggregate.filter_precision:.3f}  "
@@ -310,25 +346,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _sharding_kwargs(args: argparse.Namespace) -> dict:
-    kwargs = {"shard_workers": args.shard_workers,
-              "dpi_backend": args.dpi_backend,
-              "plan": getattr(args, "plan", "fixed"),
-              "calibration_file": getattr(args, "calibration_file", None),
-              "impairment": getattr(args, "impairment", "none")}
-    if args.chunk_size is not None:
-        kwargs["chunk_size"] = args.chunk_size
-    return kwargs
-
-
 def cmd_matrix(args: argparse.Namespace) -> int:
-    config = ExperimentConfig(
-        call_duration=args.duration,
-        media_scale=args.scale,
-        repeats=args.repeats,
-        seed=args.seed,
-        **_sharding_kwargs(args),
-    )
+    config = config_from_args(args)
     matrix = run_matrix(config=config, workers=args.workers)
     print(render_table1(table1(matrix)))
     print()
@@ -396,10 +415,7 @@ def cmd_pcap(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import aggregate_report, matrix_report
 
-    config = ExperimentConfig(
-        call_duration=args.duration, media_scale=args.scale, seed=args.seed,
-        **_sharding_kwargs(args),
-    )
+    config = config_from_args(args)
     if args.app:
         aggregate = run_experiment(args.app, args.network, config)
         text = aggregate_report(aggregate)
@@ -507,14 +523,7 @@ def _print_dpi_stats(label: str, stats) -> None:
 def cmd_dpi_stats(args: argparse.Namespace) -> int:
     from repro.dpi import DpiStats
 
-    config = ExperimentConfig(
-        call_duration=args.duration,
-        media_scale=args.scale,
-        seed=args.seed,
-        fastpath=not args.no_fastpath,
-        dpi_backend=args.dpi_backend,
-        impairment=args.impairment,
-    )
+    config = config_from_args(args)
     apps = [args.app] if args.app else list(APP_NAMES)
     networks = [args.network] if args.network else list(NetworkCondition)
     total = DpiStats()
@@ -537,10 +546,7 @@ def cmd_pipeline_stats(args: argparse.Namespace) -> int:
     from repro.experiments.scheduler import plan_shard_workers
     from repro.pipeline import merge_stage_stats
 
-    config = ExperimentConfig(
-        call_duration=args.duration, media_scale=args.scale, seed=args.seed,
-        **_sharding_kwargs(args),
-    )
+    config = config_from_args(args)
     # The same resolution the sharded executor applies per cell (shards ==
     # workers == shard_workers), surfaced so a clamped request is visible.
     shard_plan = plan_shard_workers(config.shard_workers, config.shard_workers)
@@ -580,10 +586,10 @@ def cmd_pipeline_stats(args: argparse.Namespace) -> int:
                 "per_app": plans_by_app,
             },
             "per_app": {
-                app: {name: stat.as_dict() for name, stat in stats.items()}
+                app: {name: stat.to_json() for name, stat in stats.items()}
                 for app, stats in per_app.items()
             },
-            "total": {name: stat.as_dict() for name, stat in totals.items()},
+            "total": {name: stat.to_json() for name, stat in totals.items()},
         }
         print(json_module.dumps(payload, indent=2))
         return 0
@@ -615,6 +621,56 @@ def cmd_pipeline_stats(args: argparse.Namespace) -> int:
     if len(per_app) > 1:
         print("total:")
         print_rows(totals)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP/SSE daemon until SIGTERM/SIGINT, then drain and exit.
+
+    The shared execution flags become the daemon's per-session defaults:
+    a ``POST /sessions`` body only overrides what it names.  Shutdown is
+    graceful — sessions are drained (ingest stopped, results finalized)
+    while ``/healthz`` keeps answering, then the listener stops and the
+    shared worker pool is torn down.
+    """
+    import signal
+    import threading
+
+    from repro.experiments.scheduler import shutdown_shared_pool
+    from repro.service.http import ComplianceService, make_server
+
+    config = config_from_args(args)
+    defaults = {
+        "impairment": config.impairment,
+        "chunk_size": config.chunk_size,
+    }
+    service = ComplianceService(defaults=defaults)
+    server = make_server(args.host, args.port, service)
+    host, port = server.server_address[:2]
+
+    stop = threading.Event()
+
+    def _request_shutdown(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_shutdown)
+    signal.signal(signal.SIGINT, _request_shutdown)
+
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    print(f"rtc-compliance service listening on http://{host}:{port}",
+          flush=True)
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    print("shutting down: draining sessions", flush=True)
+    service.shutdown()          # drain while /healthz still answers
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5.0)
+    shutdown_shared_pool(final=True, terminate=True)
+    print("shutdown complete", flush=True)
     return 0
 
 
@@ -721,8 +777,48 @@ def cmd_conformance(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _install_signal_handlers() -> None:
+    """Terminate shared-pool workers on SIGTERM/SIGINT, then die normally.
+
+    ``atexit`` alone does not run when a signal kills the process, so a
+    ``kill`` against a matrix run could orphan pool workers mid-task.
+    The handler signals the workers directly (:func:`kill_pool_workers`
+    — deliberately *not* ``shutdown_shared_pool``, whose executor
+    shutdown acquires locks the interrupted main thread may hold),
+    restores the default disposition, and re-raises the signal so the
+    exit status still reflects the signal death.  ``serve`` replaces
+    these with its own graceful-drain handlers.
+    """
+    import os
+    import signal
+    import threading
+
+    from repro.experiments.scheduler import kill_pool_workers
+
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    owner_pid = os.getpid()
+
+    def _handler(signum, frame) -> None:
+        signal.signal(signum, signal.SIG_DFL)
+        # A forked child that inherited this handler (a pool worker
+        # signalled before its initializer ran) must just die — only the
+        # installing process owns the shared pool.
+        if os.getpid() == owner_pid:
+            kill_pool_workers()
+        os.kill(os.getpid(), signum)
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic host
+            pass
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _install_signal_handlers()
     handlers = {
         "run": cmd_run,
         "matrix": cmd_matrix,
@@ -735,6 +831,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dissect": cmd_dissect,
         "dpi-stats": cmd_dpi_stats,
         "pipeline-stats": cmd_pipeline_stats,
+        "serve": cmd_serve,
         "conformance": cmd_conformance,
     }
     return handlers[args.command](args)

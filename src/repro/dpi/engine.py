@@ -1078,6 +1078,15 @@ class DpiStreamSession:
         self._before = engine.stats.copy()
         self._fed = 0
         self._flushed = False
+        # Monotone per-stream serials in first-seen order.  A serial is
+        # assigned when a stream is created and *reassigned* if a flow key
+        # reopens after eviction, so ``(timestamp, serial, position)`` is
+        # a total order over analyses that reproduces the batch flush
+        # order exactly (streams concatenate in insertion order, then a
+        # stable timestamp sort) — the key the session layer sorts by.
+        self._serials: Dict[FlowKey, int] = {}
+        self._next_serial = 0
+        self._last_seen: Dict[FlowKey, float] = {}
 
     @property
     def fed(self) -> int:
@@ -1106,7 +1115,12 @@ class DpiStreamSession:
         if stream is None:
             stream = Stream(key=key)
             self._streams[key] = stream
+            self._serials[key] = self._next_serial
+            self._next_serial += 1
         stream.add(record)
+        last = self._last_seen.get(key)
+        if last is None or record.timestamp > last:
+            self._last_seen[key] = record.timestamp
 
     def feed_many(self, records: Iterable[PacketRecord]) -> None:
         """Feed a whole chunk of records (the pipeline's unit of work).
@@ -1119,6 +1133,23 @@ class DpiStreamSession:
         for record in records:
             feed(record)
 
+    def open_keys(self) -> List[FlowKey]:
+        """Keys of every open stream, in first-seen (insertion) order."""
+        return list(self._streams)
+
+    def serial(self, key: FlowKey) -> Optional[int]:
+        """First-seen serial of the stream currently open under *key*.
+
+        Serials survive :meth:`finish_stream` until the key reopens, so
+        an order-tracking consumer can still resolve the serial of an
+        analysis it receives from an eviction.
+        """
+        return self._serials.get(key)
+
+    def last_seen(self, key: FlowKey) -> Optional[float]:
+        """Timestamp of the newest record fed to *key*'s open stream."""
+        return self._last_seen.get(key)
+
     def finish_stream(self, key: FlowKey) -> List[DatagramAnalysis]:
         """Analyze one stream now and release its buffered payloads.
 
@@ -1129,8 +1160,33 @@ class DpiStreamSession:
         stream = self._streams.pop(key, None)
         if stream is None:
             return []
+        self._last_seen.pop(key, None)
         stream.sort()
         return self._engine.analyze_stream(stream)
+
+    def evict_idle(self, watermark: float, idle_gap: float) -> List[DatagramAnalysis]:
+        """Finish every stream idle for more than *idle_gap* capture-seconds.
+
+        A stream is idle when its newest record's timestamp trails
+        *watermark* by more than ``idle_gap``.  Deterministic by
+        construction: the decision reads only record timestamps, never
+        wall-clock, and candidate streams are finished in first-seen
+        order.  The contract is the same as :meth:`finish_stream` — a
+        record arriving for an evicted key later starts a fresh stream
+        and is validated without the evicted context — so callers pick
+        ``idle_gap`` larger than any real intra-flow gap.
+        """
+        if self._flushed:
+            return []
+        analyses: List[DatagramAnalysis] = []
+        idle = [
+            key
+            for key, last in self._last_seen.items()
+            if watermark - last > idle_gap
+        ]
+        for key in idle:
+            analyses.extend(self.finish_stream(key))
+        return analyses
 
     def flush(self) -> List[DatagramAnalysis]:
         """Analyze every open stream; return analyses in timestamp order."""

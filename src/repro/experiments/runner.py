@@ -24,15 +24,11 @@ from repro.filtering import TwoStageFilter
 from repro.filtering.pipeline import FilterResult, StageCounts
 from repro.pipeline import (
     DEFAULT_CHUNK_SIZE,
-    CheckStage,
-    DpiStage,
-    FilterStage,
-    Pipeline,
     StageStats,
     merge_stage_stats,
-    ordered_verdicts,
     run_cell_sharded,
 )
+from repro.service.session import AnalysisSession
 
 #: Maximum example violations kept per (protocol, type) entry when merging.
 MAX_EXAMPLE_VIOLATIONS = 3
@@ -370,23 +366,24 @@ def run_cell_pipeline(
             )
     if checker is None:
         checker = default_checker() if plan is not None else ComplianceChecker()
-    filter_stage = FilterStage(TwoStageFilter(call_config.window()))
-    dpi_stage = DpiStage(engine)
-    check_stage = CheckStage(checker)
-    pipeline = Pipeline(
-        [filter_stage, dpi_stage, check_stage], chunk_size=chunk_size
+    session = AnalysisSession(
+        window=call_config.window(),
+        engine=engine,
+        checker=checker,
+        chunk_size=chunk_size,
     )
-    indexed = pipeline.run(
+    session.feed(
         records if records is not None else simulator.iter_records(call_config)
     )
-    assert filter_stage.result is not None
+    result = session.close()
+    assert result.filter_result is not None
     return PipelineRun(
         app=app,
         network=network,
-        filter_result=filter_stage.result,
-        dpi=dpi_stage.result(),
-        verdicts=ordered_verdicts(indexed),
-        stage_stats={stat.name: stat for stat in pipeline.stats()},
+        filter_result=result.filter_result,
+        dpi=result.dpi,
+        verdicts=result.verdicts,
+        stage_stats=result.stage_stats,
         plan=plan,
     )
 

@@ -87,6 +87,17 @@ def _warm_worker(max_offset: int, fastpath: bool) -> None:
     """Pool initializer: flag the process and pre-build engine/checker."""
     global _in_pool_worker
     _in_pool_worker = True
+    # Forked workers inherit the CLI's SIGTERM/SIGINT handlers, which
+    # tear down the *shared pool* — a parent-only action that deadlocks
+    # in a child holding forked copies of the executor's locks.  Restore
+    # the default dispositions so ``terminate()`` actually kills workers.
+    import signal
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover - exotic host
+            pass
     from repro.experiments.runner import default_checker, default_engine
 
     default_engine(max_offset, fastpath)
@@ -131,7 +142,39 @@ def shared_pool(
     return _pool
 
 
-def shutdown_shared_pool(final: bool = False) -> None:
+def kill_pool_workers() -> int:
+    """Terminate the pool's worker processes; returns how many were signalled.
+
+    **Signal-handler safe**: reads the executor's private process table
+    (guarded against both stdlib layout changes and the table mutating
+    under a mid-fork race) and signals the workers directly, touching no
+    executor lock — ``ProcessPoolExecutor.shutdown`` acquires the
+    non-reentrant ``_shutdown_lock``, which deadlocks if the interrupted
+    main thread was inside ``submit()`` already holding it.  Workers run
+    with default signal dispositions (:func:`_warm_worker`), so the
+    ``SIGTERM`` that ``terminate()`` sends actually kills them.
+    """
+    pool = _pool
+    if pool is None:
+        return 0
+    processes: List = []
+    for _ in range(3):
+        try:
+            processes = list((getattr(pool, "_processes", None) or {}).values())
+            break
+        except RuntimeError:  # pragma: no cover - table mutated mid-fork
+            continue
+    for process in processes:
+        try:
+            process.terminate()
+        except (OSError, ValueError, AttributeError):
+            # Racing exit, or a worker whose fork has not completed yet
+            # (``_popen`` still unset) — either way there is nothing to kill.
+            pass
+    return len(processes)
+
+
+def shutdown_shared_pool(final: bool = False, terminate: bool = False) -> None:
     """Tear the shared pool down (broken pool recovery, test isolation).
 
     ``final=True`` additionally forbids re-creation: any later
@@ -139,10 +182,22 @@ def shutdown_shared_pool(final: bool = False) -> None:
     ``POOL_FALLBACK_ERRORS``, so executors degrade to in-process rather
     than fail).  The module registers ``shutdown_shared_pool(final=True)``
     with :mod:`atexit` so pool workers cannot outlive the CLI process.
+
+    ``terminate=True`` additionally kills worker processes outright
+    instead of letting them finish their in-flight task — the graceful-
+    drain path (``serve`` shutdown), where the contract is "no orphaned
+    workers survive the CLI", not "finish the work".  Not for signal
+    handlers — they must use :func:`kill_pool_workers` alone.
     """
     global _pool, _pool_workers, _pool_finalized
     if _pool is not None:
+        processes = dict(getattr(_pool, "_processes", None) or {})
+        if terminate:
+            kill_pool_workers()
         _pool.shutdown(wait=False, cancel_futures=True)
+        if terminate:
+            for process in processes.values():
+                process.join(timeout=2.0)
         _pool = None
         _pool_workers = 0
     if final:

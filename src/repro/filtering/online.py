@@ -169,15 +169,45 @@ class OnlineTwoStageFilter:
             stream = Stream(key=key)
             self._streams[key] = stream
         stream.add(record)
-        if self._low_memory and isinstance(stream, Stream):
-            # A stream that started before the extended window or is still
-            # active after it can never pass stage 1: release its payloads
-            # now, keep only the counters the accounting needs.
-            if (
-                stream.first_timestamp < window.extended_start
-                or stream.last_timestamp > window.extended_end
-            ):
+        if self._low_memory and self._doomed(stream):
+            self._streams[key] = DrainedStream(stream)
+
+    def _doomed(self, stream: object) -> bool:
+        """True when *stream* can never survive stage 1.
+
+        A stream that started before the extended window or is still
+        active after it is certain to be removed, so its payloads can be
+        released early; only the counters the accounting needs survive.
+        """
+        if not isinstance(stream, Stream):
+            return False
+        window = self._window
+        return (
+            stream.first_timestamp < window.extended_start
+            or stream.last_timestamp > window.extended_end
+        )
+
+    def evict(self, watermark: float = 0.0) -> int:
+        """Drain every stream already doomed to removal; return the count.
+
+        The on-demand counterpart of ``low_memory=True``'s per-record
+        drain: a long-running session sweeps this periodically so junk
+        flows (pre-call background, post-window chatter) never accumulate
+        payloads, while provisional keep/drop decisions stay untouched —
+        kept-looking streams must buffer until :meth:`finalize` because a
+        later record can still revoke them.  *watermark* is accepted for
+        signature uniformity with the stage protocol; doom is a function
+        of the call window alone.  Accounting, evaluation, and kept
+        output are unchanged by draining (pinned by the parity tests).
+        """
+        if self._finalized:
+            return 0
+        drained = 0
+        for key, stream in self._streams.items():
+            if self._doomed(stream):
                 self._streams[key] = DrainedStream(stream)
+                drained += 1
+        return drained
 
     def finalize(self) -> "FilterResult":
         """Apply both filtering stages to everything observed."""

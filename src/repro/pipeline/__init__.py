@@ -64,9 +64,14 @@ def run_streaming(
     The conformance differ uses this as its streaming engine
     configuration: the outputs must be bit-identical to the batch path.
     ``chunk_size=1`` reproduces the historical per-record dispatch.
+
+    A thin adapter over a filterless :class:`repro.service.AnalysisSession`
+    (imported lazily; the service package depends on this one), so batch
+    helpers and the live service share a single execution path.
     """
-    dpi = DpiStage(engine)
-    check = CheckStage(checker)
-    pipeline = Pipeline([dpi, check], chunk_size=chunk_size)
-    indexed = pipeline.run(records)
-    return dpi.result(), ordered_verdicts(indexed), pipeline.stats()
+    from repro.service.session import AnalysisSession
+
+    session = AnalysisSession(engine=engine, checker=checker, chunk_size=chunk_size)
+    session.feed(records)
+    result = session.close()
+    return result.dpi, result.verdicts, list(result.stage_stats.values())

@@ -60,7 +60,30 @@ class StageStats:
         self.peak_buffered = max(self.peak_buffered, other.peak_buffered)
         self.chunks += other.chunks
 
-    def as_dict(self) -> Dict[str, object]:
+    def snapshot(self) -> "StageStats":
+        """An independent copy of the counters as they stand right now.
+
+        Mid-stream observers (``rtc-compliance serve``'s ``/stats``
+        endpoint, the session snapshot) read through this so the live
+        counters are never shared with — or mutated under — a consumer.
+        """
+        return StageStats(
+            name=self.name,
+            records_in=self.records_in,
+            records_out=self.records_out,
+            wall_seconds=self.wall_seconds,
+            peak_buffered=self.peak_buffered,
+            chunks=self.chunks,
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        """The stable wire schema shared by every ``StageStats`` consumer.
+
+        ``rtc-compliance pipeline-stats --json``, the service's
+        ``/sessions/<id>/stats`` endpoint, and the SSE ``snapshot`` events
+        all emit exactly this shape; extending it is fine, renaming or
+        removing keys is a breaking schema change.
+        """
         return {
             "name": self.name,
             "records_in": self.records_in,
@@ -69,6 +92,9 @@ class StageStats:
             "peak_buffered": self.peak_buffered,
             "chunks": self.chunks,
         }
+
+    # Historical alias; every serialization path goes through to_json().
+    as_dict = to_json
 
 
 class Stage:
@@ -99,6 +125,20 @@ class Stage:
 
     def flush(self) -> Iterable[Any]:
         """Emit everything still held once the input is exhausted."""
+        return ()
+
+    def evict(self, watermark: float) -> Iterable[Any]:
+        """Finalize per-flow state that is settled as of *watermark*.
+
+        *watermark* is capture time (the largest record timestamp the
+        caller has pushed so far), never wall-clock, so eviction decisions
+        are a pure function of the record stream and replaying a capture
+        evicts identically every run.  Stages emit whatever the evicted
+        flows produce — the pipeline cascades those emissions downstream
+        exactly like ``flush`` — and must only evict state whose output
+        can no longer be affected by later records; the default evicts
+        nothing.
+        """
         return ()
 
     def buffered(self) -> int:
@@ -135,9 +175,22 @@ class Pipeline:
     def stages(self) -> List[Stage]:
         return list(self._stages)
 
+    @property
+    def flushed(self) -> bool:
+        return self._flushed
+
     def stats(self) -> List[StageStats]:
         """Per-stage instrumentation records, in pipeline order."""
         return self._stats
+
+    def snapshot(self) -> List[StageStats]:
+        """Copies of the per-stage stats — safe to read mid-stream.
+
+        Unlike :meth:`stats`, the returned records are detached from the
+        live counters, so a monitoring thread can serialize them while
+        the pipeline keeps feeding without torn or mutating reads.
+        """
+        return [stat.snapshot() for stat in self._stats]
 
     def feed(self, item: Any) -> List[Any]:
         """Push one item through every stage; return the final emissions."""
@@ -171,6 +224,28 @@ class Pipeline:
             out.extend(self.feed_chunk(chunk))
         out.extend(self.flush())
         return out
+
+    def evict(self, watermark: float) -> List[Any]:
+        """Ask every stage to finalize flows settled as of *watermark*.
+
+        Evicted emissions cascade downstream exactly like ``flush``
+        emissions — stage *n*'s evictions pass through stages *n+1..* as
+        ordinary chunked input, and each of those stages additionally gets
+        its own ``evict`` call — so a long-running session can bound
+        per-flow buffering without ending the stream.  A no-op after
+        ``flush`` (there is nothing left to evict).
+        """
+        if self._flushed:
+            return []
+        carried: List[Any] = []
+        for stage, stats in zip(self._stages, self._stats):
+            processed = self._run_chunked(stage, stats, carried) if carried else []
+            start = time.perf_counter()
+            evicted = list(stage.evict(watermark))
+            stats.wall_seconds += time.perf_counter() - start
+            stats.records_out += len(evicted)
+            carried = processed + evicted
+        return carried
 
     def flush(self) -> List[Any]:
         """Flush every stage in order, cascading emissions downstream."""

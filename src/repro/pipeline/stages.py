@@ -12,7 +12,7 @@ implementation those batch calls drive.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.checker import CheckerStream, ComplianceChecker
 from repro.core.verdict import MessageVerdict
@@ -22,6 +22,7 @@ from repro.filtering.online import OnlineTwoStageFilter
 from repro.filtering.pipeline import FilterResult, TwoStageFilter
 from repro.packets.packet import PacketRecord
 from repro.pipeline.stage import Stage
+from repro.streams.flow import FlowKey
 
 IndexedVerdict = Tuple[int, MessageVerdict]
 
@@ -65,6 +66,17 @@ class FilterStage(Stage):
         self.result = self._online.finalize()
         return self.result.kept_records
 
+    def evict(self, watermark: float) -> Iterable[PacketRecord]:
+        """Drain doomed streams' payloads; never emits records.
+
+        Keep/drop is provisional until the capture ends (a later record
+        can revoke a keep), so the only thing the filter can finalize
+        early is certain removal — exactly the ``low_memory`` drain, run
+        on demand.  Kept-looking streams keep buffering until flush.
+        """
+        self._online.evict(watermark)
+        return ()
+
     def buffered(self) -> int:
         return self._online.buffered_packets
 
@@ -78,14 +90,66 @@ class DpiStage(Stage):
     additionally retained so :meth:`result` can package them as a
     ``DpiResult``; pure-streaming consumers pass ``collect=False`` and
     read only the per-session :meth:`stats`.
+
+    Session mode adds two opt-ins the run-to-exhaustion adapters never
+    use.  ``track_order=True`` records, per emitted analysis, the
+    ``(timestamp, stream serial, position in stream, message count)``
+    tuple (:attr:`emission_log`) — the total order the batch flush would
+    have emitted in, so a consumer receiving analyses out of order (from
+    evictions) can restore exact batch verdict order with one sort.
+    Eviction itself comes in two flavors: :meth:`set_flow_deadlines`
+    arms exact per-flow finalization (finish a flow the moment the
+    watermark passes its known last record — provably lossless), while
+    ``idle_gap`` arms the heuristic policy for open-ended live feeds
+    (finish flows idle longer than the gap; a flow that resumes after
+    eviction restarts without the evicted context).
     """
 
     name = "dpi"
 
-    def __init__(self, engine: DpiEngine, collect: bool = True):
+    def __init__(
+        self,
+        engine: DpiEngine,
+        collect: bool = True,
+        track_order: bool = False,
+        idle_gap: Optional[float] = None,
+    ):
         self._session: DpiStreamSession = engine.stream_session()
         self._collect = collect
+        self._collected: List[DatagramAnalysis] = []
         self._analyses: Optional[List[DatagramAnalysis]] = None
+        self._track_order = track_order
+        self._idle_gap = idle_gap
+        self._deadlines: Optional[Dict[FlowKey, float]] = None
+        #: ``(timestamp, serial, position, message_count)`` per emitted
+        #: analysis, in emission order; only populated with track_order.
+        self.emission_log: List[Tuple[float, int, int, int]] = []
+        self._positions: Dict[int, int] = {}
+
+    def set_flow_deadlines(self, deadlines: Dict[FlowKey, float]) -> None:
+        """Arm exact eviction: finish each flow once *watermark* passes
+        its deadline (the flow's last record timestamp, known ahead of a
+        drain over fully-materialized input).  Overrides ``idle_gap``."""
+        self._deadlines = dict(deadlines)
+
+    def _log(self, analyses: List[DatagramAnalysis]) -> List[DatagramAnalysis]:
+        if self._collect:
+            self._collected.extend(analyses)
+        if self._track_order:
+            for analysis in analyses:
+                serial = self._session.serial(analysis.record.flow_key)
+                assert serial is not None
+                position = self._positions.get(serial, 0)
+                self._positions[serial] = position + 1
+                self.emission_log.append(
+                    (
+                        analysis.record.timestamp,
+                        serial,
+                        position,
+                        len(analysis.messages),
+                    )
+                )
+        return analyses
 
     def process(self, item: PacketRecord) -> Iterable[DatagramAnalysis]:
         self._session.feed(item)
@@ -96,10 +160,25 @@ class DpiStage(Stage):
         return []
 
     def flush(self) -> Iterable[DatagramAnalysis]:
-        analyses = self._session.flush()
+        analyses = self._log(self._session.flush())
         if self._collect:
-            self._analyses = analyses
+            # Everything emitted across the stage's lifetime — evictions
+            # included, in emission order.  Without evictions this is
+            # exactly the flush list (the historical behavior).
+            self._analyses = self._collected
         return analyses
+
+    def evict(self, watermark: float) -> Iterable[DatagramAnalysis]:
+        if self._deadlines is not None:
+            analyses: List[DatagramAnalysis] = []
+            for key in self._session.open_keys():
+                deadline = self._deadlines.get(key)
+                if deadline is not None and deadline <= watermark:
+                    analyses.extend(self._session.finish_stream(key))
+            return self._log(analyses)
+        if self._idle_gap is not None:
+            return self._log(self._session.evict_idle(watermark, self._idle_gap))
+        return ()
 
     def buffered(self) -> int:
         return self._session.buffered

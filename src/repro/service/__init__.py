@@ -1,0 +1,22 @@
+"""Always-on compliance service: sessions, ingest sources, HTTP/SSE.
+
+The batch pipeline wrapped in a lifecycle an operator can deploy:
+:class:`AnalysisSession` (feed / snapshot / close, bit-identical to the
+batch run), the ingest layer (:mod:`repro.service.ingest` — bounded
+queue, replay and pcap-directory sources), and the stdlib-only HTTP/SSE
+surface (:mod:`repro.service.http`, ``rtc-compliance serve``).
+"""
+
+from repro.service.session import (
+    AnalysisSession,
+    EvictionPolicy,
+    SessionResult,
+    SessionSnapshot,
+)
+
+__all__ = [
+    "AnalysisSession",
+    "EvictionPolicy",
+    "SessionResult",
+    "SessionSnapshot",
+]

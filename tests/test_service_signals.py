@@ -1,0 +1,131 @@
+"""Process-level graceful-shutdown tests (SIGTERM/SIGINT satellite).
+
+A killed ``matrix`` run must not leave orphaned pool workers behind, and
+a killed ``serve`` daemon must drain and exit cleanly.  Both tests drive
+the real CLI in a subprocess so the installed signal handlers — not the
+test process's — are what runs.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def _children(pid):
+    """Direct child PIDs of *pid* via /proc (Linux only)."""
+    kids = []
+    task_dir = f"/proc/{pid}/task"
+    try:
+        for tid in os.listdir(task_dir):
+            try:
+                with open(f"{task_dir}/{tid}/children") as fileobj:
+                    kids.extend(int(p) for p in fileobj.read().split())
+            except OSError:
+                continue
+    except OSError:
+        pass
+    return kids
+
+
+def _alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    # Reaped-but-listed race: a zombie is as good as gone.
+    try:
+        with open(f"/proc/{pid}/stat") as fileobj:
+            return fileobj.read().rsplit(")", 1)[1].split()[0] != "Z"
+    except OSError:
+        return False
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/proc"), reason="needs /proc child enumeration"
+)
+def test_sigterm_matrix_leaves_no_orphan_workers():
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "matrix",
+            "--workers", "2", "--duration", "4", "--scale", "0.3",
+        ],
+        cwd=REPO,
+        env=_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        workers = []
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline and proc.poll() is None:
+            workers = _children(proc.pid)
+            if len(workers) >= 2:
+                break
+            time.sleep(0.05)
+        if proc.poll() is not None:
+            pytest.skip("matrix finished before workers could be observed")
+        assert len(workers) >= 2, "pool workers never appeared"
+
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=60.0)
+        # The handler terminates the pool before re-raising, so the run
+        # dies by SIGTERM and its workers die with it.
+        assert proc.returncode == -signal.SIGTERM
+
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if not any(_alive(pid) for pid in workers):
+                break
+            time.sleep(0.1)
+        leaked = [pid for pid in workers if _alive(pid)]
+        assert not leaked, f"orphaned pool workers survived SIGTERM: {leaked}"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)
+
+
+def test_serve_sigterm_drains_and_exits_cleanly():
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        cwd=REPO,
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        assert "listening on http://" in line, f"unexpected banner: {line!r}"
+        base = line.strip().rsplit(" ", 1)[-1]
+
+        with urllib.request.urlopen(base + "/healthz", timeout=10) as response:
+            assert json.loads(response.read())["status"] == "ok"
+
+        proc.send_signal(signal.SIGTERM)
+        output = proc.stdout.read()
+        proc.wait(timeout=30.0)
+        assert proc.returncode == 0
+        assert "shutting down: draining sessions" in output
+        assert "shutdown complete" in output
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)
