@@ -183,6 +183,82 @@ def test_columnar_sweep_throughput(zoom_kept_records):
     assert speedup >= floor, RESULTS["columnar"]
 
 
+def test_batch_ingest_throughput(zoom_kept_records, tmp_path):
+    """Capture decode throughput: per-frame scalar reader vs mmap batch.
+
+    The same Ethernet/UDP-heavy zoom trace is serialized once; each round
+    then ingests the file end-to-end both ways — the scalar side paying
+    one ``read()`` per record header plus the layer-by-layer object
+    decode, the batch side the mmap index scan plus the struct fast path.
+    Rounds interleave and take the best of each, records must match bit
+    for bit with zero undecodable skips, and the recorded numbers carry
+    the fallback rate so a fast-path coverage regression is visible in
+    the bench trajectory.
+    """
+    from repro.packets.batch import BatchPcapReader, IngestStats
+    from repro.packets.pcap import write_pcap
+
+    path = tmp_path / "ingest-bench.pcap"
+    frames = write_pcap(path, zoom_kept_records)
+
+    def scalar_pass():
+        with open(path, "rb") as fileobj:
+            return list(PcapReader(fileobj).records())
+
+    stats = IngestStats()
+
+    def batch_pass():
+        with BatchPcapReader(path, stats=stats) as reader:
+            return list(reader.records())
+
+    reference = scalar_pass()
+    batch = batch_pass()
+    vectorized_probe = BatchPcapReader(path)
+    vectorized = vectorized_probe.vectorized
+    vectorized_probe.close()
+
+    best_scalar = best_batch = None
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(5):
+            start = time.perf_counter()
+            reference = scalar_pass()
+            elapsed = time.perf_counter() - start
+            if best_scalar is None or elapsed < best_scalar:
+                best_scalar = elapsed
+            start = time.perf_counter()
+            batch = batch_pass()
+            elapsed = time.perf_counter() - start
+            if best_batch is None or elapsed < best_batch:
+                best_batch = elapsed
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    assert batch == reference, "batch decode diverged from the scalar reader"
+    assert stats.skipped == 0, "bench trace must contain no parity fallbacks"
+
+    speedup = best_scalar / best_batch
+    RESULTS["ingest"] = {
+        "frames": frames,
+        "records": len(reference),
+        "vectorized": vectorized,
+        "scalar_datagrams_per_second": round(len(reference) / best_scalar, 1),
+        "batch_datagrams_per_second": round(len(reference) / best_batch, 1),
+        "speedup": round(speedup, 3),
+        "fast_path_rate": round(
+            stats.fast_path / stats.frames, 4
+        ) if stats.frames else 0.0,
+        "fallback_rate": round(stats.fallback_rate, 6),
+    }
+    # The >= 3x acceptance bar needs the struct fast path to carry the
+    # trace; without numpy the index scan alone still has to win.
+    floor = 3.0 if vectorized else 1.05
+    assert speedup >= floor, RESULTS["ingest"]
+
+
 def test_checker_throughput(zoom_dpi, benchmark):
     checker = ComplianceChecker()
     messages = zoom_dpi.messages()
@@ -554,7 +630,7 @@ def test_emit_bench_json():
     """Flush the numbers gathered above to ``BENCH_pipeline.json``."""
     assert "dpi" in RESULTS and "matrix_serial" in RESULTS and "memory" in RESULTS
     assert "parallel" in RESULTS and "columnar" in RESULTS
-    assert "planner" in RESULTS
+    assert "planner" in RESULTS and "ingest" in RESULTS
     payload = dict(RESULTS)
     payload["trace"] = {
         "app": "zoom", "network": "wifi_relay",

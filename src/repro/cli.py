@@ -181,7 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     pcap_p = sub.add_parser("pcap", help="analyze an existing pcap capture")
     pcap_p.add_argument("path")
     pcap_p.add_argument("--max-offset", type=int, default=200)
-    add_execution_flags(pcap_p, backend=True)
+    add_execution_flags(pcap_p, plan=True, backend=True)
 
     report_p = sub.add_parser("report", help="write a markdown compliance report")
     report_p.add_argument("--app", choices=APP_NAMES)
@@ -394,13 +394,85 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
 
 
 def cmd_pcap(args: argparse.Namespace) -> int:
-    records = read_pcap(args.path)
-    if not records:
+    """Analyze a capture by streaming it off disk chunk by chunk.
+
+    The mmap batch decoder indexes the file up front (so the planner can
+    see the frame count before a single record is decoded), then records
+    flow straight into the streaming pipeline — peak memory is one chunk,
+    not the capture.  Output is bit-identical to the historical
+    read-everything-then-analyze path.
+    """
+    import time as _time
+
+    from repro.experiments import costmodel
+    from repro.experiments.scheduler import PlanSignals, plan_execution
+    from repro.packets.batch import BatchPcapReader
+    from repro.pipeline import DEFAULT_CHUNK_SIZE, run_streaming
+    from repro.pipeline.stage import StageStats
+
+    backend = args.dpi_backend
+    chunk_size = DEFAULT_CHUNK_SIZE
+    plan_mode = getattr(args, "plan", "fixed")
+    with BatchPcapReader(args.path) as reader:
+        if plan_mode == "auto":
+            store = costmodel.get_store(getattr(args, "calibration_file", None))
+            calibration = store.calibration
+            sample = reader.decode_sample()
+            workload = costmodel.workload_signals(sample)
+            scale = (
+                reader.frame_count / len(sample) if sample else 1.0
+            )
+            signals = PlanSignals(
+                records=reader.frame_count,
+                kept_records=reader.frame_count,
+                flows=workload.flows,
+                max_flow_records=int(workload.max_flow_records * scale),
+                # run_streaming is single-process; one visible CPU keeps
+                # the model from suggesting shards this path cannot use.
+                cpu_count=1,
+                rates=calibration.effective_rates(),
+                columnar_available=True,
+                cells=1,
+                rate_source=(
+                    "calibration" if calibration.calibrated else "default"
+                ),
+                decode_records=reader.frame_count,
+            )
+            plan = plan_execution(signals)
+            backend = plan.dpi_backend
+            chunk_size = plan.chunk_size
+            print(f"plan: {plan.describe()}")
+
+        decode_stats = StageStats(name="decode")
+
+        def timed_records():
+            chunk_iter = reader.chunks(chunk_size)
+            while True:
+                start = _time.perf_counter()
+                try:
+                    batch = next(chunk_iter)
+                except StopIteration:
+                    decode_stats.wall_seconds += _time.perf_counter() - start
+                    return
+                decode_stats.wall_seconds += _time.perf_counter() - start
+                decode_stats.chunks += 1
+                yield from batch
+
+        engine = DpiEngine(max_offset=args.max_offset, backend=backend)
+        checker = ComplianceChecker()
+        result, verdicts, stage_stats = run_streaming(
+            timed_records(), engine, checker, chunk_size=chunk_size
+        )
+        ingest = reader.stats
+        decode_stats.records_in = ingest.frames
+        decode_stats.records_out = ingest.records
+    if ingest.records == 0:
         print("no decodable packets found", file=sys.stderr)
         return 1
-    engine = DpiEngine(max_offset=args.max_offset, backend=args.dpi_backend)
-    result = engine.analyze_records(records)
-    verdicts = ComplianceChecker().check(result.messages())
+    if plan_mode == "auto":
+        stats_by_name = {stat.name: stat for stat in stage_stats}
+        stats_by_name["decode"] = decode_stats
+        store.update_from_run(stats_by_name, backend)
     summary = ComplianceSummary.from_verdicts(args.path, verdicts)
     _print_summary(summary)
     by_class = result.by_class()
@@ -409,6 +481,17 @@ def cmd_pcap(args: argparse.Namespace) -> int:
         print("Datagram classes:")
         for cls, count in by_class.items():
             print(f"  {cls.value:<20} {count} ({count / total * 100:.1f}%)")
+    if decode_stats.wall_seconds > 0:
+        rate = ingest.records / decode_stats.wall_seconds
+        fast_pct = (
+            ingest.fast_path / ingest.frames * 100 if ingest.frames else 0.0
+        )
+        print(
+            f"Ingest: {ingest.frames} frames -> {ingest.records} records "
+            f"in {decode_stats.wall_seconds:.3f}s ({rate:.0f} rec/s, "
+            f"fast-path {fast_pct:.1f}%, "
+            f"fallback rate {ingest.fallback_rate:.4f})"
+        )
     return 0
 
 

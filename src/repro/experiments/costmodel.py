@@ -58,17 +58,21 @@ EMA_ALPHA = 0.3
 PROBE_RECORDS = 512
 
 #: Rate keys the cost model understands (records/second each).
-RATE_KEYS = ("filter", "dpi_scalar", "dpi_columnar", "check")
+RATE_KEYS = ("filter", "dpi_scalar", "dpi_columnar", "check", "decode")
 
 #: Shipped fallback rates (records/second) used before any calibration
 #: or probe exists, taken from the BENCH_pipeline.json trajectory on the
 #: reference dev box.  Only the *ratios* matter for plan selection, and
 #: only until the first probe replaces them with local measurements.
+#: ``decode`` is the batch capture decoder (frames/second through
+#: :class:`repro.packets.batch.BatchPcapReader`); it applies only to
+#: pcap-sourced sessions and is charged serially ahead of every plan.
 DEFAULT_RATES: Dict[str, float] = {
     "filter": 80000.0,
     "dpi_scalar": 13000.0,
     "dpi_columnar": 42000.0,
     "check": 30000.0,
+    "decode": 200000.0,
 }
 
 #: Stage wall times below this are timer noise, not throughput signal.
@@ -318,6 +322,8 @@ def rates_from_stage_stats(
             key = "dpi_columnar" if dpi_backend == "columnar" else "dpi_scalar"
         elif name == "check":
             key = "check"
+        elif name == "decode":
+            key = "decode"
         else:
             continue
         rates[key] = stat.records_in / stat.wall_seconds

@@ -347,6 +347,11 @@ class PlanSignals:
     fastpath: bool = True
     cells: int = 1
     rate_source: str = "default"
+    #: Capture frames still to be decoded before the pipeline sees
+    #: records — non-zero only for pcap-sourced sessions.  Decode runs
+    #: serially ahead of every option (sharding happens after ingest),
+    #: so its modeled cost is charged to all of them equally.
+    decode_records: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -360,6 +365,7 @@ class PlanSignals:
             "fastpath": self.fastpath,
             "cells": self.cells,
             "rate_source": self.rate_source,
+            "decode_records": self.decode_records,
         }
 
 
@@ -508,6 +514,21 @@ def plan_execution(signals: PlanSignals) -> ExecutionPlan:
         )
 
     # Modeled single-process wall-clock from the calibrated stage rates.
+    # Capture decode (pcap-sourced sessions only) happens before any
+    # sharding, so it is a serial charge on every option alike — it
+    # grows the modeled totals without changing the ranking.
+    decode_records = max(signals.decode_records, 0)
+    decode_seconds = (
+        decode_records / max(rates.get("decode", 1.0), 1.0)
+        if decode_records
+        else 0.0
+    )
+    if decode_records:
+        rationale.append(
+            f"ingest: {decode_records} capture frames decode serially at "
+            f"{rates.get('decode', 1.0):.0f}/s "
+            f"({decode_seconds:.3f}s ahead of every option)"
+        )
     dpi_rate = columnar_rate if dpi_backend == "columnar" else scalar_rate
     filter_seconds = records / max(rates.get("filter", 1.0), 1.0)
     dpi_seconds = kept / max(dpi_rate, 1.0)
@@ -519,8 +540,8 @@ def plan_execution(signals: PlanSignals) -> ExecutionPlan:
     # task bookkeeping are charged on top.  In-process execution pays
     # none of that.
     shard_workers = 1
-    best_seconds = serial_seconds
-    costs.append(("in-process", serial_seconds))
+    best_seconds = serial_seconds + decode_seconds
+    costs.append(("in-process", serial_seconds + decode_seconds))
     partition_seconds = records * PARTITION_SECONDS_PER_RECORD
     max_flow_share = (
         signals.max_flow_records / records if records else 1.0
@@ -532,7 +553,7 @@ def plan_execution(signals: PlanSignals) -> ExecutionPlan:
         if shard_plan.in_process:
             # The ask the machine refuses: partition + merge overhead
             # with zero parallel win (PR 6's measured 0.81x cliff).
-            modeled = serial_seconds + partition_seconds
+            modeled = serial_seconds + decode_seconds + partition_seconds
             costs.append((f"shards={k} (clamped in-process)", modeled))
             continue
         effective = shard_plan.effective
@@ -540,7 +561,8 @@ def plan_execution(signals: PlanSignals) -> ExecutionPlan:
             serial_seconds / effective, serial_seconds * max_flow_share
         )
         modeled = (
-            parallel_seconds
+            decode_seconds
+            + parallel_seconds
             + partition_seconds
             + records * IPC_SECONDS_PER_RECORD
             + effective * SHARD_TASK_OVERHEAD_SECONDS

@@ -6,18 +6,41 @@ synthesized in memory as :class:`PacketRecord` sequences, serialized to real
 ever sees the analysis-level records.
 """
 
+from repro.packets.batch import (
+    BatchPcapReader,
+    IngestStats,
+    iter_capture_chunks,
+    iter_pcap,
+    iter_pcap_chunks,
+)
 from repro.packets.checksum import internet_checksum, udp_checksum
 from repro.packets.decode import DecodeError, decode_frame, encode_record
 from repro.packets.ethernet import EtherType, EthernetFrame
 from repro.packets.ip import IPv4Header, IPv6Header, IPProto
+from repro.packets.mmapio import MappedCapture
 from repro.packets.packet import Direction, PacketRecord, Truth
 from repro.packets.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
-from repro.packets.pcapng import PcapngReader, PcapngWriter, read_pcapng, write_pcapng
+from repro.packets.pcapng import (
+    PcapngReader,
+    PcapngWriter,
+    iter_pcapng,
+    iter_pcapng_chunks,
+    read_pcapng,
+    write_pcapng,
+)
 from repro.packets.transport import TcpSegment, UdpDatagram
 
 __all__ = [
     "internet_checksum",
     "udp_checksum",
+    "BatchPcapReader",
+    "IngestStats",
+    "MappedCapture",
+    "iter_capture_chunks",
+    "iter_pcap",
+    "iter_pcap_chunks",
+    "iter_pcapng",
+    "iter_pcapng_chunks",
     "DecodeError",
     "decode_frame",
     "encode_record",

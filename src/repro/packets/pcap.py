@@ -136,6 +136,13 @@ def write_pcap(
 
 
 def read_pcap(path: Union[str, Path]) -> List[PacketRecord]:
-    """Read every decodable record from a pcap file into memory."""
-    with open(path, "rb") as fileobj:
-        return list(PcapReader(fileobj).records())
+    """Read every decodable record from a pcap file into memory.
+
+    Thin wrapper over the streaming batch decoder
+    (:func:`repro.packets.batch.iter_pcap`); prefer the iterator forms
+    for anything that doesn't genuinely need the whole list at once.
+    """
+    # Imported lazily: batch.py imports this module's constants.
+    from repro.packets.batch import iter_pcap
+
+    return list(iter_pcap(path))

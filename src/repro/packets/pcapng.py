@@ -166,6 +166,33 @@ def write_pcapng(
     return count
 
 
-def read_pcapng(path: Union[str, Path]) -> List[PacketRecord]:
+def iter_pcapng(path: Union[str, Path]) -> Iterator[PacketRecord]:
+    """Stream every decodable record out of a pcapng file, one at a time."""
     with open(path, "rb") as fileobj:
-        return list(PcapngReader(fileobj).records())
+        yield from PcapngReader(fileobj).records()
+
+
+def iter_pcapng_chunks(
+    path: Union[str, Path], chunk_size: int = 256
+) -> Iterator[List[PacketRecord]]:
+    """Stream decoded pcapng records *chunk_size* at a time.
+
+    Same chunked shape the batch pcap decoder exposes, so
+    :func:`repro.packets.batch.iter_capture_chunks` can dispatch on the
+    container without callers caring which format they got.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    batch: List[PacketRecord] = []
+    for record in iter_pcapng(path):
+        batch.append(record)
+        if len(batch) >= chunk_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def read_pcapng(path: Union[str, Path]) -> List[PacketRecord]:
+    """Thin list wrapper over :func:`iter_pcapng`."""
+    return list(iter_pcapng(path))

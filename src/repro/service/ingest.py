@@ -128,7 +128,7 @@ class BoundedQueue:
 
 
 class ReplaySource:
-    """Re-feed a materialized record list, optionally at capture pace.
+    """Re-feed a record list or a capture file, optionally at capture pace.
 
     ``pace="afap"`` yields batches as fast as the consumer takes them.
     ``pace="clock"`` sleeps between batches so the feed advances at
@@ -136,6 +136,10 @@ class ReplaySource:
     ~4 wall seconds) — the shape a live capture source has, which is what
     the soak and smoke tests exercise.  Pacing affects wall-clock only;
     the batch contents and order are identical either way.
+
+    :meth:`from_pcap` builds a replay straight off a capture file via the
+    mmap batch decoder — batches stream out of the file per chunk, so
+    peak memory is one batch, not the whole trace.
     """
 
     def __init__(
@@ -150,19 +154,42 @@ class ReplaySource:
         if speed <= 0:
             raise ValueError("speed must be positive")
         self._records = list(records)
+        self._path: Optional[str] = None
         self._batch_size = batch_size
         self._pace = pace
         self._speed = speed
 
-    def __iter__(self) -> Iterator[List[PacketRecord]]:
-        records = self._records
-        if not records:
+    @classmethod
+    def from_pcap(
+        cls,
+        path: str,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        pace: str = "afap",
+        speed: float = 1.0,
+    ) -> "ReplaySource":
+        """Replay a ``.pcap``/``.pcapng`` file without materializing it."""
+        source = cls([], batch_size=batch_size, pace=pace, speed=speed)
+        source._path = str(path)
+        return source
+
+    def _batches(self) -> Iterator[List[PacketRecord]]:
+        if self._path is not None:
+            from repro.packets.batch import iter_capture_chunks
+
+            yield from iter_capture_chunks(self._path, self._batch_size)
             return
-        start_capture = records[0].timestamp
-        start_wall = time.monotonic()
+        records = self._records
         for index in range(0, len(records), self._batch_size):
-            batch = records[index:index + self._batch_size]
+            yield records[index:index + self._batch_size]
+
+    def __iter__(self) -> Iterator[List[PacketRecord]]:
+        start_capture: Optional[float] = None
+        start_wall = 0.0
+        for batch in self._batches():
             if self._pace == "clock":
+                if start_capture is None:
+                    start_capture = batch[0].timestamp
+                    start_wall = time.monotonic()
                 due = (batch[0].timestamp - start_capture) / self._speed
                 delay = due - (time.monotonic() - start_wall)
                 if delay > 0:
@@ -174,10 +201,14 @@ class PcapDirectoryWatcher:
     """Tail a directory a rotating capture process writes ``.pcap`` files to.
 
     Polls every ``poll_interval`` seconds; a file is picked up once its
-    size has been stable across two polls (the writer has moved on), read
-    with the stdlib pcap reader, and never re-read.  Iteration ends when
-    ``stop`` is set (or, with ``drain_once=True``, after the first sweep
-    — the batch-shaped mode tests use).
+    size has been stable across two polls (the writer has moved on),
+    streamed through the mmap batch decoder one batch at a time, and
+    never re-read.  The mmap length is pinned when the file is opened,
+    so a file that starts growing again *after* pickup (a writer that
+    reopened it) yields exactly the records present at open — the next
+    rotation, not a torn read.  Iteration ends when ``stop`` is set (or,
+    with ``drain_once=True``, after the first sweep — the batch-shaped
+    mode tests use).
     """
 
     def __init__(
@@ -222,16 +253,22 @@ class PcapDirectoryWatcher:
         return ready
 
     def __iter__(self) -> Iterator[List[PacketRecord]]:
-        from repro.packets.pcap import read_pcap
+        from repro.packets.batch import iter_capture_chunks
 
         while not self._stop.is_set():
             for path in self._ready_files():
-                try:
-                    records = read_pcap(path)
-                except (OSError, ValueError):
-                    continue
-                for index in range(0, len(records), self._batch_size):
-                    yield records[index:index + self._batch_size]
+                # Manual next() so a malformed file (or one truncated by
+                # the writer) drops just that file, mid-stream, instead
+                # of aborting the watcher.
+                chunk_iter = iter_capture_chunks(path, self._batch_size)
+                while True:
+                    try:
+                        batch = next(chunk_iter)
+                    except StopIteration:
+                        break
+                    except (OSError, ValueError):
+                        break
+                    yield batch
             if self._drain_once:
                 # One extra sweep picks up files whose size just became
                 # stable, then the iterator ends.
